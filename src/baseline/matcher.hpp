@@ -1,0 +1,67 @@
+// Software content-based matchers — the systems Camus is compared against.
+//
+//  - NaiveMatcher: evaluates every subscription per message. This is what
+//    the paper's baseline subscriber does (DPDK host filtering the full
+//    feed for its own subscriptions).
+//  - CountingMatcher: the classic counting-algorithm index from software
+//    pub/sub brokers (Siena-style): per-subject interval indices mark
+//    satisfied constraints, and a conjunction fires when its counter
+//    reaches its constraint count. The strongest practical software
+//    baseline for the throughput microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "lang/dnf.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::baseline {
+
+class NaiveMatcher {
+ public:
+  NaiveMatcher(std::vector<lang::FlatRule> rules);
+
+  // Union of the actions of every matching rule.
+  lang::ActionSet match(const lang::Env& env) const;
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  std::vector<lang::FlatRule> rules_;
+};
+
+class CountingMatcher {
+ public:
+  CountingMatcher(const std::vector<lang::FlatRule>& rules,
+                  const spec::Schema& schema);
+
+  lang::ActionSet match(const lang::Env& env) const;
+
+  std::size_t conjunction_count() const noexcept { return conj_.size(); }
+
+ private:
+  struct ConjInfo {
+    std::uint32_t needed = 0;   // number of per-subject constraints
+    std::uint32_t rule = 0;     // owning rule (for actions)
+  };
+
+  // Per-subject elementary-segment index: the subject's domain is split at
+  // every constraint boundary; each segment stores the conjunction
+  // constraints it satisfies. Stabbing = one binary search.
+  struct SubjectIndex {
+    lang::Subject subject;
+    std::vector<std::uint64_t> bounds;  // segment starts, ascending, [0]=0
+    std::vector<std::vector<std::uint32_t>> satisfied;  // conj ids/segment
+  };
+
+  std::vector<ConjInfo> conj_;
+  std::vector<lang::ActionSet> rule_actions_;
+  std::vector<SubjectIndex> subjects_;
+  std::vector<std::uint32_t> always_true_;  // conjunctions with no atoms
+  // Scratch counters reused across match() calls (single-threaded use).
+  mutable std::vector<std::uint32_t> counters_;
+};
+
+}  // namespace camus::baseline

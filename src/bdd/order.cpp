@@ -1,0 +1,52 @@
+#include "bdd/order.hpp"
+
+namespace camus::bdd {
+
+VarOrder::VarOrder(std::vector<Subject> subjects)
+    : subjects_(std::move(subjects)) {
+  for (std::size_t i = 0; i < subjects_.size(); ++i) {
+    const Subject s = subjects_[i];
+    auto& table =
+        s.kind == Subject::Kind::kField ? field_rank_ : state_rank_;
+    if (table.size() <= s.id) table.resize(s.id + 1, kAbsent);
+    if (table[s.id] != kAbsent)
+      throw std::invalid_argument("duplicate subject in variable order");
+    table[s.id] = i;
+  }
+}
+
+std::size_t VarOrder::rank(Subject s) const {
+  const auto& table =
+      s.kind == Subject::Kind::kField ? field_rank_ : state_rank_;
+  if (s.id >= table.size() || table[s.id] == kAbsent)
+    throw std::out_of_range("subject not present in variable order");
+  return table[s.id];
+}
+
+bool VarOrder::contains(Subject s) const noexcept {
+  const auto& table =
+      s.kind == Subject::Kind::kField ? field_rank_ : state_rank_;
+  return s.id < table.size() && table[s.id] != kAbsent;
+}
+
+bool VarOrder::less(const BoundPredicate& a, const BoundPredicate& b) const {
+  const std::size_t ra = rank(a.subject);
+  const std::size_t rb = rank(b.subject);
+  if (ra != rb) return ra < rb;
+  if (a.value != b.value) return a.value < b.value;
+  return op_rank(a.op) < op_rank(b.op);
+}
+
+DomainMap::DomainMap(const spec::Schema& schema) {
+  field_umax_.reserve(schema.fields().size());
+  for (const auto& f : schema.fields()) field_umax_.push_back(f.umax());
+  state_umax_.reserve(schema.state_vars().size());
+  for (const auto& v : schema.state_vars()) state_umax_.push_back(v.umax());
+}
+
+std::uint64_t DomainMap::umax(Subject s) const {
+  return s.kind == Subject::Kind::kField ? field_umax_.at(s.id)
+                                         : state_umax_.at(s.id);
+}
+
+}  // namespace camus::bdd

@@ -1,0 +1,79 @@
+// Variable ordering and value domains for the BDD.
+//
+// As in the paper, BDD variables are atomic predicates (field OP constant),
+// arranged in a fixed total order such that all predicates on one subject
+// are contiguous and subject groups follow a chosen field order. This is
+// the property Algorithm 1 relies on to slice the BDD into per-field
+// components.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::bdd {
+
+using lang::BoundPredicate;
+using lang::RelOp;
+using lang::Subject;
+
+// Total order over subjects (the BDD "field order"). Predicates compare by
+// (subject rank, constant value, operator), giving the contiguous-per-field
+// layout with threshold chains sorted by value.
+class VarOrder {
+ public:
+  explicit VarOrder(std::vector<Subject> subjects);
+
+  // Rank of a subject in the order. Throws std::out_of_range for subjects
+  // not in the order — the compiler must enumerate the full subject set
+  // before building the BDD.
+  std::size_t rank(Subject s) const;
+
+  bool contains(Subject s) const noexcept;
+
+  bool less(const BoundPredicate& a, const BoundPredicate& b) const;
+
+  const std::vector<Subject>& subjects() const noexcept { return subjects_; }
+
+ private:
+  static int op_rank(RelOp op) noexcept {
+    switch (op) {
+      case RelOp::kLt: return 0;
+      case RelOp::kEq: return 1;
+      case RelOp::kGt: return 2;
+    }
+    return 3;
+  }
+
+  std::vector<Subject> subjects_;
+  // Dense rank lookup: per-kind vectors indexed by id.
+  std::vector<std::size_t> field_rank_;
+  std::vector<std::size_t> state_rank_;
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+};
+
+// Value domain ([0, umax]) of each subject, derived from field/register
+// widths in the schema.
+class DomainMap {
+ public:
+  explicit DomainMap(const spec::Schema& schema);
+
+  std::uint64_t umax(Subject s) const;
+
+ private:
+  std::vector<std::uint64_t> field_umax_;
+  std::vector<std::uint64_t> state_umax_;
+};
+
+// The compiler's field-ordering heuristics (ablation: bench/ablation_ordering).
+enum class OrderHeuristic : std::uint8_t {
+  kDeclared,         // annotation order from the spec (paper default)
+  kExactFirst,       // exact-match (symbol) fields first, then declared order
+  kSelectivityAsc,   // fewest distinct predicate constants first
+  kSelectivityDesc,  // most distinct predicate constants first
+};
+
+}  // namespace camus::bdd

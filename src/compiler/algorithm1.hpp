@@ -1,0 +1,58 @@
+// Algorithm 1 from the paper: translating the BDD into per-field
+// match-action tables.
+//
+// For each field f (in BDD order), the subgraph of nodes predicating on f
+// forms a component C_f. Nodes entered from outside C_f are its In nodes;
+// nodes outside C_f reached from within are its Out nodes. For every path
+// from an In node u through C_f to an Out node v, the entry
+// (state(u), range) -> state(v) is added to f's table, where range is the
+// intersection of the (possibly negated) predicates along the path.
+//
+// Extensions beyond the paper's pseudocode, both entry-count optimizations
+// visible in its Figure 4:
+//  - ranges for all paths u -> v are unioned before emission, so contiguous
+//    value regions with the same successor collapse into one entry;
+//  - per In state, the successor with the most intervals may be encoded as
+//    a wildcard fallback entry ('*' rows) when that is cheaper.
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "compiler/options.hpp"
+#include "spec/schema.hpp"
+#include "table/pipeline.hpp"
+
+namespace camus::compiler {
+
+struct TableGenStats {
+  std::size_t components = 0;         // non-empty field components
+  std::size_t in_nodes = 0;           // total In nodes across components
+  std::size_t paths_enumerated = 0;   // DFS path segments walked
+};
+
+struct TableGenResult {
+  table::Pipeline pipeline;
+  TableGenStats stats;
+};
+
+// Persistent BDD-node -> pipeline-state mapping. Hash-consed BDD nodes are
+// stable across recompilations within one manager, so sharing an allocator
+// between commits keeps state ids — and therefore unchanged table
+// entries — identical. This is what makes the incremental compiler's
+// table-entry re-use work (paper §3: "state updates can benefit from
+// table entry re-use").
+struct StateAllocator {
+  std::unordered_map<std::uint32_t, table::StateId> ids;  // by NodeRef raw
+  table::StateId next = table::kInitialState;
+};
+
+// Translates the BDD rooted at `root` into a finalized pipeline.
+// Throws std::runtime_error if path enumeration exceeds
+// opts.max_paths_per_component (pathological, unreduced BDDs).
+// With a null `states`, state ids are numbered fresh per call (compact,
+// Figure 4-style); passing a persistent allocator keeps them stable.
+TableGenResult bdd_to_tables(const bdd::BddManager& mgr, bdd::NodeRef root,
+                             const spec::Schema& schema,
+                             const CompileOptions& opts,
+                             StateAllocator* states = nullptr);
+
+}  // namespace camus::compiler

@@ -1,0 +1,123 @@
+#include "compiler/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace camus::compiler {
+
+using util::Result;
+
+namespace {
+
+// Canonical text of a flattened condition, used for duplicate detection.
+std::string condition_key(const lang::FlatRule& r) {
+  std::vector<std::string> terms;
+  terms.reserve(r.terms.size());
+  for (const auto& t : r.terms) terms.push_back(t.to_string());
+  std::sort(terms.begin(), terms.end());
+  std::string key;
+  for (const auto& t : terms) {
+    key += t;
+    key += '|';
+  }
+  return key;
+}
+
+double term_selectivity(const lang::Conjunction& term,
+                        const spec::Schema& schema) {
+  double sel = 1.0;
+  for (const auto& [subj, set] : term.constraints) {
+    const double domain =
+        static_cast<double>(lang::subject_umax(subj, schema)) + 1.0;
+    sel *= static_cast<double>(set.cardinality()) / domain;
+  }
+  return sel;
+}
+
+}  // namespace
+
+Result<RuleSetReport> analyze_rules(const spec::Schema& schema,
+                                    const std::vector<lang::BoundRule>& rules,
+                                    std::size_t max_dnf_terms) {
+  RuleSetReport report;
+  report.rules.reserve(rules.size());
+
+  std::map<std::string, std::size_t> first_with_condition;
+  std::map<std::string, std::size_t> first_with_rule;
+
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    auto flat = lang::flatten_rule(rules[i], schema, max_dnf_terms);
+    if (!flat.ok()) {
+      util::Error e = flat.error();
+      e.message = "rule " + std::to_string(i + 1) + ": " + e.message;
+      return e;
+    }
+
+    RuleReport r;
+    r.index = i;
+    r.dnf_terms = flat.value().terms.size();
+    report.total_dnf_terms += r.dnf_terms;
+    r.satisfiable = !flat.value().terms.empty();
+    if (!r.satisfiable) ++report.unsatisfiable_count;
+
+    // Subjects and selectivity.
+    std::map<lang::Subject, bool> seen;
+    double sel = 0;
+    for (const auto& t : flat.value().terms) {
+      sel += term_selectivity(t, schema);
+      for (const auto& [subj, set] : t.constraints) {
+        if (!seen.count(subj)) {
+          seen.emplace(subj, true);
+          r.subjects.push_back(subj);
+        }
+      }
+    }
+    r.selectivity = std::min(sel, 1.0);
+
+    // Duplicate / same-condition detection.
+    const std::string cond_key = condition_key(flat.value());
+    const std::string rule_key =
+        cond_key + "=>" + rules[i].actions.to_string();
+    if (auto it = first_with_rule.find(rule_key);
+        it != first_with_rule.end()) {
+      r.duplicate_of = it->second;
+      ++report.duplicate_count;
+    } else {
+      first_with_rule.emplace(rule_key, i);
+      if (auto it2 = first_with_condition.find(cond_key);
+          it2 != first_with_condition.end()) {
+        r.same_condition_as = it2->second;
+      }
+    }
+    first_with_condition.emplace(cond_key, i);
+
+    report.rules.push_back(std::move(r));
+  }
+  return report;
+}
+
+std::string RuleSetReport::to_string(const spec::Schema& schema) const {
+  std::ostringstream os;
+  os << rules.size() << " rules, " << total_dnf_terms << " DNF terms, "
+     << unsatisfiable_count << " unsatisfiable, " << duplicate_count
+     << " duplicates\n";
+  for (const auto& r : rules) {
+    if (r.satisfiable && !r.duplicate_of && !r.same_condition_as &&
+        r.selectivity > 1e-12)
+      continue;  // only report noteworthy rules
+    os << "  rule " << (r.index + 1) << ":";
+    if (!r.satisfiable) os << " UNSATISFIABLE";
+    if (r.duplicate_of)
+      os << " duplicate of rule " << (*r.duplicate_of + 1);
+    if (r.same_condition_as)
+      os << " same condition as rule " << (*r.same_condition_as + 1);
+    if (r.satisfiable && r.selectivity <= 1e-12)
+      os << " matches a negligible fraction of packets";
+    os << "\n";
+  }
+  (void)schema;
+  return os.str();
+}
+
+}  // namespace camus::compiler

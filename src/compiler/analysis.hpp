@@ -1,0 +1,48 @@
+// Static analysis of a subscription set, run by the controller before
+// compilation: flags unsatisfiable and duplicate rules, reports which
+// subjects each rule constrains, and estimates selectivity (the expected
+// fraction of uniform-random packets a rule matches). Operators use this
+// to catch dead subscriptions and to predict table pressure before
+// touching the switch.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "lang/dnf.hpp"
+#include "spec/schema.hpp"
+#include "util/result.hpp"
+
+namespace camus::compiler {
+
+struct RuleReport {
+  std::size_t index = 0;            // position in the input rule set
+  bool satisfiable = true;          // false: can never match any packet
+  std::size_t dnf_terms = 0;
+  std::vector<lang::Subject> subjects;  // constrained subjects, ordered
+  // Expected match fraction under independent uniform field values;
+  // union bound over DNF terms, clamped to 1.
+  double selectivity = 0.0;
+  // Index of an earlier rule with identical condition AND actions.
+  std::optional<std::size_t> duplicate_of;
+  // Index of an earlier rule with identical condition, different actions
+  // (legal — actions merge — but often a subscription mistake).
+  std::optional<std::size_t> same_condition_as;
+};
+
+struct RuleSetReport {
+  std::vector<RuleReport> rules;
+  std::size_t unsatisfiable_count = 0;
+  std::size_t duplicate_count = 0;
+  std::size_t total_dnf_terms = 0;
+
+  std::string to_string(const spec::Schema& schema) const;
+};
+
+util::Result<RuleSetReport> analyze_rules(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    std::size_t max_dnf_terms = 1 << 16);
+
+}  // namespace camus::compiler

@@ -1,0 +1,98 @@
+#include "compiler/compile.hpp"
+
+#include <sstream>
+
+#include "compiler/compress.hpp"
+#include "compiler/field_order.hpp"
+#include "lang/dnf.hpp"
+#include "lang/parser.hpp"
+#include "util/timer.hpp"
+
+namespace camus::compiler {
+
+using util::Result;
+using util::Timer;
+
+std::string CompileStats::to_string() const {
+  std::ostringstream os;
+  os << "rules=" << rule_count << " dnf_terms=" << dnf_terms
+     << " bdd_nodes=" << bdd_before_prune.node_count << "->"
+     << bdd_after_prune.node_count
+     << " entries=" << total_entries
+     << " mcast_groups=" << multicast_groups
+     << " time=" << t_total << "s"
+     << " (flatten=" << t_flatten << " build=" << t_build
+     << " union=" << t_union << " prune=" << t_prune
+     << " tables=" << t_tables << ")";
+  return os.str();
+}
+
+Result<Compiled> compile_rules(const spec::Schema& schema,
+                               const std::vector<lang::BoundRule>& rules,
+                               const CompileOptions& opts) {
+  Timer total;
+  Compiled out;
+  out.stats.rule_count = rules.size();
+
+  // 1. Normalize every rule into disjunctive form.
+  Timer t;
+  auto flat = lang::flatten_rules(rules, schema, opts.max_dnf_terms);
+  if (!flat.ok()) return flat.error();
+  for (const auto& r : flat.value()) out.stats.dnf_terms += r.terms.size();
+  out.stats.t_flatten = t.seconds();
+
+  // 2. Build one BDD per rule under the chosen variable order.
+  t.reset();
+  bdd::VarOrder order = choose_order(schema, flat.value(), opts.order);
+  out.manager = std::make_shared<bdd::BddManager>(std::move(order),
+                                                  bdd::DomainMap(schema));
+  bdd::BddManager& mgr = *out.manager;
+  std::vector<bdd::NodeRef> roots;
+  roots.reserve(flat.value().size());
+  for (const auto& r : flat.value()) roots.push_back(mgr.build_rule(r));
+  out.stats.t_build = t.seconds();
+
+  // 3. Union all rules (balanced tree; overlapping rules merge their
+  //    ActionSets at the terminals).
+  t.reset();
+  out.root = mgr.unite_all(std::move(roots), opts.semantic_prune);
+  out.stats.t_union = t.seconds();
+  out.stats.bdd_before_prune = mgr.stats(out.root);
+
+  // 4. Reduction (iii): remove predicates implied by ancestors.
+  t.reset();
+  if (opts.semantic_prune) out.root = mgr.prune(out.root);
+  out.stats.t_prune = t.seconds();
+  out.stats.bdd_after_prune = mgr.stats(out.root);
+
+  // 5. Algorithm 1: slice into per-field tables.
+  t.reset();
+  try {
+    TableGenResult gen = bdd_to_tables(mgr, out.root, schema, opts);
+    out.pipeline = std::move(gen.pipeline);
+    out.stats.tablegen = gen.stats;
+  } catch (const std::runtime_error& e) {
+    return util::Error{e.what()};
+  }
+
+  // 6. Optional resource optimization: domain compression.
+  if (opts.domain_compression) compress_domains(out.pipeline, opts);
+  out.stats.t_tables = t.seconds();
+
+  out.stats.total_entries = out.pipeline.total_entries();
+  out.stats.multicast_groups = out.pipeline.mcast.size();
+  out.stats.t_total = total.seconds();
+  return out;
+}
+
+Result<Compiled> compile_source(const spec::Schema& schema,
+                                std::string_view rules_text,
+                                const CompileOptions& opts) {
+  auto parsed = lang::parse_rules(rules_text);
+  if (!parsed.ok()) return parsed.error();
+  auto bound = lang::bind_rules(parsed.value(), schema);
+  if (!bound.ok()) return bound.error();
+  return compile_rules(schema, bound.value(), opts);
+}
+
+}  // namespace camus::compiler

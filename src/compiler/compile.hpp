@@ -1,0 +1,62 @@
+// The dynamic compilation step (paper §3): subscription rules -> DNF ->
+// multi-terminal BDD -> (Algorithm 1) -> match-action table entries and
+// multicast groups. Re-run whenever the subscription set changes.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "compiler/algorithm1.hpp"
+#include "compiler/options.hpp"
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+#include "table/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace camus::compiler {
+
+struct CompileStats {
+  std::size_t rule_count = 0;
+  std::size_t dnf_terms = 0;
+
+  bdd::BddStats bdd_before_prune;
+  bdd::BddStats bdd_after_prune;
+  TableGenStats tablegen;
+
+  std::uint64_t total_entries = 0;
+  std::size_t multicast_groups = 0;
+
+  // Wall-clock breakdown in seconds.
+  double t_flatten = 0;
+  double t_build = 0;
+  double t_union = 0;
+  double t_prune = 0;
+  double t_tables = 0;
+  double t_total = 0;
+
+  std::string to_string() const;
+};
+
+struct Compiled {
+  table::Pipeline pipeline;
+  CompileStats stats;
+
+  // The BDD is kept alive so callers can render it (quickstart example,
+  // debugging) without recompiling.
+  std::shared_ptr<bdd::BddManager> manager;
+  bdd::NodeRef root;
+};
+
+// Compiles already-bound rules.
+util::Result<Compiled> compile_rules(const spec::Schema& schema,
+                                     const std::vector<lang::BoundRule>& rules,
+                                     const CompileOptions& opts = {});
+
+// Parses, binds, and compiles subscription source text.
+util::Result<Compiled> compile_source(const spec::Schema& schema,
+                                      std::string_view rules_text,
+                                      const CompileOptions& opts = {});
+
+}  // namespace camus::compiler

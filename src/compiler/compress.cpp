@@ -1,0 +1,98 @@
+#include "compiler/compress.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace camus::compiler {
+
+using table::Entry;
+using table::Table;
+using table::ValueMatch;
+
+namespace {
+
+std::uint32_t bits_for(std::uint64_t max_value) {
+  std::uint32_t bits = 1;
+  while (bits < 64 && (max_value >> bits) != 0) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::size_t compress_domains(table::Pipeline& pipeline,
+                             const CompileOptions& opts) {
+  std::size_t compressed = 0;
+
+  for (Table& t : pipeline.tables) {
+    if (t.kind() != table::MatchKind::kRange) continue;
+    if (t.entries().size() < opts.compression_min_entries) continue;
+
+    const std::uint64_t umax =
+        t.width_bits() >= 64 ? ~0ULL : ((1ULL << t.width_bits()) - 1);
+
+    // Region boundaries: the low end of every match plus one past its high
+    // end. Cut 0 is always present so codes cover the whole domain.
+    std::set<std::uint64_t> cuts{0};
+    bool has_concrete = false;
+    for (const Entry& e : t.entries()) {
+      if (e.match.kind == ValueMatch::Kind::kAny) continue;
+      has_concrete = true;
+      cuts.insert(e.match.lo);
+      if (e.match.hi < umax) cuts.insert(e.match.hi + 1);
+    }
+    if (!has_concrete) continue;
+    if (cuts.size() > opts.compression_max_regions) continue;
+
+    const std::vector<std::uint64_t> bounds(cuts.begin(), cuts.end());
+    auto code_of = [&](std::uint64_t v) -> std::uint64_t {
+      auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+      return static_cast<std::uint64_t>(it - bounds.begin()) - 1;
+    };
+    const std::uint32_t code_bits = bits_for(bounds.size() - 1);
+
+    // Mapping stage: raw value ranges -> region code.
+    Table map(t.name() + "_map", t.subject(), table::MatchKind::kRange,
+              t.width_bits());
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      const std::uint64_t lo = bounds[i];
+      const std::uint64_t hi = i + 1 < bounds.size() ? bounds[i + 1] - 1 : umax;
+      Entry e;
+      e.state = table::kInitialState;
+      e.match = lo == hi ? ValueMatch::exact(lo) : ValueMatch::range(lo, hi);
+      e.next_state = static_cast<table::StateId>(i);
+      map.add_entry(e);
+    }
+
+    // Rewrite the main table to match codes. Every match boundary is a
+    // cut, so [lo, hi] maps exactly onto the contiguous code range
+    // [code(lo), code(hi)].
+    bool all_exact = true;
+    std::vector<Entry> rewritten;
+    rewritten.reserve(t.entries().size());
+    for (const Entry& e : t.entries()) {
+      Entry ne = e;
+      if (e.match.kind != ValueMatch::Kind::kAny) {
+        const std::uint64_t clo = code_of(e.match.lo);
+        const std::uint64_t chi = code_of(std::min(e.match.hi, umax));
+        ne.match = clo == chi ? ValueMatch::exact(clo)
+                              : ValueMatch::range(clo, chi);
+        if (clo != chi) all_exact = false;
+      }
+      rewritten.push_back(ne);
+    }
+
+    Table nt(t.name(), t.subject(),
+             all_exact ? table::MatchKind::kExact : table::MatchKind::kRange,
+             code_bits);
+    for (const Entry& e : rewritten) nt.add_entry(e);
+    t = std::move(nt);
+    pipeline.value_maps.push_back(std::move(map));
+    ++compressed;
+  }
+
+  if (compressed > 0) pipeline.finalize();
+  return compressed;
+}
+
+}  // namespace camus::compiler

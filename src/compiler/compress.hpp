@@ -1,0 +1,25 @@
+// Domain compression (paper resource optimization #3): "some fields will
+// probably have only a few unique range predicates. The compiler can map
+// values for that field and the corresponding range predicates onto a
+// lower-resolution domain (e.g., 8-bits)."
+//
+// For a range table whose entries induce at most compression_max_regions
+// distinct value regions, a mapping stage translates the raw field value
+// into a dense region code, and the main table is rewritten to match codes
+// on a narrow key. The mapping table pays one TCAM range entry per region
+// *once*, instead of per (state, range) pair, and the rewritten matches
+// need far fewer TCAM bits.
+#pragma once
+
+#include "compiler/options.hpp"
+#include "table/pipeline.hpp"
+
+namespace camus::compiler {
+
+// Rewrites eligible tables in place; appends mapping stages to
+// pipeline.value_maps and re-finalizes. Returns how many tables were
+// compressed.
+std::size_t compress_domains(table::Pipeline& pipeline,
+                             const CompileOptions& opts);
+
+}  // namespace camus::compiler

@@ -1,0 +1,63 @@
+#include "compiler/field_order.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace camus::compiler {
+
+using bdd::OrderHeuristic;
+using bdd::VarOrder;
+using lang::Subject;
+
+VarOrder choose_order(const spec::Schema& schema,
+                      const std::vector<lang::FlatRule>& rules,
+                      OrderHeuristic heuristic) {
+  // Base order: queryable fields in annotation order, then state variables.
+  std::vector<Subject> subjects;
+  for (auto fid : schema.query_order()) subjects.push_back(Subject::field(fid));
+  for (const auto& v : schema.state_vars())
+    subjects.push_back(Subject::state(v.id));
+
+  switch (heuristic) {
+    case OrderHeuristic::kDeclared:
+      break;
+    case OrderHeuristic::kExactFirst: {
+      std::stable_partition(subjects.begin(), subjects.end(), [&](Subject s) {
+        return s.kind == Subject::Kind::kField &&
+               schema.field(s.id).hint == spec::MatchHint::kExact;
+      });
+      break;
+    }
+    case OrderHeuristic::kSelectivityAsc:
+    case OrderHeuristic::kSelectivityDesc: {
+      // Distinct interval endpoints per subject across all rule terms — a
+      // proxy for how many BDD variables the subject contributes.
+      std::map<Subject, std::set<std::uint64_t>> constants;
+      for (const auto& r : rules) {
+        for (const auto& t : r.terms) {
+          for (const auto& [subj, set] : t.constraints) {
+            for (const auto& iv : set.intervals()) {
+              constants[subj].insert(iv.lo);
+              constants[subj].insert(iv.hi);
+            }
+          }
+        }
+      }
+      auto count = [&](Subject s) -> std::size_t {
+        auto it = constants.find(s);
+        return it == constants.end() ? 0 : it->second.size();
+      };
+      std::stable_sort(subjects.begin(), subjects.end(),
+                       [&](Subject a, Subject b) {
+                         return heuristic == OrderHeuristic::kSelectivityAsc
+                                    ? count(a) < count(b)
+                                    : count(a) > count(b);
+                       });
+      break;
+    }
+  }
+  return VarOrder(std::move(subjects));
+}
+
+}  // namespace camus::compiler

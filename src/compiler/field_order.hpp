@@ -1,0 +1,24 @@
+// Field-order selection for the BDD variable order (paper §3.2: "The
+// choice of an order can significantly impact the size of a BDD.
+// Determining an optimal field order is NP-hard, but simple heuristics
+// often work well in practice.").
+#pragma once
+
+#include <vector>
+
+#include "bdd/order.hpp"
+#include "compiler/options.hpp"
+#include "lang/dnf.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::compiler {
+
+// Builds the subject order for the BDD from the schema's queryable fields
+// and declared state variables, arranged per the heuristic. Selectivity
+// heuristics inspect the flattened rules to count distinct predicate
+// constants per subject.
+bdd::VarOrder choose_order(const spec::Schema& schema,
+                           const std::vector<lang::FlatRule>& rules,
+                           bdd::OrderHeuristic heuristic);
+
+}  // namespace camus::compiler

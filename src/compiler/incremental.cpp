@@ -1,0 +1,207 @@
+#include "compiler/incremental.hpp"
+
+#include <algorithm>
+
+#include "compiler/compress.hpp"
+#include "compiler/field_order.hpp"
+#include "lang/parser.hpp"
+#include "util/timer.hpp"
+
+namespace camus::compiler {
+
+using util::Error;
+using util::Result;
+
+IncrementalCompiler::IncrementalCompiler(spec::Schema schema,
+                                         CompileOptions opts)
+    : schema_(std::move(schema)), opts_(opts) {
+  // The variable order must be fixed for the manager's lifetime: nodes
+  // hash-consed under one order cannot be reused under another. Orders
+  // that depend on the rule set (selectivity) therefore use the declared
+  // order here.
+  auto heuristic = opts_.order;
+  if (heuristic == bdd::OrderHeuristic::kSelectivityAsc ||
+      heuristic == bdd::OrderHeuristic::kSelectivityDesc)
+    heuristic = bdd::OrderHeuristic::kDeclared;
+  manager_ = std::make_shared<bdd::BddManager>(
+      choose_order(schema_, {}, heuristic), bdd::DomainMap(schema_));
+}
+
+IncrementalCompiler::SubscriptionId IncrementalCompiler::add(
+    lang::BoundRule rule) {
+  const SubscriptionId id = next_id_++;
+  rules_.emplace(id, std::move(rule));
+  return id;
+}
+
+Result<IncrementalCompiler::SubscriptionId> IncrementalCompiler::add_source(
+    std::string_view rule_text) {
+  auto parsed = lang::parse_rule(rule_text);
+  if (!parsed.ok()) return parsed.error();
+  auto bound = lang::bind_rule(parsed.value(), schema_);
+  if (!bound.ok()) return bound.error();
+  return add(std::move(bound).take());
+}
+
+bool IncrementalCompiler::remove(SubscriptionId id) {
+  rule_roots_.erase(id);
+  return rules_.erase(id) > 0;
+}
+
+std::set<IncrementalCompiler::FieldKey> IncrementalCompiler::field_keys(
+    const table::Pipeline& pipe) {
+  std::set<FieldKey> keys;
+  auto collect = [&](const table::Table& t) {
+    for (const auto& e : t.entries()) {
+      keys.emplace(t.name(), e.state,
+                   static_cast<std::uint8_t>(e.match.kind), e.match.lo,
+                   e.match.hi, e.next_state);
+    }
+  };
+  for (const auto& t : pipe.value_maps) collect(t);
+  for (const auto& t : pipe.tables) collect(t);
+  return keys;
+}
+
+std::set<IncrementalCompiler::LeafKey> IncrementalCompiler::leaf_keys(
+    const table::Pipeline& pipe) {
+  std::set<LeafKey> keys;
+  // Multicast group ids are renumbered per compilation; diffing on the
+  // action set keeps renumbering from showing up as churn.
+  for (const auto& e : pipe.leaf.entries()) keys.emplace(e.state, e.actions);
+  return keys;
+}
+
+std::string IncrementalCompiler::EntryOp::to_string() const {
+  std::string s = kind == Kind::kAdd ? "add " : "del ";
+  s += table + " state=" + std::to_string(state);
+  if (table == "leaf") {
+    s += " => " + actions.to_string();
+  } else {
+    s += " match=" + match.to_string() +
+         " => next=" + std::to_string(next_state);
+  }
+  return s;
+}
+
+std::size_t IncrementalCompiler::Delta::adds() const {
+  return static_cast<std::size_t>(
+      std::count_if(ops.begin(), ops.end(), [](const EntryOp& op) {
+        return op.kind == EntryOp::Kind::kAdd;
+      }));
+}
+
+std::size_t IncrementalCompiler::Delta::removes() const {
+  return ops.size() - adds();
+}
+
+Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
+  util::Timer timer;
+
+  // Build (or reuse) the per-subscription rule BDDs.
+  std::vector<bdd::NodeRef> roots;
+  roots.reserve(rules_.size());
+  for (const auto& [id, rule] : rules_) {
+    auto it = rule_roots_.find(id);
+    if (it == rule_roots_.end()) {
+      auto flat = lang::flatten_rule(rule, schema_, opts_.max_dnf_terms);
+      if (!flat.ok()) {
+        Error e = flat.error();
+        e.message = "subscription " + std::to_string(id) + ": " + e.message;
+        return e;
+      }
+      it = rule_roots_.emplace(id, manager_->build_rule(flat.value())).first;
+    }
+    roots.push_back(it->second);
+  }
+
+  // Union (persistent memo caches make repeats cheap) and regenerate
+  // tables with stable state ids.
+  bdd::NodeRef root = manager_->unite_all(std::move(roots),
+                                          opts_.semantic_prune);
+  if (opts_.semantic_prune) root = manager_->prune(root);
+
+  // Pin the (non-terminal) root to the initial state id. The root node
+  // changes on almost every commit, but its role — "pipeline entry" — does
+  // not; without pinning, every first-table entry would be renumbered and
+  // show up as churn.
+  if (!root.is_terminal()) {
+    if (pinned_root_raw_ && *pinned_root_raw_ != root.raw())
+      states_.ids.erase(*pinned_root_raw_);
+    states_.ids.insert_or_assign(root.raw(), table::kInitialState);
+    if (states_.next == table::kInitialState) ++states_.next;
+    pinned_root_raw_ = root.raw();
+  }
+
+  TableGenResult gen;
+  try {
+    gen = bdd_to_tables(*manager_, root, schema_, opts_, &states_);
+  } catch (const std::runtime_error& e) {
+    return Error{e.what()};
+  }
+  if (opts_.domain_compression)
+    compress_domains(gen.pipeline, opts_);
+
+  // Diff against the installed pipeline.
+  Delta delta;
+  const std::set<FieldKey> new_field = field_keys(gen.pipeline);
+  const std::set<LeafKey> new_leaf = leaf_keys(gen.pipeline);
+  const std::set<FieldKey> old_field =
+      installed_ ? field_keys(*installed_) : std::set<FieldKey>{};
+  const std::set<LeafKey> old_leaf =
+      installed_ ? leaf_keys(*installed_) : std::set<LeafKey>{};
+
+  auto field_op = [](EntryOp::Kind kind, const FieldKey& k) {
+    EntryOp op;
+    op.kind = kind;
+    op.table = std::get<0>(k);
+    op.state = std::get<1>(k);
+    op.match.kind =
+        static_cast<table::ValueMatch::Kind>(std::get<2>(k));
+    op.match.lo = std::get<3>(k);
+    op.match.hi = std::get<4>(k);
+    op.next_state = std::get<5>(k);
+    return op;
+  };
+  for (const auto& k : new_field) {
+    if (!old_field.count(k))
+      delta.ops.push_back(field_op(EntryOp::Kind::kAdd, k));
+    else
+      ++delta.reused_entries;
+  }
+  for (const auto& k : old_field) {
+    if (!new_field.count(k))
+      delta.ops.push_back(field_op(EntryOp::Kind::kRemove, k));
+  }
+  auto leaf_op = [](EntryOp::Kind kind, const LeafKey& k) {
+    EntryOp op;
+    op.kind = kind;
+    op.table = "leaf";
+    op.state = k.first;
+    op.actions = k.second;
+    return op;
+  };
+  for (const auto& k : new_leaf) {
+    if (!old_leaf.count(k))
+      delta.ops.push_back(leaf_op(EntryOp::Kind::kAdd, k));
+    else
+      ++delta.reused_entries;
+  }
+  for (const auto& k : old_leaf) {
+    if (!new_leaf.count(k))
+      delta.ops.push_back(leaf_op(EntryOp::Kind::kRemove, k));
+  }
+
+  delta.total_entries = new_field.size() + new_leaf.size();
+  installed_ = std::move(gen.pipeline);
+  delta.compile_seconds = timer.seconds();
+  return delta;
+}
+
+const table::Pipeline& IncrementalCompiler::pipeline() const {
+  if (!installed_)
+    throw std::logic_error("IncrementalCompiler::pipeline before commit()");
+  return *installed_;
+}
+
+}  // namespace camus::compiler

@@ -1,0 +1,107 @@
+// Incremental compilation — the extension the paper sketches in §3:
+// "Highly dynamic queries would require an incremental algorithm, both to
+// reduce compilation time and to minimize the number of state updates in
+// the network. ... BDDs — our primary internal data structure — can
+// leverage memoization, and state updates can benefit from table entry
+// re-use."
+//
+// Both halves are implemented here:
+//  - Memoization: one persistent BddManager spans all commits, so the
+//    hash-consed unique table and union/prune memo caches carry over;
+//    rebuilding the combined BDD after a small change is mostly cache
+//    lookups. Per-subscription rule BDDs are also cached.
+//  - Entry re-use: a persistent StateAllocator keeps BDD-node -> state-id
+//    assignments stable across commits, so unchanged regions of the BDD
+//    produce byte-identical table entries. commit() returns the exact
+//    add/remove delta against the previously installed tables — the
+//    control-plane update cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "compiler/algorithm1.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/options.hpp"
+#include "spec/schema.hpp"
+#include "util/result.hpp"
+
+namespace camus::compiler {
+
+class IncrementalCompiler {
+ public:
+  using SubscriptionId = std::uint64_t;
+
+  explicit IncrementalCompiler(spec::Schema schema,
+                               CompileOptions opts = {});
+
+  // Registers a subscription; takes effect at the next commit().
+  SubscriptionId add(lang::BoundRule rule);
+  util::Result<SubscriptionId> add_source(std::string_view rule_text);
+
+  // Unregisters; returns false for unknown ids.
+  bool remove(SubscriptionId id);
+
+  std::size_t subscription_count() const noexcept { return rules_.size(); }
+
+  // One control-plane operation: install or delete one entry.
+  struct EntryOp {
+    enum class Kind : std::uint8_t { kAdd, kRemove };
+    Kind kind = Kind::kAdd;
+    std::string table;  // field table name, or "leaf"
+    table::StateId state = 0;
+    table::ValueMatch match;        // unused for leaf ops
+    table::StateId next_state = 0;  // unused for leaf ops
+    lang::ActionSet actions;        // leaf ops only
+
+    std::string to_string() const;
+  };
+
+  struct Delta {
+    std::vector<EntryOp> ops;
+    std::size_t reused_entries = 0;  // entries identical to last commit
+    std::size_t total_entries = 0;   // entries in the new pipeline
+    double compile_seconds = 0;
+
+    std::size_t adds() const;
+    std::size_t removes() const;
+  };
+
+  // Recompiles and returns the delta against the previous commit. The
+  // first commit reports every entry as an add.
+  util::Result<Delta> commit();
+
+  // The currently installed pipeline (valid after a successful commit).
+  const table::Pipeline& pipeline() const;
+
+  const spec::Schema& schema() const noexcept { return schema_; }
+
+ private:
+  // Canonical entry keys for diffing.
+  using FieldKey = std::tuple<std::string, table::StateId, std::uint8_t,
+                              std::uint64_t, std::uint64_t, table::StateId>;
+  using LeafKey = std::pair<table::StateId, lang::ActionSet>;
+
+  static std::set<FieldKey> field_keys(const table::Pipeline& pipe);
+  static std::set<LeafKey> leaf_keys(const table::Pipeline& pipe);
+
+  spec::Schema schema_;
+  CompileOptions opts_;
+
+  std::map<SubscriptionId, lang::BoundRule> rules_;
+  SubscriptionId next_id_ = 1;
+
+  // Persistent compilation state (see file comment).
+  std::shared_ptr<bdd::BddManager> manager_;
+  std::map<SubscriptionId, bdd::NodeRef> rule_roots_;
+  StateAllocator states_;
+  std::optional<std::uint32_t> pinned_root_raw_;
+
+  std::optional<table::Pipeline> installed_;
+};
+
+}  // namespace camus::compiler

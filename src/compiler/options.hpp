@@ -1,0 +1,49 @@
+// Compilation options. Defaults reproduce the paper's configuration; the
+// switches exist for the ablation benchmarks (bench/ablation_*).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bdd/order.hpp"
+
+namespace camus::compiler {
+
+struct CompileOptions {
+  // Field ordering heuristic for the BDD variable order.
+  bdd::OrderHeuristic order = bdd::OrderHeuristic::kDeclared;
+
+  // Reduction (iii): domain-semantic pruning of implied predicates.
+  // Reductions (i) and (ii) are structural invariants of the BDD manager
+  // and cannot be disabled.
+  bool semantic_prune = true;
+
+  // Emit explicit entries for paths that reach the drop terminal (the
+  // "(state, *) -> drop" rows of Figure 4). Off by default: a lookup miss
+  // already drops at the leaf, so these entries are redundant — but they
+  // make the printed tables match the paper figure exactly.
+  bool emit_drop_entries = false;
+
+  // Choose between per-interval range entries and a wildcard fallback
+  // entry per state, whichever needs fewer entries (always sound; mirrors
+  // the '*' rows in Figure 4).
+  bool wildcard_fallback = true;
+
+  // Use exact-match (SRAM) tables when every entry is a point, even if the
+  // field was annotated @query_field (paper resource optimization #2).
+  bool exact_match_optimization = true;
+
+  // Map range fields with few distinct regions onto a narrow code domain
+  // via a mapping stage (paper resource optimization #3).
+  bool domain_compression = false;
+  std::uint32_t compression_max_regions = 256;
+  // Only compress a table when it has at least this many entries;
+  // compressing tiny tables adds a stage for no TCAM win.
+  std::size_t compression_min_entries = 8;
+
+  // Guard rails.
+  std::size_t max_dnf_terms = 1 << 16;
+  std::size_t max_paths_per_component = 10'000'000;
+};
+
+}  // namespace camus::compiler

@@ -1,0 +1,45 @@
+// The static compilation step (paper §3.1): generates the P4 program for
+// an application — packet parser, header definitions, metadata, the
+// match-action table skeletons in BDD field order, and the register blocks
+// backing state variables. Performed once per application; the dynamic
+// step then populates the tables at runtime.
+//
+// Emission targets P4-16 / v1model syntax. There is no P4 toolchain in
+// this environment, so the output is validated structurally by tests and
+// executed semantically by the switch simulator, which consumes the same
+// Pipeline IR the P4 program describes.
+#pragma once
+
+#include <string>
+
+#include "spec/schema.hpp"
+#include "table/pipeline.hpp"
+
+namespace camus::compiler {
+
+struct P4Options {
+  std::string program_name = "camus";
+  // Number of register cells preallocated per state variable block
+  // (paper: "the compiler statically preallocates a block of registers").
+  std::uint32_t register_block_size = 1024;
+};
+
+// Generates the full P4-16 (v1model) program for the schema. If `pipeline`
+// is non-null, table size annotations reflect the compiled entry counts.
+std::string generate_p4(const spec::Schema& schema,
+                        const table::Pipeline* pipeline = nullptr,
+                        const P4Options& opts = {});
+
+// Generates the program in P4_14 syntax — the dialect the paper's
+// prototype targeted (its specs extend P4_14 header_type declarations, and
+// the compiler consumed them through the P4V library).
+std::string generate_p4_14(const spec::Schema& schema,
+                           const table::Pipeline* pipeline = nullptr,
+                           const P4Options& opts = {});
+
+// Dumps the dynamic step's output: one control-plane entry per line in a
+// bmv2/P4Runtime-inspired text format. Deterministic; used as the exchange
+// format between the compiler and the switch (simulator).
+std::string generate_control_plane_rules(const table::Pipeline& pipeline);
+
+}  // namespace camus::compiler

@@ -1,0 +1,96 @@
+// Abstract syntax for the packet-subscription language (paper Figure 1):
+//
+//   r ::= c : a                       condition-action rule
+//   c ::= c1 and c2 | c1 or c2 | !c | e
+//   e ::= p > n | p < n | p == n     (plus desugared !=, <=, >=)
+//   p ::= header.field | state_var | avg(field) | sum(field)
+//   a ::= a1; a2 | fwd(p0, ..., pk) | drop() | update(state_var)
+//
+// This header defines the *unbound* AST produced by the parser; binding
+// against a spec::Schema (bound.hpp) resolves paths to field/state ids and
+// symbol literals to their wire encodings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace camus::lang {
+
+// Comparison operators as written in source. Binding desugars kNe/kLe/kGe
+// into negations of the three canonical operators the paper uses.
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kGt, kLe, kGe };
+
+std::string to_string(CmpOp op);
+
+struct Literal {
+  enum class Kind : std::uint8_t {
+    kInt,     // 42, or a dotted-quad IPv4 address folded to uint32
+    kSymbol,  // GOOGL or "GOOGL"
+  };
+  Kind kind = Kind::kInt;
+  std::uint64_t int_value = 0;  // valid when kind == kInt
+  std::string text;             // valid when kind == kSymbol
+
+  std::string to_string() const;
+};
+
+// Aggregation macro applied to a field in subject position: avg(price).
+enum class AggMacro : std::uint8_t { kAvg, kSum, kMin, kMax };
+
+struct PredExpr {
+  std::string subject;              // field path or state-variable name
+  std::optional<AggMacro> macro;    // set for avg(...) / sum(...)
+  CmpOp op = CmpOp::kEq;
+  Literal literal;
+
+  std::string to_string() const;
+};
+
+struct Cond;
+using CondPtr = std::shared_ptr<const Cond>;
+
+struct Cond {
+  enum class Kind : std::uint8_t { kAnd, kOr, kNot, kAtom };
+  Kind kind = Kind::kAtom;
+  CondPtr lhs;     // kAnd/kOr: left; kNot: operand
+  CondPtr rhs;     // kAnd/kOr: right
+  PredExpr atom;   // kAtom
+
+  static CondPtr make_atom(PredExpr p);
+  static CondPtr make_and(CondPtr a, CondPtr b);
+  static CondPtr make_or(CondPtr a, CondPtr b);
+  static CondPtr make_not(CondPtr a);
+
+  std::string to_string() const;
+};
+
+struct FwdAction {
+  std::vector<std::uint16_t> ports;
+};
+
+struct DropAction {};
+
+struct UpdateAction {
+  std::string state_var;
+};
+
+struct Action {
+  enum class Kind : std::uint8_t { kFwd, kDrop, kUpdate };
+  Kind kind = Kind::kFwd;
+  FwdAction fwd;        // kFwd
+  UpdateAction update;  // kUpdate
+
+  std::string to_string() const;
+};
+
+struct Rule {
+  CondPtr cond;
+  std::vector<Action> actions;
+
+  std::string to_string() const;
+};
+
+}  // namespace camus::lang

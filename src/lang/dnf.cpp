@@ -1,0 +1,190 @@
+#include "lang/dnf.hpp"
+
+#include <sstream>
+
+namespace camus::lang {
+
+using util::Error;
+using util::IntervalSet;
+using util::Result;
+
+std::string Conjunction::to_string() const {
+  if (is_true()) return "true";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [subj, set] : constraints) {
+    if (!first) os << " and ";
+    first = false;
+    os << (subj.kind == Subject::Kind::kField ? "f" : "v") << subj.id
+       << " in " << set.to_string();
+  }
+  return os.str();
+}
+
+IntervalSet predicate_values(RelOp op, std::uint64_t value, bool positive,
+                             std::uint64_t umax) {
+  IntervalSet s;
+  switch (op) {
+    case RelOp::kEq:
+      s = IntervalSet::point(value);
+      break;
+    case RelOp::kLt:
+      s = IntervalSet::less_than(value);
+      break;
+    case RelOp::kGt:
+      s = IntervalSet::greater_than(value, umax);
+      break;
+  }
+  s = s.intersect(IntervalSet::all(umax));
+  return positive ? s : s.complement(umax);
+}
+
+namespace {
+
+// Merges an atomic constraint into a conjunction. Returns false if the
+// result is unsatisfiable.
+bool add_constraint(Conjunction& c, Subject subj, const IntervalSet& vals,
+                    std::uint64_t umax) {
+  if (vals.is_all(umax)) return true;  // no information
+  auto it = c.constraints.find(subj);
+  if (it == c.constraints.end()) {
+    if (vals.is_empty()) return false;
+    c.constraints.emplace(subj, vals);
+    return true;
+  }
+  IntervalSet merged = it->second.intersect(vals);
+  if (merged.is_empty()) return false;
+  if (merged.is_all(umax)) {
+    c.constraints.erase(it);
+  } else {
+    it->second = std::move(merged);
+  }
+  return true;
+}
+
+struct DnfBuilder {
+  const spec::Schema& schema;
+  std::size_t max_terms;
+
+  // Recursive DNF with negation tracked by `positive`.
+  Result<std::vector<Conjunction>> build(const BoundCond& c, bool positive) {
+    switch (c.kind) {
+      case BoundCond::Kind::kTrue:
+        return constant(positive);
+      case BoundCond::Kind::kFalse:
+        return constant(!positive);
+      case BoundCond::Kind::kNot:
+        return build(*c.lhs, !positive);
+      case BoundCond::Kind::kAtom: {
+        const std::uint64_t umax = subject_umax(c.atom.subject, schema);
+        const IntervalSet vals =
+            predicate_values(c.atom.op, c.atom.value, positive, umax);
+        if (vals.is_empty()) return std::vector<Conjunction>{};
+        Conjunction conj;
+        if (!vals.is_all(umax)) conj.constraints.emplace(c.atom.subject, vals);
+        return std::vector<Conjunction>{std::move(conj)};
+      }
+      case BoundCond::Kind::kAnd:
+      case BoundCond::Kind::kOr: {
+        // De Morgan under negation: !(a and b) == !a or !b.
+        const bool is_and = (c.kind == BoundCond::Kind::kAnd) == positive;
+        auto a = build(*c.lhs, positive);
+        if (!a.ok()) return a;
+        auto b = build(*c.rhs, positive);
+        if (!b.ok()) return b;
+        if (is_and) return conjoin(a.value(), b.value());
+        auto out = std::move(a).take();
+        auto& bv = b.value();
+        out.insert(out.end(), bv.begin(), bv.end());
+        if (out.size() > max_terms) return too_big();
+        return out;
+      }
+    }
+    return Error{"unreachable condition kind"};
+  }
+
+  std::vector<Conjunction> constant(bool v) const {
+    if (!v) return {};
+    return {Conjunction{}};  // single always-true term
+  }
+
+  Error too_big() const {
+    return Error{"DNF expansion exceeds " + std::to_string(max_terms) +
+                 " terms"};
+  }
+
+  Result<std::vector<Conjunction>> conjoin(
+      const std::vector<Conjunction>& as, const std::vector<Conjunction>& bs) {
+    std::vector<Conjunction> out;
+    for (const auto& a : as) {
+      for (const auto& b : bs) {
+        Conjunction merged = a;
+        bool sat = true;
+        for (const auto& [subj, vals] : b.constraints) {
+          if (!add_constraint(merged, subj, vals,
+                              subject_umax(subj, schema))) {
+            sat = false;
+            break;
+          }
+        }
+        if (!sat) continue;
+        out.push_back(std::move(merged));
+        if (out.size() > max_terms) return too_big();
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Conjunction>> to_dnf(const BoundCondPtr& cond,
+                                        const spec::Schema& schema,
+                                        std::size_t max_terms) {
+  if (!cond) return Error{"null condition"};
+  DnfBuilder b{schema, max_terms};
+  return b.build(*cond, /*positive=*/true);
+}
+
+Result<FlatRule> flatten_rule(const BoundRule& rule, const spec::Schema& schema,
+                              std::size_t max_terms) {
+  auto terms = to_dnf(rule.cond, schema, max_terms);
+  if (!terms.ok()) return terms.error();
+  FlatRule out;
+  out.terms = std::move(terms).take();
+  out.actions = rule.actions;
+  return out;
+}
+
+Result<std::vector<FlatRule>> flatten_rules(const std::vector<BoundRule>& rules,
+                                            const spec::Schema& schema,
+                                            std::size_t max_terms) {
+  std::vector<FlatRule> out;
+  out.reserve(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    auto r = flatten_rule(rules[i], schema, max_terms);
+    if (!r.ok()) {
+      Error e = r.error();
+      e.message = "rule " + std::to_string(i + 1) + ": " + e.message;
+      return e;
+    }
+    out.push_back(std::move(r).take());
+  }
+  return out;
+}
+
+bool eval_conjunction(const Conjunction& c, const Env& env) {
+  for (const auto& [subj, set] : c.constraints) {
+    if (!set.contains(env.get(subj))) return false;
+  }
+  return true;
+}
+
+bool eval_flat_rule(const FlatRule& r, const Env& env) {
+  for (const auto& t : r.terms) {
+    if (eval_conjunction(t, env)) return true;
+  }
+  return false;
+}
+
+}  // namespace camus::lang

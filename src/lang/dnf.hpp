@@ -1,0 +1,60 @@
+// Disjunctive normal form. The compiler's first step (paper §3.2):
+// "subscription rules are first normalized into disjunctive form, yielding
+// a set of independent rules in which the condition in each rule consists
+// of a conjunction of atomic predicates."
+//
+// A conjunction is kept in canonical form: one IntervalSet per subject —
+// the intersection of all atomic predicates on that subject over the
+// subject's value domain [0, umax]. Unsatisfiable conjunctions (empty
+// intersection) are dropped; always-true constraints are elided.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+#include "util/interval.hpp"
+#include "util/result.hpp"
+
+namespace camus::lang {
+
+struct Conjunction {
+  // Subjects are ordered by Subject's comparison; every IntervalSet is
+  // non-empty and a strict subset of the subject's full domain.
+  std::map<Subject, util::IntervalSet> constraints;
+
+  bool is_true() const noexcept { return constraints.empty(); }
+
+  std::string to_string() const;
+};
+
+// A rule after DNF normalization: the packet matches if any term matches.
+struct FlatRule {
+  std::vector<Conjunction> terms;
+  ActionSet actions;
+};
+
+// Converts a bound condition to DNF. Fails if the expansion exceeds
+// max_terms (guards against pathological (a1|b1)&(a2|b2)&... blowup).
+util::Result<std::vector<Conjunction>> to_dnf(const BoundCondPtr& cond,
+                                              const spec::Schema& schema,
+                                              std::size_t max_terms = 1 << 16);
+
+util::Result<FlatRule> flatten_rule(const BoundRule& rule,
+                                    const spec::Schema& schema,
+                                    std::size_t max_terms = 1 << 16);
+
+util::Result<std::vector<FlatRule>> flatten_rules(
+    const std::vector<BoundRule>& rules, const spec::Schema& schema,
+    std::size_t max_terms = 1 << 16);
+
+bool eval_conjunction(const Conjunction& c, const Env& env);
+bool eval_flat_rule(const FlatRule& r, const Env& env);
+
+// The IntervalSet of values satisfying one (possibly negated) atomic
+// predicate over [0, umax].
+util::IntervalSet predicate_values(RelOp op, std::uint64_t value,
+                                   bool positive, std::uint64_t umax);
+
+}  // namespace camus::lang

@@ -1,0 +1,222 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace camus::lang {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t pos = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t i = 0; i < n && pos < src.size(); ++i) {
+      if (src[pos] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++pos;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return pos + off < src.size() ? src[pos + off] : '\0';
+  };
+  auto push = [&](Token::Kind k, std::string text, std::uint64_t num = 0) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.number = num;
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+  };
+  auto fail = [&](std::string msg) {
+    return util::Error{std::move(msg), line, col};
+  };
+
+  while (pos < src.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (pos < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const int tl = line, tc = col;
+      std::string s;
+      while (pos < src.size() && is_ident_char(peek())) {
+        s.push_back(peek());
+        advance();
+      }
+      Token t;
+      t.line = tl;
+      t.column = tc;
+      if (s == "and") {
+        t.kind = Token::Kind::kAnd;
+      } else if (s == "or") {
+        t.kind = Token::Kind::kOr;
+      } else if (s == "not") {
+        t.kind = Token::Kind::kNot;
+      } else {
+        t.kind = Token::Kind::kIdent;
+      }
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Number, or IPv4 dotted quad (distinguished by <digits>.<digits>).
+      const int tl = line, tc = col;
+      std::uint64_t v = 0;
+      std::string text;
+      bool overflow = false;
+      while (pos < src.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        const std::uint64_t d = static_cast<std::uint64_t>(peek() - '0');
+        if (v > (~0ULL - d) / 10) overflow = true;
+        v = v * 10 + d;
+        text.push_back(peek());
+        advance();
+      }
+      if (overflow) return fail("integer literal overflows 64 bits");
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        // IPv4 literal: exactly four octets.
+        std::uint64_t addr = v;
+        if (v > 255) return fail("invalid IPv4 literal");
+        text.push_back('.');
+        advance();  // consume '.'
+        int octets = 1;
+        for (;;) {
+          std::uint64_t o = 0;
+          if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("invalid IPv4 literal");
+          while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            o = o * 10 + static_cast<std::uint64_t>(peek() - '0');
+            if (o > 255) return fail("IPv4 octet out of range");
+            text.push_back(peek());
+            advance();
+          }
+          addr = (addr << 8) | o;
+          ++octets;
+          if (peek() == '.' &&
+              std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            text.push_back('.');
+            advance();
+            continue;
+          }
+          break;
+        }
+        if (octets != 4) return fail("IPv4 literal must have four octets");
+        Token t;
+        t.kind = Token::Kind::kIpv4;
+        t.text = std::move(text);
+        t.number = addr;
+        t.line = tl;
+        t.column = tc;
+        out.push_back(std::move(t));
+      } else {
+        Token t;
+        t.kind = Token::Kind::kNumber;
+        t.text = std::move(text);
+        t.number = v;
+        t.line = tl;
+        t.column = tc;
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+    if (c == '"') {
+      const int tl = line, tc = col;
+      advance();
+      std::string s;
+      while (pos < src.size() && peek() != '"' && peek() != '\n') {
+        s.push_back(peek());
+        advance();
+      }
+      if (peek() != '"') return fail("unterminated string literal");
+      advance();
+      Token t;
+      t.kind = Token::Kind::kString;
+      t.text = std::move(s);
+      t.line = tl;
+      t.column = tc;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '=':
+        if (peek(1) == '=') {
+          push(Token::Kind::kCmp, "==");
+          advance(2);
+        } else {
+          push(Token::Kind::kAssign, "=");
+          advance();
+        }
+        break;
+      case '!':
+        if (peek(1) == '=') {
+          push(Token::Kind::kCmp, "!=");
+          advance(2);
+        } else {
+          push(Token::Kind::kNot, "!");
+          advance();
+        }
+        break;
+      case '<':
+        if (peek(1) == '=') {
+          push(Token::Kind::kCmp, "<=");
+          advance(2);
+        } else {
+          push(Token::Kind::kCmp, "<");
+          advance();
+        }
+        break;
+      case '>':
+        if (peek(1) == '=') {
+          push(Token::Kind::kCmp, ">=");
+          advance(2);
+        } else {
+          push(Token::Kind::kCmp, ">");
+          advance();
+        }
+        break;
+      case '&':
+        if (peek(1) != '&') return fail("expected '&&'");
+        push(Token::Kind::kAnd, "&&");
+        advance(2);
+        break;
+      case '|':
+        if (peek(1) != '|') return fail("expected '||'");
+        push(Token::Kind::kOr, "||");
+        advance(2);
+        break;
+      case '(': push(Token::Kind::kLParen, "("); advance(); break;
+      case ')': push(Token::Kind::kRParen, ")"); advance(); break;
+      case ':': push(Token::Kind::kColon, ":"); advance(); break;
+      case ';': push(Token::Kind::kSemi, ";"); advance(); break;
+      case ',': push(Token::Kind::kComma, ","); advance(); break;
+      case '.': push(Token::Kind::kDot, "."); advance(); break;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(Token::Kind::kEnd, "");
+  return out;
+}
+
+}  // namespace camus::lang

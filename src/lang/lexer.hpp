@@ -1,0 +1,45 @@
+// Tokenizer for the subscription language. Kept separate from the parser so
+// tests can exercise token-level behaviour (IPv4 literals, quoted symbols,
+// operator spellings) in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace camus::lang {
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kIdent,     // stock, add_order, GOOGL
+    kNumber,    // 42
+    kString,    // "GOOGL"
+    kIpv4,      // 192.168.0.1 (value folded into number)
+    kCmp,       // == != < > <= >=
+    kAnd,       // and &&
+    kOr,        // or ||
+    kNot,       // not !
+    kLParen,    // (
+    kRParen,    // )
+    kColon,     // :
+    kSemi,      // ;
+    kComma,     // ,
+    kDot,       // .
+    kAssign,    // = (for "var = update()" form)
+    kEnd,
+  };
+
+  Kind kind = Kind::kEnd;
+  std::string text;            // source spelling
+  std::uint64_t number = 0;    // kNumber / kIpv4
+  int line = 1;
+  int column = 1;
+};
+
+// Tokenizes the whole input. '#' and '//' start line comments.
+util::Result<std::vector<Token>> tokenize(std::string_view src);
+
+}  // namespace camus::lang

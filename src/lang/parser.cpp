@@ -1,0 +1,317 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+
+namespace camus::lang {
+namespace {
+
+using util::Error;
+using util::Result;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Rule> rule_all() {
+    auto r = rule();
+    if (!r.ok()) return r.error();
+    if (!at_end()) return fail("trailing input after rule");
+    return r;
+  }
+
+  Result<std::vector<Rule>> rules_all() {
+    std::vector<Rule> out;
+    while (!at_end()) {
+      auto r = rule();
+      if (!r.ok()) return r.error();
+      out.push_back(std::move(r).take());
+    }
+    return out;
+  }
+
+  Result<CondPtr> cond_all() {
+    auto c = cond();
+    if (!c.ok()) return c.error();
+    if (!at_end()) return fail("trailing input after condition");
+    return c;
+  }
+
+ private:
+  const Token& cur() const { return toks_[i_]; }
+  const Token& peek(std::size_t off = 1) const {
+    return toks_[std::min(i_ + off, toks_.size() - 1)];
+  }
+  bool at_end() const { return cur().kind == Token::Kind::kEnd; }
+  void bump() {
+    if (!at_end()) ++i_;
+  }
+  bool eat(Token::Kind k) {
+    if (cur().kind != k) return false;
+    bump();
+    return true;
+  }
+  Error fail(std::string msg) const {
+    return Error{std::move(msg), cur().line, cur().column};
+  }
+
+  Result<Rule> rule() {
+    auto c = cond();
+    if (!c.ok()) return c.error();
+    if (!eat(Token::Kind::kColon)) return fail("expected ':' before actions");
+    Rule r;
+    r.cond = std::move(c).take();
+    for (;;) {
+      auto a = action();
+      if (!a.ok()) return a.error();
+      r.actions.push_back(std::move(a).take());
+      if (!eat(Token::Kind::kSemi)) break;
+    }
+    if (r.actions.empty()) return fail("rule has no actions");
+    return r;
+  }
+
+  Result<CondPtr> cond() {
+    auto lhs = and_expr();
+    if (!lhs.ok()) return lhs;
+    CondPtr acc = std::move(lhs).take();
+    while (eat(Token::Kind::kOr)) {
+      auto rhs = and_expr();
+      if (!rhs.ok()) return rhs;
+      acc = Cond::make_or(std::move(acc), std::move(rhs).take());
+    }
+    return acc;
+  }
+
+  Result<CondPtr> and_expr() {
+    auto lhs = unary();
+    if (!lhs.ok()) return lhs;
+    CondPtr acc = std::move(lhs).take();
+    while (eat(Token::Kind::kAnd)) {
+      auto rhs = unary();
+      if (!rhs.ok()) return rhs;
+      acc = Cond::make_and(std::move(acc), std::move(rhs).take());
+    }
+    return acc;
+  }
+
+  Result<CondPtr> unary() {
+    if (eat(Token::Kind::kNot)) {
+      auto inner = unary();
+      if (!inner.ok()) return inner;
+      return Cond::make_not(std::move(inner).take());
+    }
+    if (eat(Token::Kind::kLParen)) {
+      auto inner = cond();
+      if (!inner.ok()) return inner;
+      if (!eat(Token::Kind::kRParen)) return fail("expected ')'");
+      return inner;
+    }
+    return pred_or_in();
+  }
+
+  // pred, or the "subject in (v1, v2, ...)" set-membership sugar, which
+  // expands to a disjunction of equality atoms.
+  Result<CondPtr> pred_or_in() {
+    // Detect the 'in' form: subject path followed by the identifier 'in'.
+    const std::size_t mark = i_;
+    if (cur().kind == Token::Kind::kIdent) {
+      auto path = field_path();
+      if (path.ok() && cur().kind == Token::Kind::kIdent &&
+          cur().text == "in") {
+        bump();  // 'in'
+        if (!eat(Token::Kind::kLParen))
+          return fail("expected '(' after 'in'");
+        CondPtr acc;
+        for (;;) {
+          PredExpr p;
+          p.subject = path.value();
+          p.op = CmpOp::kEq;
+          switch (cur().kind) {
+            case Token::Kind::kNumber:
+            case Token::Kind::kIpv4:
+              p.literal.kind = Literal::Kind::kInt;
+              p.literal.int_value = cur().number;
+              break;
+            case Token::Kind::kIdent:
+            case Token::Kind::kString:
+              p.literal.kind = Literal::Kind::kSymbol;
+              p.literal.text = cur().text;
+              break;
+            default:
+              return fail("expected literal in 'in' set");
+          }
+          bump();
+          auto atom = Cond::make_atom(std::move(p));
+          acc = acc ? Cond::make_or(std::move(acc), std::move(atom))
+                    : std::move(atom);
+          if (eat(Token::Kind::kComma)) continue;
+          break;
+        }
+        if (!eat(Token::Kind::kRParen))
+          return fail("expected ')' after 'in' set");
+        return acc;
+      }
+      i_ = mark;  // not the 'in' form: re-parse as a plain predicate
+    }
+    auto p = pred();
+    if (!p.ok()) return p.error();
+    return Cond::make_atom(std::move(p).take());
+  }
+
+  Result<PredExpr> pred() {
+    PredExpr p;
+    if (cur().kind != Token::Kind::kIdent)
+      return fail("expected field, state variable, or macro");
+    // Macro subject: avg(path) / sum(path).
+    if ((cur().text == "avg" || cur().text == "sum" ||
+         cur().text == "min" || cur().text == "max") &&
+        peek().kind == Token::Kind::kLParen) {
+      p.macro = cur().text == "avg"   ? AggMacro::kAvg
+                : cur().text == "sum" ? AggMacro::kSum
+                : cur().text == "min" ? AggMacro::kMin
+                                      : AggMacro::kMax;
+      bump();
+      bump();  // '('
+      auto path = field_path();
+      if (!path.ok()) return path.error();
+      p.subject = std::move(path).take();
+      if (!eat(Token::Kind::kRParen)) return fail("expected ')' after macro");
+    } else {
+      auto path = field_path();
+      if (!path.ok()) return path.error();
+      p.subject = std::move(path).take();
+    }
+    if (cur().kind != Token::Kind::kCmp)
+      return fail("expected comparison operator");
+    const std::string& op = cur().text;
+    if (op == "==") p.op = CmpOp::kEq;
+    else if (op == "!=") p.op = CmpOp::kNe;
+    else if (op == "<") p.op = CmpOp::kLt;
+    else if (op == ">") p.op = CmpOp::kGt;
+    else if (op == "<=") p.op = CmpOp::kLe;
+    else p.op = CmpOp::kGe;
+    bump();
+
+    switch (cur().kind) {
+      case Token::Kind::kNumber:
+      case Token::Kind::kIpv4:
+        p.literal.kind = Literal::Kind::kInt;
+        p.literal.int_value = cur().number;
+        bump();
+        break;
+      case Token::Kind::kIdent:
+      case Token::Kind::kString:
+        p.literal.kind = Literal::Kind::kSymbol;
+        p.literal.text = cur().text;
+        bump();
+        break;
+      default:
+        return fail("expected literal value");
+    }
+    return p;
+  }
+
+  Result<std::string> field_path() {
+    if (cur().kind != Token::Kind::kIdent) return fail("expected identifier");
+    std::string path = cur().text;
+    bump();
+    while (cur().kind == Token::Kind::kDot &&
+           peek().kind == Token::Kind::kIdent) {
+      bump();
+      path += ".";
+      path += cur().text;
+      bump();
+    }
+    return path;
+  }
+
+  Result<Action> action() {
+    if (cur().kind != Token::Kind::kIdent) return fail("expected action");
+    const std::string head = cur().text;
+
+    if (head == "fwd") {
+      bump();
+      if (!eat(Token::Kind::kLParen)) return fail("expected '(' after fwd");
+      Action a;
+      a.kind = Action::Kind::kFwd;
+      for (;;) {
+        if (cur().kind != Token::Kind::kNumber)
+          return fail("expected port number");
+        if (cur().number > 0xffff) return fail("port number out of range");
+        a.fwd.ports.push_back(static_cast<std::uint16_t>(cur().number));
+        bump();
+        if (eat(Token::Kind::kComma)) continue;
+        break;
+      }
+      if (!eat(Token::Kind::kRParen)) return fail("expected ')' after ports");
+      return a;
+    }
+    if (head == "drop") {
+      bump();
+      if (!eat(Token::Kind::kLParen) || !eat(Token::Kind::kRParen))
+        return fail("expected '()' after drop");
+      Action a;
+      a.kind = Action::Kind::kDrop;
+      return a;
+    }
+    if (head == "update") {
+      bump();
+      if (!eat(Token::Kind::kLParen)) return fail("expected '(' after update");
+      if (cur().kind != Token::Kind::kIdent)
+        return fail("expected state variable name");
+      Action a;
+      a.kind = Action::Kind::kUpdate;
+      a.update.state_var = cur().text;
+      bump();
+      if (!eat(Token::Kind::kRParen)) return fail("expected ')'");
+      return a;
+    }
+    // "var = func()" form; the function name is informational (the update
+    // function is declared in the spec annotation), so it is ignored.
+    if (peek().kind == Token::Kind::kAssign) {
+      Action a;
+      a.kind = Action::Kind::kUpdate;
+      a.update.state_var = head;
+      bump();  // var
+      bump();  // '='
+      if (cur().kind != Token::Kind::kIdent)
+        return fail("expected update function name");
+      bump();
+      if (!eat(Token::Kind::kLParen) || !eat(Token::Kind::kRParen))
+        return fail("update functions take no arguments");
+      return a;
+    }
+    return fail("unknown action '" + head + "'");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t i_ = 0;
+};
+
+Result<Parser> make_parser(std::string_view src) {
+  auto toks = tokenize(src);
+  if (!toks.ok()) return toks.error();
+  return Parser(std::move(toks).take());
+}
+
+}  // namespace
+
+util::Result<Rule> parse_rule(std::string_view src) {
+  auto p = make_parser(src);
+  if (!p.ok()) return p.error();
+  return p.value().rule_all();
+}
+
+util::Result<std::vector<Rule>> parse_rules(std::string_view src) {
+  auto p = make_parser(src);
+  if (!p.ok()) return p.error();
+  return p.value().rules_all();
+}
+
+util::Result<CondPtr> parse_condition(std::string_view src) {
+  auto p = make_parser(src);
+  if (!p.ok()) return p.error();
+  return p.value().cond_all();
+}
+
+}  // namespace camus::lang

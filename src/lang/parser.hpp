@@ -1,0 +1,38 @@
+// Recursive-descent parser for subscription rules.
+//
+// Grammar (precedence: or < and < not):
+//   rules   := rule*
+//   rule    := cond ':' actions
+//   cond    := and_e (('or'|'||') and_e)*
+//   and_e   := unary (('and'|'&&') unary)*
+//   unary   := ('not'|'!') unary | '(' cond ')' | pred
+//   pred    := subject cmp literal
+//   subject := path | ('avg'|'sum') '(' path ')'
+//   path    := IDENT ('.' IDENT)*
+//   cmp     := '==' | '!=' | '<' | '>' | '<=' | '>='
+//   literal := NUMBER | IPV4 | IDENT | STRING
+//   actions := action ((';') action)*
+//   action  := 'fwd' '(' NUMBER (',' NUMBER)* ')'
+//            | 'drop' '(' ')'
+//            | 'update' '(' IDENT ')'
+//            | IDENT '=' IDENT '(' ')'        -- "my_counter = incr()" form
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "util/result.hpp"
+
+namespace camus::lang {
+
+// Parses a single rule; fails if trailing input remains.
+util::Result<Rule> parse_rule(std::string_view src);
+
+// Parses a sequence of rules (e.g. a subscription file).
+util::Result<std::vector<Rule>> parse_rules(std::string_view src);
+
+// Parses just a condition expression (no ':' action part).
+util::Result<CondPtr> parse_condition(std::string_view src);
+
+}  // namespace camus::lang

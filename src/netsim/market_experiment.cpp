@@ -1,0 +1,136 @@
+#include "netsim/market_experiment.hpp"
+
+#include "proto/packet.hpp"
+
+namespace camus::netsim {
+
+MarketExperimentResult run_market_experiment(
+    const MarketExperimentParams& params, switchsim::Switch& sw,
+    const workload::Feed& feed, const std::string& watched_symbol) {
+  MarketExperimentResult result;
+  result.latency_us.reserve(feed.watched_count);
+  result.watched_expected = feed.watched_count;
+
+  Simulator sim;
+  Link up(params.publisher_link_gbps, params.link_propagation_us);
+  Link down(params.subscriber_link_gbps, params.link_propagation_us);
+  const double per_msg_cpu_us =
+      (params.mode == FilterMode::kHostFilter ? params.host_filter_cost_us
+                                              : 0.0) +
+      params.deliver_cost_us;
+  FifoServer cpu(per_msg_cpu_us, params.host_queue_limit);
+
+  proto::EthernetHeader eth;
+  eth.dst = 0x01005e000001ULL;  // feed multicast group MAC
+  eth.src = 0x0200deadbeefULL;
+
+  std::uint64_t seq = 1;
+  for (const auto& fm : feed.messages) {
+    proto::MoldUdp64Header mold;
+    mold.sequence = seq++;
+    std::vector<std::uint8_t> frame = proto::encode_market_data_packet(
+        eth, /*ip_src=*/0x0a000001, /*ip_dst=*/0xe8010101, mold, {fm.msg});
+    const bool watched = fm.msg.stock == watched_symbol;
+    const double t_pub = static_cast<double>(fm.t_us);
+    ++result.published;
+
+    // Publisher NIC -> switch.
+    const double t_at_switch = up.transmit(t_pub, frame.size());
+    sim.at(t_at_switch, [&, frame = std::move(frame), watched, t_pub] {
+      const auto copies = sw.process(
+          frame, static_cast<std::uint64_t>(sim.now_us()));
+      for (const auto& copy : copies) {
+        if (copy.port != params.subscriber_port) continue;
+        ++result.delivered_to_host;
+        // Switch pipeline + downlink serialization.
+        const double t_nic = down.transmit(
+            sim.now_us() + params.switch_pipeline_us, frame.size());
+        sim.at(t_nic, [&, watched, t_pub] {
+          // Subscriber CPU: filter (baseline) and/or consume.
+          const double t_done = cpu.serve(sim.now_us());
+          if (t_done < 0) return;  // queue overflow: message dropped
+          if (!watched) return;
+          sim.at(t_done, [&, t_pub] {
+            ++result.watched_received;
+            result.latency_us.add(sim.now_us() - t_pub);
+          });
+        });
+      }
+    });
+  }
+
+  sim.run();
+  result.host_drops = cpu.dropped();
+  result.duration_us =
+      feed.messages.empty() ? 0 : static_cast<double>(feed.messages.back().t_us);
+  return result;
+}
+
+FanoutResult run_fanout_experiment(
+    const MarketExperimentParams& params, switchsim::Switch& sw,
+    const workload::Feed& feed,
+    const std::map<std::string, std::uint16_t>& interest,
+    std::uint16_t n_ports) {
+  FanoutResult result;
+
+  Simulator sim;
+  Link up(params.publisher_link_gbps, params.link_propagation_us);
+  std::vector<Link> down;
+  std::vector<FifoServer> cpu;
+  const double per_msg_cpu_us =
+      (params.mode == FilterMode::kHostFilter ? params.host_filter_cost_us
+                                              : 0.0) +
+      params.deliver_cost_us;
+  for (std::uint16_t p = 0; p < n_ports; ++p) {
+    down.emplace_back(params.subscriber_link_gbps,
+                      params.link_propagation_us);
+    cpu.emplace_back(per_msg_cpu_us);
+  }
+
+  proto::EthernetHeader eth;
+  eth.dst = 0x01005e000001ULL;
+  eth.src = 0x0200deadbeefULL;
+
+  std::uint64_t seq = 1;
+  for (const auto& fm : feed.messages) {
+    proto::MoldUdp64Header mold;
+    mold.sequence = seq++;
+    std::vector<std::uint8_t> frame = proto::encode_market_data_packet(
+        eth, 0x0a000001, 0xe8010101, mold, {fm.msg});
+    const auto it = interest.find(fm.msg.stock);
+    const std::uint16_t interested_port =
+        it != interest.end() ? it->second : 0;
+    if (interested_port != 0) ++result.interested_expected;
+    const double t_pub = static_cast<double>(fm.t_us);
+    ++result.published;
+
+    const std::size_t frame_size = frame.size();
+    const double t_at_switch = up.transmit(t_pub, frame_size);
+    sim.at(t_at_switch, [&, frame = std::move(frame), interested_port,
+                         t_pub, frame_size] {
+      const auto copies =
+          sw.process(frame, static_cast<std::uint64_t>(sim.now_us()));
+      for (const auto& copy : copies) {
+        if (copy.port == 0 || copy.port > n_ports) continue;
+        const std::size_t host = copy.port - 1u;
+        ++result.frames_to_hosts;
+        result.bytes_to_hosts += frame_size;
+        const double t_nic = down[host].transmit(
+            sim.now_us() + params.switch_pipeline_us, frame_size);
+        const bool is_interested = copy.port == interested_port;
+        sim.at(t_nic, [&, host, is_interested, t_pub] {
+          const double t_done = cpu[host].serve(sim.now_us());
+          if (!is_interested) return;
+          sim.at(t_done, [&, t_pub] {
+            ++result.interested_received;
+            result.latency_us.add(sim.now_us() - t_pub);
+          });
+        });
+      }
+    });
+  }
+  sim.run();
+  return result;
+}
+
+}  // namespace camus::netsim

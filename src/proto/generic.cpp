@@ -1,0 +1,98 @@
+#include "proto/generic.hpp"
+
+#include "proto/headers.hpp"
+#include "proto/wire.hpp"
+
+namespace camus::proto {
+
+void BitWriter::put(std::uint64_t v, std::uint32_t bits) {
+  if (bits < 64) v &= (1ULL << bits) - 1;
+  for (std::uint32_t i = bits; i > 0; --i) {
+    const std::uint8_t bit = static_cast<std::uint8_t>((v >> (i - 1)) & 1);
+    if (bit_pos_ == 0) buf_.push_back(0);
+    buf_.back() = static_cast<std::uint8_t>(buf_.back() |
+                                            (bit << (7 - bit_pos_)));
+    bit_pos_ = (bit_pos_ + 1) & 7;
+    ++bit_count_;
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  bit_pos_ = 0;
+  return std::move(buf_);
+}
+
+bool BitReader::get(std::uint32_t bits, std::uint64_t* out) {
+  if (bits_remaining() < bits) return false;
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ >> 3;
+    const std::uint32_t off = pos_ & 7;
+    v = (v << 1) | ((data_[byte] >> (7 - off)) & 1);
+    ++pos_;
+  }
+  *out = v;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_app_payload(
+    const spec::Schema& schema, const std::vector<std::uint64_t>& fields) {
+  BitWriter w;
+  for (const auto& f : schema.fields())
+    w.put(f.id < fields.size() ? fields[f.id] : 0, f.width_bits);
+  return w.take();
+}
+
+std::optional<std::vector<std::uint64_t>> decode_app_payload(
+    const spec::Schema& schema, std::span<const std::uint8_t> payload) {
+  BitReader r(payload);
+  std::vector<std::uint64_t> out(schema.fields().size(), 0);
+  for (const auto& f : schema.fields()) {
+    if (!r.get(f.width_bits, &out[f.id])) return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_generic_packet(
+    const spec::Schema& schema, const std::vector<std::uint64_t>& fields,
+    std::uint32_t ip_src, std::uint32_t ip_dst, std::uint16_t udp_port) {
+  const auto payload = encode_app_payload(schema, fields);
+
+  Writer w;
+  EthernetHeader eth;
+  eth.dst = 0x02000000fe00ULL;
+  eth.src = 0x020000000100ULL;
+  eth.encode(w);
+  Ipv4Header ip;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize +
+                                            UdpHeader::kSize + payload.size());
+  ip.encode(w);
+  UdpHeader udp;
+  udp.src_port = udp_port;
+  udp.dst_port = udp_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(w);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<std::vector<std::uint64_t>> decode_generic_packet(
+    const spec::Schema& schema, std::span<const std::uint8_t> frame) {
+  Reader r(frame);
+  EthernetHeader eth;
+  if (!eth.decode(r) || eth.ether_type != kEtherTypeIpv4) return std::nullopt;
+  Ipv4Header ip;
+  if (!ip.decode(r) || ip.protocol != kIpProtoUdp) return std::nullopt;
+  UdpHeader udp;
+  if (!udp.decode(r)) return std::nullopt;
+  if (udp.length < UdpHeader::kSize) return std::nullopt;
+  const std::size_t payload_len = udp.length - UdpHeader::kSize;
+  if (r.remaining() < payload_len) return std::nullopt;
+  std::vector<std::uint8_t> payload(payload_len);
+  if (!r.bytes(payload)) return std::nullopt;
+  return decode_app_payload(schema, payload);
+}
+
+}  // namespace camus::proto

@@ -1,0 +1,69 @@
+// Generic application-payload codec: encodes/decodes the fields of any
+// schema as a big-endian bit-packed record in header/field declaration
+// order. This is what makes "subscriptions over arbitrary, user-defined
+// packet formats" concrete for applications without a bespoke protocol
+// implementation (the ILA routing and load-balancer examples): the schema
+// *is* the wire format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "spec/schema.hpp"
+
+namespace camus::proto {
+
+// MSB-first bit-level writer (fields are 1..64 bits wide).
+class BitWriter {
+ public:
+  // Appends the low `bits` bits of v, most significant bit first.
+  void put(std::uint64_t v, std::uint32_t bits);
+
+  // Pads with zero bits to a byte boundary and returns the buffer.
+  std::vector<std::uint8_t> take();
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint32_t bit_pos_ = 0;  // bits used in the last byte (0..7)
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  // Reads `bits` bits MSB-first; false when exhausted.
+  [[nodiscard]] bool get(std::uint32_t bits, std::uint64_t* out);
+
+  std::size_t bits_remaining() const noexcept {
+    return data_.size() * 8 - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;  // bit cursor
+};
+
+// Encodes one value per schema field (field-id order), bit-packed.
+std::vector<std::uint8_t> encode_app_payload(
+    const spec::Schema& schema, const std::vector<std::uint64_t>& fields);
+
+// Inverse; nullopt if the payload is too short. Trailing padding ignored.
+std::optional<std::vector<std::uint64_t>> decode_app_payload(
+    const spec::Schema& schema, std::span<const std::uint8_t> payload);
+
+// Full frame: Ethernet/IPv4/UDP carrying the bit-packed record on the
+// given UDP port (no MoldUDP framing — one record per packet).
+std::vector<std::uint8_t> encode_generic_packet(
+    const spec::Schema& schema, const std::vector<std::uint64_t>& fields,
+    std::uint32_t ip_src = 0x0a000001, std::uint32_t ip_dst = 0x0a0000fe,
+    std::uint16_t udp_port = 26401);
+
+std::optional<std::vector<std::uint64_t>> decode_generic_packet(
+    const spec::Schema& schema, std::span<const std::uint8_t> frame);
+
+}  // namespace camus::proto

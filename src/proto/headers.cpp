@@ -1,0 +1,69 @@
+#include "proto/headers.hpp"
+
+#include <array>
+
+namespace camus::proto {
+
+void EthernetHeader::encode(Writer& w) const {
+  w.u48(dst);
+  w.u48(src);
+  w.u16(ether_type);
+}
+
+bool EthernetHeader::decode(Reader& r) {
+  return r.u48(dst) && r.u48(src) && r.u16(ether_type);
+}
+
+void Ipv4Header::encode(Writer& w) const {
+  Writer h;
+  h.u8(0x45);  // version 4, IHL 5
+  h.u8(0);     // diffserv
+  h.u16(total_len);
+  h.u16(0);      // identification
+  h.u16(0x4000); // flags: don't fragment
+  h.u8(ttl);
+  h.u8(protocol);
+  h.u16(0);  // checksum placeholder
+  h.u32(src);
+  h.u32(dst);
+  const std::uint16_t sum = internet_checksum(h.data());
+  h.patch_u16(10, sum);
+  w.bytes(h.data());
+}
+
+bool Ipv4Header::decode(Reader& r) {
+  if (r.remaining() < kSize) return false;
+  std::uint8_t ver_ihl = 0, diffserv = 0;
+  std::uint16_t ident = 0, flags_frag = 0;
+  std::array<std::uint8_t, kSize> raw{};
+  // Capture the raw header bytes for checksum verification.
+  {
+    Reader peek = r;
+    if (!peek.bytes(raw)) return false;
+  }
+  if (!r.u8(ver_ihl) || !r.u8(diffserv) || !r.u16(total_len) ||
+      !r.u16(ident) || !r.u16(flags_frag) || !r.u8(ttl) || !r.u8(protocol) ||
+      !r.u16(checksum) || !r.u32(src) || !r.u32(dst))
+    return false;
+  if ((ver_ihl >> 4) != 4) return false;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+  if (ihl_bytes < kSize) return false;
+  if (ihl_bytes > kSize && !r.skip(ihl_bytes - kSize)) return false;
+  checksum_ok = internet_checksum(raw) == 0;
+  return true;
+}
+
+void UdpHeader::encode(Writer& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum optional over IPv4; 0 = not computed
+}
+
+bool UdpHeader::decode(Reader& r) {
+  std::uint16_t checksum = 0;
+  return r.u16(src_port) && r.u16(dst_port) && r.u16(length) &&
+         r.u16(checksum);
+}
+
+}  // namespace camus::proto

@@ -1,0 +1,54 @@
+// Ethernet / IPv4 / UDP header structs with encode/decode. These carry the
+// ITCH market-data feed in the paper's case study: IP multicast packets,
+// each containing a UDP datagram with a MoldUDP64 payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "proto/wire.hpp"
+
+namespace camus::proto {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct EthernetHeader {
+  std::uint64_t dst = 0;  // low 48 bits
+  std::uint64_t src = 0;  // low 48 bits
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  static constexpr std::size_t kSize = 14;
+  void encode(Writer& w) const;
+  [[nodiscard]] bool decode(Reader& r);
+};
+
+struct Ipv4Header {
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t total_len = 0;  // filled by encode callers (or packet.cpp)
+  std::uint16_t checksum = 0;   // computed on encode, verified on decode
+
+  static constexpr std::size_t kSize = 20;
+  // Encodes with the checksum computed over the final header bytes.
+  void encode(Writer& w) const;
+  // Returns false on truncation, bad version, or bad IHL. Does not reject
+  // checksum mismatches (checksum_ok reports that separately).
+  [[nodiscard]] bool decode(Reader& r);
+
+  bool checksum_ok = true;  // set by decode
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  static constexpr std::size_t kSize = 8;
+  void encode(Writer& w) const;
+  [[nodiscard]] bool decode(Reader& r);
+};
+
+}  // namespace camus::proto

@@ -1,0 +1,53 @@
+#include "proto/packet.hpp"
+
+namespace camus::proto {
+
+std::vector<std::uint8_t> encode_market_data_packet(
+    const EthernetHeader& eth, std::uint32_t ip_src, std::uint32_t ip_dst,
+    const MoldUdp64Header& mold, const std::vector<ItchAddOrder>& messages,
+    std::uint16_t udp_dst_port) {
+  const std::vector<std::uint8_t> payload =
+      encode_itch_payload(mold, messages);
+
+  Writer w;
+  eth.encode(w);
+
+  Ipv4Header ip;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize +
+                                            UdpHeader::kSize + payload.size());
+  ip.encode(w);
+
+  UdpHeader udp;
+  udp.src_port = kItchUdpPort;
+  udp.dst_port = udp_dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(w);
+
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<MarketDataPacket> decode_market_data_packet(
+    std::span<const std::uint8_t> frame) {
+  Reader r(frame);
+  MarketDataPacket pkt;
+  if (!pkt.eth.decode(r)) return std::nullopt;
+  if (pkt.eth.ether_type != kEtherTypeIpv4) return std::nullopt;
+  if (!pkt.ip.decode(r)) return std::nullopt;
+  if (pkt.ip.protocol != kIpProtoUdp) return std::nullopt;
+  if (!pkt.udp.decode(r)) return std::nullopt;
+  if (pkt.udp.length < UdpHeader::kSize) return std::nullopt;
+  const std::size_t payload_len = pkt.udp.length - UdpHeader::kSize;
+  if (r.remaining() < payload_len) return std::nullopt;
+
+  std::vector<std::uint8_t> payload(payload_len);
+  if (!r.bytes(payload)) return std::nullopt;
+  auto itch = decode_itch_payload(payload);
+  if (!itch) return std::nullopt;
+  pkt.itch = std::move(*itch);
+  return pkt;
+}
+
+}  // namespace camus::proto

@@ -1,0 +1,37 @@
+// Full market-data packet assembly: Ethernet / IPv4 / UDP / MoldUDP64 /
+// ITCH. This is the wire format the publisher emits, the switch simulator
+// parses, and the subscriber consumes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "proto/headers.hpp"
+#include "proto/itch.hpp"
+
+namespace camus::proto {
+
+inline constexpr std::uint16_t kItchUdpPort = 26400;
+
+struct MarketDataPacket {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  ItchPacket itch;
+};
+
+// Builds the full frame. IP total length, UDP length, checksums, and the
+// MoldUDP message count are computed here.
+std::vector<std::uint8_t> encode_market_data_packet(
+    const EthernetHeader& eth, std::uint32_t ip_src, std::uint32_t ip_dst,
+    const MoldUdp64Header& mold, const std::vector<ItchAddOrder>& messages,
+    std::uint16_t udp_dst_port = kItchUdpPort);
+
+// Parses a full frame; returns nullopt for anything that is not a
+// well-formed UDP/ITCH packet (wrong ethertype, truncated headers, framing
+// errors). Packets on other UDP ports still parse — filtering on port is a
+// policy decision left to callers.
+std::optional<MarketDataPacket> decode_market_data_packet(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace camus::proto

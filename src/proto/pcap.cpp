@@ -1,0 +1,103 @@
+#include "proto/pcap.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace camus::proto {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+
+void put_u16le(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    b.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::uint32_t snaplen) : snaplen_(snaplen) {
+  put_u32le(buf_, kMagic);
+  put_u16le(buf_, 2);   // version major
+  put_u16le(buf_, 4);   // version minor
+  put_u32le(buf_, 0);   // thiszone
+  put_u32le(buf_, 0);   // sigfigs
+  put_u32le(buf_, snaplen_);
+  put_u32le(buf_, 1);   // LINKTYPE_ETHERNET
+}
+
+void PcapWriter::add(std::uint64_t timestamp_us,
+                     std::span<const std::uint8_t> frame) {
+  const std::uint32_t incl =
+      static_cast<std::uint32_t>(std::min<std::size_t>(frame.size(), snaplen_));
+  put_u32le(buf_, static_cast<std::uint32_t>(timestamp_us / 1000000));
+  put_u32le(buf_, static_cast<std::uint32_t>(timestamp_us % 1000000));
+  put_u32le(buf_, incl);
+  put_u32le(buf_, static_cast<std::uint32_t>(frame.size()));
+  buf_.insert(buf_.end(), frame.begin(), frame.begin() + incl);
+  ++count_;
+}
+
+bool PcapWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(buf_.data()),
+            static_cast<std::streamsize>(buf_.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<PcapPacket>> parse_pcap(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 24) return std::nullopt;
+
+  auto u32 = [&](std::size_t off, bool swap) -> std::uint32_t {
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + off, 4);
+    if (swap) v = __builtin_bswap32(v);
+    return v;
+  };
+
+  bool swap = false;
+  const std::uint32_t magic_le = u32(0, false);
+  if (magic_le == kMagic) {
+    swap = false;  // written little-endian on a little-endian host
+  } else if (magic_le == 0xd4c3b2a1) {
+    swap = true;
+  } else {
+    return std::nullopt;
+  }
+
+  std::vector<PcapPacket> out;
+  std::size_t pos = 24;
+  while (pos + 16 <= data.size()) {
+    const std::uint32_t ts_sec = u32(pos, swap);
+    const std::uint32_t ts_usec = u32(pos + 4, swap);
+    const std::uint32_t incl = u32(pos + 8, swap);
+    pos += 16;
+    if (pos + incl > data.size()) break;  // truncated trailing record
+    PcapPacket p;
+    p.timestamp_us =
+        static_cast<std::uint64_t>(ts_sec) * 1000000 + ts_usec;
+    p.frame.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.begin() + static_cast<std::ptrdiff_t>(pos + incl));
+    out.push_back(std::move(p));
+    pos += incl;
+  }
+  return out;
+}
+
+std::optional<std::vector<PcapPacket>> read_pcap_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  return parse_pcap(data);
+}
+
+}  // namespace camus::proto

@@ -1,0 +1,49 @@
+// Minimal libpcap-format trace writer/reader (classic pcap, not pcapng).
+// Lets the workload generators export market-data feeds as standard
+// capture files for inspection with external tools, and lets tests replay
+// captures through the switch simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace camus::proto {
+
+struct PcapPacket {
+  std::uint64_t timestamp_us = 0;
+  std::vector<std::uint8_t> frame;
+};
+
+class PcapWriter {
+ public:
+  // linktype 1 = LINKTYPE_ETHERNET.
+  explicit PcapWriter(std::uint32_t snaplen = 65535);
+
+  void add(std::uint64_t timestamp_us, std::span<const std::uint8_t> frame);
+
+  // The complete file contents (global header + records).
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+
+  // Writes to disk; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t packet_count() const noexcept { return count_; }
+
+ private:
+  std::uint32_t snaplen_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t count_ = 0;
+};
+
+// Parses a pcap buffer. Returns nullopt for bad magic/truncated headers;
+// tolerates both byte orders. Truncated trailing records are dropped.
+std::optional<std::vector<PcapPacket>> parse_pcap(
+    std::span<const std::uint8_t> data);
+
+std::optional<std::vector<PcapPacket>> read_pcap_file(
+    const std::string& path);
+
+}  // namespace camus::proto

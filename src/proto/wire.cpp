@@ -1,0 +1,32 @@
+#include "proto/wire.hpp"
+
+namespace camus::proto {
+
+void Writer::fixed_string(std::string_view s, std::size_t n, char pad) {
+  for (std::size_t i = 0; i < n; ++i)
+    buf_.push_back(i < s.size() ? static_cast<std::uint8_t>(s[i])
+                                : static_cast<std::uint8_t>(pad));
+}
+
+void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v & 0xff);
+}
+
+bool Reader::bytes(std::span<std::uint8_t> out) {
+  if (remaining() < out.size()) return false;
+  std::memcpy(out.data(), data_.data() + pos_, out.size());
+  pos_ += out.size();
+  return true;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2)
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  if (data.size() % 2) sum += static_cast<std::uint32_t>(data.back()) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace camus::proto

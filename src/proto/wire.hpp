@@ -1,0 +1,83 @@
+// Bounds-checked big-endian wire readers/writers. All multi-byte fields in
+// the protocols we implement (Ethernet, IPv4, UDP, MoldUDP64, ITCH) are
+// network byte order.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace camus::proto {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { be(v, 2); }
+  void u32(std::uint32_t v) { be(v, 4); }
+  void u48(std::uint64_t v) { be(v, 6); }
+  void u64(std::uint64_t v) { be(v, 8); }
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  // Writes exactly n bytes: s truncated or right-padded with `pad`.
+  void fixed_string(std::string_view s, std::size_t n, char pad = ' ');
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  // Overwrites a previously written big-endian field (e.g. a length or
+  // checksum fixed up after the payload is known).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+
+ private:
+  void be(std::uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+// Reader over a borrowed buffer. Read methods return false (and leave the
+// output untouched) when the buffer is exhausted — malformed packets are
+// an expected input, not an error condition.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+
+  [[nodiscard]] bool u8(std::uint8_t& v) { return be(v, 1); }
+  [[nodiscard]] bool u16(std::uint16_t& v) { return be(v, 2); }
+  [[nodiscard]] bool u32(std::uint32_t& v) { return be(v, 4); }
+  [[nodiscard]] bool u48(std::uint64_t& v) { return be(v, 6); }
+  [[nodiscard]] bool u64(std::uint64_t& v) { return be(v, 8); }
+  [[nodiscard]] bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] bool bytes(std::span<std::uint8_t> out);
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool be(T& v, int n) {
+    if (remaining() < static_cast<std::size_t>(n)) return false;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < n; ++i) acc = (acc << 8) | data_[pos_ + i];
+    pos_ += static_cast<std::size_t>(n);
+    v = static_cast<T>(acc);
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// RFC 1071 internet checksum over a byte range (IPv4 header checksum).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace camus::proto

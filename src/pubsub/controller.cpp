@@ -1,0 +1,78 @@
+#include "pubsub/controller.hpp"
+
+#include <stdexcept>
+
+#include "lang/parser.hpp"
+
+namespace camus::pubsub {
+
+using util::Error;
+using util::Result;
+
+Controller::Controller(spec::Schema schema, compiler::CompileOptions opts)
+    : schema_(std::move(schema)), opts_(opts) {}
+
+Result<bool> Controller::subscribe(std::uint16_t port,
+                                   std::string_view rule_text) {
+  std::string text(rule_text);
+  // Interest-only form: append the subscriber's forwarding action.
+  if (text.find(':') == std::string::npos)
+    text += " : fwd(" + std::to_string(port) + ")";
+  auto parsed = lang::parse_rule(text);
+  if (!parsed.ok()) return parsed.error();
+  auto bound = lang::bind_rule(parsed.value(), schema_);
+  if (!bound.ok()) return bound.error();
+  subscribe(std::move(bound).take());
+  return true;
+}
+
+void Controller::subscribe(lang::BoundRule rule) {
+  rules_.push_back(std::move(rule));
+  dirty_ = true;
+}
+
+std::size_t Controller::unsubscribe(std::uint16_t port) {
+  const auto before = rules_.size();
+  std::erase_if(rules_, [port](const lang::BoundRule& r) {
+    return r.actions.ports.size() == 1 && r.actions.ports[0] == port;
+  });
+  if (rules_.size() != before) dirty_ = true;
+  return before - rules_.size();
+}
+
+Result<bool> Controller::compile() {
+  if (compiled_ && !dirty_) return true;
+  auto c = compiler::compile_rules(schema_, rules_, opts_);
+  if (!c.ok()) return c.error();
+  compiled_ = std::move(c).take();
+  dirty_ = false;
+  return true;
+}
+
+const compiler::Compiled& Controller::compiled() const {
+  if (!compiled_)
+    throw std::logic_error("Controller::compiled() before compile()");
+  return *compiled_;
+}
+
+Result<switchsim::Switch> Controller::build_switch() {
+  auto ok = compile();
+  if (!ok.ok()) return ok.error();
+  // The switch takes its own pipeline copy so the controller can keep
+  // recompiling while programmed switches run.
+  return switchsim::Switch(schema_, compiled_->pipeline);
+}
+
+std::string Controller::p4_program(const compiler::P4Options& opts) const {
+  return compiler::generate_p4(schema_, compiled_ ? &compiled_->pipeline
+                                                  : nullptr,
+                               opts);
+}
+
+std::string Controller::control_plane_rules() const {
+  if (!compiled_)
+    throw std::logic_error("control_plane_rules() before compile()");
+  return compiler::generate_control_plane_rules(compiled_->pipeline);
+}
+
+}  // namespace camus::pubsub

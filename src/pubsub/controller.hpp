@@ -1,0 +1,73 @@
+// The Camus controller (paper Figure 6): collects subscription filters,
+// runs the two-step compiler, and programs the switch. This is the
+// top-level API an application deploying in-network pub/sub uses:
+//
+//   pubsub::Controller ctl(spec::make_itch_schema());
+//   ctl.subscribe(1, "stock == GOOGL : fwd(1)");
+//   ctl.subscribe(2, "stock == MSFT and price > 500000 : fwd(2)");
+//   auto sw = ctl.build_switch();          // compiled + programmed switch
+//   auto p4 = ctl.p4_program();            // static step output
+//   auto rules = ctl.control_plane_rules();// dynamic step output
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "compiler/p4gen.hpp"
+#include "spec/schema.hpp"
+#include "switchsim/switch.hpp"
+#include "util/result.hpp"
+
+namespace camus::pubsub {
+
+class Controller {
+ public:
+  explicit Controller(spec::Schema schema,
+                      compiler::CompileOptions opts = {});
+
+  const spec::Schema& schema() const noexcept { return schema_; }
+
+  // Registers a subscription. The rule text may omit the forwarding
+  // action, in which case "fwd(port)" is appended — subscribers typically
+  // express interest ("stock == GOOGL") and the controller knows their
+  // port. Returns an error for unparsable/unbindable rules.
+  util::Result<bool> subscribe(std::uint16_t port, std::string_view rule_text);
+
+  // Registers an already-bound rule.
+  void subscribe(lang::BoundRule rule);
+
+  // Removes every subscription whose actions forward (only) to this port —
+  // the subscriber disconnected. Rules that also forward elsewhere (shared
+  // multicast subscriptions registered as one rule) are kept. Returns the
+  // number of rules removed.
+  std::size_t unsubscribe(std::uint16_t port);
+
+  std::size_t subscription_count() const noexcept { return rules_.size(); }
+  void clear() { rules_.clear(); compiled_.reset(); }
+
+  // Dynamic compilation step. Recompiles if subscriptions changed.
+  util::Result<bool> compile();
+
+  // Access to the compiled artifacts (compile() must have succeeded).
+  const compiler::Compiled& compiled() const;
+
+  // Builds a switch simulator programmed with the compiled pipeline.
+  util::Result<switchsim::Switch> build_switch();
+
+  // Static step: the P4 program for this application.
+  std::string p4_program(const compiler::P4Options& opts = {}) const;
+  // Dynamic step: the control-plane entry dump.
+  std::string control_plane_rules() const;
+
+ private:
+  spec::Schema schema_;
+  compiler::CompileOptions opts_;
+  std::vector<lang::BoundRule> rules_;
+  std::optional<compiler::Compiled> compiled_;
+  bool dirty_ = false;
+};
+
+}  // namespace camus::pubsub

@@ -1,0 +1,48 @@
+#include "pubsub/endpoints.hpp"
+
+namespace camus::pubsub {
+
+namespace {
+proto::EthernetHeader feed_eth() {
+  proto::EthernetHeader eth;
+  eth.dst = 0x01005e000001ULL;  // IP multicast group MAC
+  eth.src = 0x0200c0ffee01ULL;
+  return eth;
+}
+constexpr std::uint32_t kPublisherIp = 0x0a000001;  // 10.0.0.1
+constexpr std::uint32_t kFeedGroupIp = 0xe8010101;  // 232.1.1.1
+}  // namespace
+
+Publisher::Publisher(std::string session) {
+  mold_.session = std::move(session);
+}
+
+std::vector<std::uint8_t> Publisher::publish(const proto::ItchAddOrder& msg) {
+  return publish_batch({msg});
+}
+
+std::vector<std::uint8_t> Publisher::publish_batch(
+    const std::vector<proto::ItchAddOrder>& msgs) {
+  mold_.sequence = sequence_;
+  sequence_ += msgs.size();
+  return proto::encode_market_data_packet(feed_eth(), kPublisherIp,
+                                          kFeedGroupIp, mold_, msgs);
+}
+
+bool Subscriber::deliver(std::span<const std::uint8_t> frame) {
+  auto pkt = proto::decode_market_data_packet(frame);
+  if (!pkt) {
+    ++malformed_;
+    return false;
+  }
+  const std::uint64_t seq = pkt->itch.mold.sequence;
+  if (last_seq_ != 0 && seq > last_seq_ + 1) ++gaps_;
+  if (seq > last_seq_) last_seq_ = seq;
+  for (const auto& m : pkt->itch.add_orders) {
+    ++received_;
+    ++per_symbol_[m.stock];
+  }
+  return true;
+}
+
+}  // namespace camus::pubsub

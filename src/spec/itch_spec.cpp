@@ -1,0 +1,37 @@
+#include "spec/itch_spec.hpp"
+
+#include <stdexcept>
+
+#include "spec/spec_parser.hpp"
+
+namespace camus::spec {
+
+std::string_view itch_spec_text() {
+  return R"(
+// ITCH add-order message specification (paper Figure 2).
+header_type itch_add_order_t {
+    fields {
+        shares: 32;
+        stock: 64 (symbol);
+        price: 32;
+    }
+}
+header itch_add_order_t add_order;
+
+@query_field(add_order.shares)
+@query_field(add_order.price)
+@query_field_exact(add_order.stock)
+@query_counter(my_counter, 100)
+@query_avg(avg_price, add_order.price, 100)
+)";
+}
+
+Schema make_itch_schema() {
+  auto r = parse_spec(itch_spec_text());
+  if (!r.ok())
+    throw std::runtime_error("builtin ITCH spec failed to parse: " +
+                             r.error().to_string());
+  return std::move(r).take();
+}
+
+}  // namespace camus::spec

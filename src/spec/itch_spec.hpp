@@ -1,0 +1,20 @@
+// Canonical ITCH add-order schema used throughout the tests, examples, and
+// benchmarks. Defined as spec-language source (exercising the parser on
+// every use) matching Figure 2 of the paper.
+#pragma once
+
+#include <string_view>
+
+#include "spec/schema.hpp"
+
+namespace camus::spec {
+
+// The Figure 2 specification text, extended with the moving-average state
+// variable used by the paper's stateful-rule example.
+std::string_view itch_spec_text();
+
+// Parses itch_spec_text(); throws std::runtime_error on failure (the text
+// is a compile-time constant, so failure is a bug).
+Schema make_itch_schema();
+
+}  // namespace camus::spec

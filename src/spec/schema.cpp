@@ -1,0 +1,96 @@
+#include "spec/schema.hpp"
+
+#include <stdexcept>
+
+namespace camus::spec {
+
+std::string_view to_string(StateFunc f) {
+  switch (f) {
+    case StateFunc::kCount: return "count";
+    case StateFunc::kSum: return "sum";
+    case StateFunc::kAvg: return "avg";
+    case StateFunc::kMin: return "min";
+    case StateFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+void Schema::add_header(std::string type_name, std::string instance) {
+  headers_.push_back({std::move(type_name), std::move(instance), {}});
+}
+
+FieldId Schema::add_field(std::string name, std::uint32_t width_bits,
+                          FieldKind kind) {
+  if (headers_.empty())
+    throw std::logic_error("add_field called before add_header");
+  if (width_bits == 0 || width_bits > 64)
+    throw std::invalid_argument("field width must be in [1, 64] bits");
+  FieldSpec f;
+  f.id = static_cast<FieldId>(fields_.size());
+  f.header = headers_.back().instance;
+  f.name = std::move(name);
+  f.width_bits = width_bits;
+  f.kind = kind;
+  fields_.push_back(f);
+  headers_.back().fields.push_back(f.id);
+  return f.id;
+}
+
+void Schema::mark_queryable(FieldId id, MatchHint hint) {
+  FieldSpec& f = fields_.at(id);
+  if (!f.queryable) query_order_.push_back(id);
+  f.queryable = true;
+  f.hint = hint;
+}
+
+std::uint32_t Schema::add_state_var(std::string name, StateFunc func,
+                                    FieldId src_field,
+                                    std::uint64_t window_us) {
+  StateVarSpec v;
+  v.id = static_cast<std::uint32_t>(state_vars_.size());
+  v.name = std::move(name);
+  v.func = func;
+  v.src_field = src_field;
+  v.window_us = window_us;
+  state_vars_.push_back(std::move(v));
+  return state_vars_.back().id;
+}
+
+std::optional<FieldId> Schema::resolve_field(std::string_view path) const {
+  const auto dot = path.find('.');
+  if (dot != std::string_view::npos) {
+    const std::string_view hdr = path.substr(0, dot);
+    const std::string_view name = path.substr(dot + 1);
+    for (const auto& f : fields_)
+      if (f.header == hdr && f.name == name) return f.id;
+    return std::nullopt;
+  }
+  // Bare name: unique match across all headers required.
+  std::optional<FieldId> found;
+  for (const auto& f : fields_) {
+    if (f.name == path) {
+      if (found) return std::nullopt;  // ambiguous
+      found = f.id;
+    }
+  }
+  return found;
+}
+
+std::optional<std::uint32_t> Schema::resolve_state_var(
+    std::string_view name) const {
+  for (const auto& v : state_vars_)
+    if (v.name == name) return v.id;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Schema::resolve_macro(
+    StateFunc func, std::string_view field_path) const {
+  const auto fid = resolve_field(field_path);
+  for (const auto& v : state_vars_) {
+    if (v.func != func) continue;
+    if (fid && v.src_field == *fid) return v.id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace camus::spec

@@ -1,0 +1,118 @@
+// Message-format schema: the typed attribute space that packet subscriptions
+// are written against. Produced by the spec parser (Figure 2 of the paper)
+// or built programmatically; consumed by the subscription binder, the Camus
+// compiler, and the switch simulator's parser configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace camus::spec {
+
+using FieldId = std::uint32_t;
+inline constexpr FieldId kInvalidField = 0xffffffffu;
+
+enum class FieldKind : std::uint8_t {
+  kNumeric,  // unsigned integer value
+  kSymbol,   // interned/encoded string value (compared only with ==)
+};
+
+// Match-type guidance from the annotation: @query_field -> kRange,
+// @query_field_exact -> kExact (paper §3.2, "Resource Optimizations").
+enum class MatchHint : std::uint8_t { kRange, kExact };
+
+struct FieldSpec {
+  FieldId id = kInvalidField;
+  std::string header;  // enclosing header instance name, e.g. "add_order"
+  std::string name;    // field name, e.g. "stock"
+  std::uint32_t width_bits = 0;
+  FieldKind kind = FieldKind::kNumeric;
+  MatchHint hint = MatchHint::kRange;
+  bool queryable = false;  // annotated with @query_field[_exact]
+
+  std::string path() const { return header + "." + name; }
+
+  // Largest representable value for this field's width.
+  std::uint64_t umax() const noexcept {
+    return width_bits >= 64 ? ~0ULL : ((1ULL << width_bits) - 1);
+  }
+};
+
+// Aggregation function of a state variable (paper Figure 1: g).
+enum class StateFunc : std::uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view to_string(StateFunc f);
+
+struct StateVarSpec {
+  std::uint32_t id = 0;
+  std::string name;           // e.g. "my_counter", "avg_price"
+  StateFunc func = StateFunc::kCount;
+  FieldId src_field = kInvalidField;  // field aggregated (kSum/kAvg)
+  std::uint64_t window_us = 0;        // tumbling window size
+  std::uint32_t width_bits = 64;      // register width
+
+  std::uint64_t umax() const noexcept {
+    return width_bits >= 64 ? ~0ULL : ((1ULL << width_bits) - 1);
+  }
+};
+
+struct HeaderSpec {
+  std::string type_name;              // e.g. "itch_add_order_t"
+  std::string instance;               // e.g. "add_order"
+  std::vector<FieldId> fields;        // in declaration order
+};
+
+class Schema {
+ public:
+  // Declares a header instance; fields are added with add_field.
+  void add_header(std::string type_name, std::string instance);
+
+  // Adds a field to the most recently added header. Returns its id.
+  FieldId add_field(std::string name, std::uint32_t width_bits,
+                    FieldKind kind = FieldKind::kNumeric);
+
+  // Marks a field queryable with the given match hint.
+  void mark_queryable(FieldId id, MatchHint hint);
+
+  std::uint32_t add_state_var(std::string name, StateFunc func,
+                              FieldId src_field, std::uint64_t window_us);
+
+  const std::vector<FieldSpec>& fields() const noexcept { return fields_; }
+  const std::vector<HeaderSpec>& headers() const noexcept { return headers_; }
+  const std::vector<StateVarSpec>& state_vars() const noexcept {
+    return state_vars_;
+  }
+
+  const FieldSpec& field(FieldId id) const { return fields_.at(id); }
+  const StateVarSpec& state_var(std::uint32_t id) const {
+    return state_vars_.at(id);
+  }
+
+  // Resolves "header.field", or a bare "field" when unique across headers.
+  std::optional<FieldId> resolve_field(std::string_view path) const;
+
+  // Resolves a state variable by name.
+  std::optional<std::uint32_t> resolve_state_var(std::string_view name) const;
+
+  // Resolves a macro reference like avg(price): finds the state variable
+  // with the given function whose source field matches `field_path`.
+  std::optional<std::uint32_t> resolve_macro(StateFunc func,
+                                             std::string_view field_path) const;
+
+  // Queryable fields in annotation order — the compiler's default BDD
+  // field order.
+  const std::vector<FieldId>& query_order() const noexcept {
+    return query_order_;
+  }
+
+ private:
+  std::vector<FieldSpec> fields_;
+  std::vector<HeaderSpec> headers_;
+  std::vector<StateVarSpec> state_vars_;
+  std::vector<FieldId> query_order_;
+};
+
+}  // namespace camus::spec

@@ -1,0 +1,303 @@
+#include "spec/spec_parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camus::spec {
+namespace {
+
+using util::Error;
+using util::Result;
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kAnnotation, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    if (pos_ >= src_.size()) {
+      t.kind = Token::Kind::kEnd;
+      return t;
+    }
+    const char c = src_[pos_];
+    if (c == '@') {
+      advance();
+      t.kind = Token::Kind::kAnnotation;
+      t.text = take_ident();
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = Token::Kind::kIdent;
+      t.text = take_ident();
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      t.kind = Token::Kind::kNumber;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        t.text.push_back(src_[pos_]);
+        advance();
+      }
+      return t;
+    }
+    t.kind = Token::Kind::kPunct;
+    t.text.push_back(c);
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string take_ident() {
+    std::string s;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        s.push_back(c);
+        advance();
+      } else {
+        break;
+      }
+    }
+    return s;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+struct TypeField {
+  std::string name;
+  std::uint32_t width = 0;
+  FieldKind kind = FieldKind::kNumeric;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) { bump(); }
+
+  Result<Schema> parse() {
+    while (cur_.kind != Token::Kind::kEnd) {
+      if (cur_.kind == Token::Kind::kIdent && cur_.text == "header_type") {
+        if (auto err = parse_header_type()) return *err;
+      } else if (cur_.kind == Token::Kind::kIdent && cur_.text == "header") {
+        if (auto err = parse_header_instance()) return *err;
+      } else if (cur_.kind == Token::Kind::kAnnotation) {
+        if (auto err = parse_annotation()) return *err;
+      } else {
+        return fail("expected 'header_type', 'header', or an annotation");
+      }
+    }
+    if (schema_.headers().empty())
+      return fail("specification declares no header instances");
+    return std::move(schema_);
+  }
+
+ private:
+  void bump() { cur_ = lex_.next(); }
+
+  Error fail(std::string msg) const {
+    return Error{std::move(msg), cur_.line, cur_.column};
+  }
+
+  std::optional<Error> expect_punct(char c) {
+    if (cur_.kind != Token::Kind::kPunct || cur_.text[0] != c)
+      return fail(std::string("expected '") + c + "', got '" + cur_.text + "'");
+    bump();
+    return std::nullopt;
+  }
+
+  std::optional<Error> expect_ident(std::string* out) {
+    if (cur_.kind != Token::Kind::kIdent)
+      return fail("expected identifier, got '" + cur_.text + "'");
+    *out = cur_.text;
+    bump();
+    return std::nullopt;
+  }
+
+  std::optional<Error> expect_number(std::uint64_t* out) {
+    if (cur_.kind != Token::Kind::kNumber)
+      return fail("expected number, got '" + cur_.text + "'");
+    std::uint64_t v = 0;
+    auto [p, ec] = std::from_chars(cur_.text.data(),
+                                   cur_.text.data() + cur_.text.size(), v);
+    if (ec != std::errc() || p != cur_.text.data() + cur_.text.size())
+      return fail("invalid number '" + cur_.text + "'");
+    *out = v;
+    bump();
+    return std::nullopt;
+  }
+
+  std::optional<Error> parse_header_type() {
+    bump();  // 'header_type'
+    std::string type_name;
+    if (auto e = expect_ident(&type_name)) return e;
+    if (auto e = expect_punct('{')) return e;
+    std::string kw;
+    if (auto e = expect_ident(&kw)) return e;
+    if (kw != "fields") return fail("expected 'fields' block");
+    if (auto e = expect_punct('{')) return e;
+
+    std::vector<TypeField> fields;
+    while (!(cur_.kind == Token::Kind::kPunct && cur_.text == "}")) {
+      TypeField f;
+      if (auto e = expect_ident(&f.name)) return e;
+      if (auto e = expect_punct(':')) return e;
+      std::uint64_t w = 0;
+      if (auto e = expect_number(&w)) return e;
+      if (w == 0 || w > 64)
+        return fail("field '" + f.name + "' width must be in [1, 64]");
+      f.width = static_cast<std::uint32_t>(w);
+      if (cur_.kind == Token::Kind::kPunct && cur_.text == "(") {
+        bump();
+        std::string k;
+        if (auto e = expect_ident(&k)) return e;
+        if (k == "symbol")
+          f.kind = FieldKind::kSymbol;
+        else if (k == "numeric")
+          f.kind = FieldKind::kNumeric;
+        else
+          return fail("unknown field kind '" + k + "'");
+        if (auto e = expect_punct(')')) return e;
+      }
+      if (auto e = expect_punct(';')) return e;
+      fields.push_back(std::move(f));
+    }
+    bump();  // '}' of fields
+    if (auto e = expect_punct('}')) return e;
+
+    if (types_.count(type_name))
+      return fail("duplicate header_type '" + type_name + "'");
+    types_.emplace(std::move(type_name), std::move(fields));
+    return std::nullopt;
+  }
+
+  std::optional<Error> parse_header_instance() {
+    bump();  // 'header'
+    std::string type_name, instance;
+    if (auto e = expect_ident(&type_name)) return e;
+    if (auto e = expect_ident(&instance)) return e;
+    if (auto e = expect_punct(';')) return e;
+    auto it = types_.find(type_name);
+    if (it == types_.end())
+      return fail("unknown header_type '" + type_name + "'");
+    schema_.add_header(type_name, instance);
+    for (const auto& f : it->second)
+      schema_.add_field(f.name, f.width, f.kind);
+    return std::nullopt;
+  }
+
+  std::optional<Error> parse_annotation() {
+    const std::string ann = cur_.text;
+    bump();
+    if (auto e = expect_punct('(')) return e;
+
+    if (ann == "query_field" || ann == "query_field_exact") {
+      std::string path;
+      if (auto e = parse_field_path(&path)) return e;
+      auto fid = schema_.resolve_field(path);
+      if (!fid) return fail("unknown or ambiguous field '" + path + "'");
+      const MatchHint hint =
+          ann == "query_field_exact" ? MatchHint::kExact : MatchHint::kRange;
+      if (schema_.field(*fid).kind == FieldKind::kSymbol &&
+          hint == MatchHint::kRange)
+        return fail("symbol field '" + path + "' requires @query_field_exact");
+      schema_.mark_queryable(*fid, hint);
+    } else if (ann == "query_counter") {
+      std::string name;
+      if (auto e = expect_ident(&name)) return e;
+      if (auto e = expect_punct(',')) return e;
+      std::uint64_t window = 0;
+      if (auto e = expect_number(&window)) return e;
+      if (schema_.resolve_state_var(name))
+        return fail("duplicate state variable '" + name + "'");
+      schema_.add_state_var(name, StateFunc::kCount, kInvalidField, window);
+    } else if (ann == "query_avg" || ann == "query_sum" ||
+               ann == "query_min" || ann == "query_max") {
+      std::string name;
+      if (auto e = expect_ident(&name)) return e;
+      if (auto e = expect_punct(',')) return e;
+      std::string path;
+      if (auto e = parse_field_path(&path)) return e;
+      if (auto e = expect_punct(',')) return e;
+      std::uint64_t window = 0;
+      if (auto e = expect_number(&window)) return e;
+      auto fid = schema_.resolve_field(path);
+      if (!fid) return fail("unknown or ambiguous field '" + path + "'");
+      if (schema_.resolve_state_var(name))
+        return fail("duplicate state variable '" + name + "'");
+      const StateFunc func = ann == "query_avg"   ? StateFunc::kAvg
+                             : ann == "query_sum" ? StateFunc::kSum
+                             : ann == "query_min" ? StateFunc::kMin
+                                                  : StateFunc::kMax;
+      schema_.add_state_var(name, func, *fid, window);
+    } else {
+      return fail("unknown annotation '@" + ann + "'");
+    }
+    return expect_punct(')');
+  }
+
+  std::optional<Error> parse_field_path(std::string* out) {
+    std::string part;
+    if (auto e = expect_ident(&part)) return e;
+    *out = part;
+    while (cur_.kind == Token::Kind::kPunct && cur_.text == ".") {
+      bump();
+      if (auto e = expect_ident(&part)) return e;
+      *out += "." + part;
+    }
+    return std::nullopt;
+  }
+
+  Lexer lex_;
+  Token cur_;
+  Schema schema_;
+  std::map<std::string, std::vector<TypeField>> types_;
+};
+
+}  // namespace
+
+Result<Schema> parse_spec(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace camus::spec

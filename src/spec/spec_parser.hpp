@@ -1,0 +1,32 @@
+// Parser for the message-format specification language of Figure 2: P4-14
+// style header_type declarations plus the Camus @query annotations.
+//
+//   header_type itch_add_order_t {
+//       fields {
+//           shares: 32;
+//           stock: 64 (symbol);   // (symbol) marks a string-valued field
+//           price: 32;
+//       }
+//   }
+//   header itch_add_order_t add_order;
+//
+//   @query_field(add_order.shares)        // range-matchable
+//   @query_field_exact(add_order.stock)   // exact-match only (saves TCAM)
+//   @query_counter(my_counter, 100)       // counter, 100us tumbling window
+//   @query_avg(avg_price, add_order.price, 100)
+//   @query_sum(sum_shares, add_order.shares, 100)
+//
+// Comments start with '//' or '#'. The annotation order of @query_field
+// declarations defines the compiler's default BDD field order.
+#pragma once
+
+#include <string_view>
+
+#include "spec/schema.hpp"
+#include "util/result.hpp"
+
+namespace camus::spec {
+
+util::Result<Schema> parse_spec(std::string_view text);
+
+}  // namespace camus::spec

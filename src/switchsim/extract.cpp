@@ -1,0 +1,43 @@
+#include "switchsim/extract.hpp"
+
+namespace camus::switchsim {
+
+ItchFieldExtractor::ItchFieldExtractor(const spec::Schema& schema) {
+  sources_.reserve(schema.fields().size());
+  masks_.reserve(schema.fields().size());
+  for (const auto& f : schema.fields()) {
+    Source s = Source::kZero;
+    if (f.name == "shares") s = Source::kShares;
+    else if (f.name == "price") s = Source::kPrice;
+    else if (f.name == "stock") s = Source::kStock;
+    else if (f.name == "side") s = Source::kSide;
+    else if (f.name == "timestamp") s = Source::kTimestamp;
+    else if (f.name == "order_ref") s = Source::kOrderRef;
+    else if (f.name == "locate" || f.name == "stock_locate")
+      s = Source::kLocate;
+    sources_.push_back(s);
+    masks_.push_back(f.umax());
+  }
+}
+
+std::vector<std::uint64_t> ItchFieldExtractor::extract(
+    const proto::ItchAddOrder& msg) const {
+  std::vector<std::uint64_t> out(sources_.size(), 0);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    std::uint64_t v = 0;
+    switch (sources_[i]) {
+      case Source::kZero: break;
+      case Source::kShares: v = msg.shares; break;
+      case Source::kPrice: v = msg.price; break;
+      case Source::kStock: v = msg.stock_key(); break;
+      case Source::kSide: v = static_cast<std::uint64_t>(msg.side); break;
+      case Source::kTimestamp: v = msg.timestamp_ns; break;
+      case Source::kOrderRef: v = msg.order_ref; break;
+      case Source::kLocate: v = msg.stock_locate; break;
+    }
+    out[i] = v & masks_[i];
+  }
+  return out;
+}
+
+}  // namespace camus::switchsim

@@ -1,0 +1,40 @@
+// Field extraction: builds the Env.fields vector the compiled pipeline
+// matches on from a decoded ITCH add-order message, driven by the schema's
+// field names (the spec's header declarations are the parser
+// configuration, mirroring the paper's static compilation step).
+#pragma once
+
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "proto/itch.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::switchsim {
+
+class ItchFieldExtractor {
+ public:
+  explicit ItchFieldExtractor(const spec::Schema& schema);
+
+  // Values for every schema field, in field-id order. Field names map to
+  // add-order attributes: shares, price, stock (8-byte symbol encoding),
+  // side ('B'/'S' byte), timestamp, order_ref, locate. Names with no
+  // add-order counterpart read 0.
+  std::vector<std::uint64_t> extract(const proto::ItchAddOrder& msg) const;
+
+ private:
+  enum class Source : std::uint8_t {
+    kZero,
+    kShares,
+    kPrice,
+    kStock,
+    kSide,
+    kTimestamp,
+    kOrderRef,
+    kLocate,
+  };
+  std::vector<Source> sources_;  // per field id
+  std::vector<std::uint64_t> masks_;
+};
+
+}  // namespace camus::switchsim

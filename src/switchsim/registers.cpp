@@ -1,0 +1,77 @@
+#include "switchsim/registers.hpp"
+
+#include <algorithm>
+
+namespace camus::switchsim {
+
+StateRegisters::StateRegisters(const spec::Schema& schema)
+    : schema_(&schema), cells_(schema.state_vars().size()) {}
+
+void StateRegisters::roll(std::uint32_t var, std::uint64_t now_us) {
+  const auto& sv = schema_->state_var(var);
+  if (sv.window_us == 0) return;  // cumulative: never resets
+  const std::uint64_t idx = now_us / sv.window_us;
+  Cell& c = cells_[var];
+  if (idx != c.window_index) {
+    c.window_index = idx;
+    c.sum = 0;
+    c.count = 0;
+  }
+}
+
+std::uint64_t StateRegisters::read(std::uint32_t var, std::uint64_t now_us) {
+  roll(var, now_us);
+  const Cell& c = cells_[var];
+  switch (schema_->state_var(var).func) {
+    case spec::StateFunc::kCount:
+      return c.count;
+    case spec::StateFunc::kSum:
+      return c.sum;
+    case spec::StateFunc::kAvg:
+      return c.count == 0 ? 0 : c.sum / c.count;
+    case spec::StateFunc::kMin:
+    case spec::StateFunc::kMax:
+      // Empty window reads 0, consistent with the other aggregates: the
+      // value only becomes meaningful once at least one update landed in
+      // the current window. Rules can guard on a companion counter.
+      return c.count == 0 ? 0 : c.sum;  // sum slot doubles as min/max
+  }
+  return 0;
+}
+
+std::vector<std::uint64_t> StateRegisters::snapshot(std::uint64_t now_us) {
+  std::vector<std::uint64_t> out(cells_.size());
+  for (std::uint32_t v = 0; v < cells_.size(); ++v) out[v] = read(v, now_us);
+  return out;
+}
+
+void StateRegisters::apply_update(std::uint32_t var,
+                                  const std::vector<std::uint64_t>& fields,
+                                  std::uint64_t now_us) {
+  roll(var, now_us);
+  const auto& sv = schema_->state_var(var);
+  Cell& c = cells_[var];
+  const std::uint64_t v =
+      sv.src_field != spec::kInvalidField ? fields.at(sv.src_field) : 0;
+  switch (sv.func) {
+    case spec::StateFunc::kCount:
+      break;
+    case spec::StateFunc::kSum:
+    case spec::StateFunc::kAvg: {
+      // Register widths saturate rather than wrap: a silent wrap would
+      // make window aggregates nonsensical.
+      const std::uint64_t room = sv.umax() - c.sum;
+      c.sum += v > room ? room : v;
+      break;
+    }
+    case spec::StateFunc::kMin:
+      c.sum = c.count == 0 ? v : std::min(c.sum, v);
+      break;
+    case spec::StateFunc::kMax:
+      c.sum = c.count == 0 ? v : std::max(c.sum, v);
+      break;
+  }
+  ++c.count;
+}
+
+}  // namespace camus::switchsim

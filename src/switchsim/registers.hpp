@@ -1,0 +1,45 @@
+// Stateful register file backing the schema's state variables. Implements
+// the tumbling-window aggregate semantics of the paper's @query_counter /
+// @query_avg annotations: each variable accumulates over an aligned window
+// of its declared size and resets when the window rolls over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::switchsim {
+
+class StateRegisters {
+ public:
+  explicit StateRegisters(const spec::Schema& schema);
+
+  // Current value of every state variable at time now_us, in id order —
+  // the vector the pipeline's Env.states slot expects. For kAvg this is
+  // sum/count over the in-progress window (0 when empty).
+  std::vector<std::uint64_t> snapshot(std::uint64_t now_us);
+
+  // Applies one update action (leaf ActionSet::state_updates entry).
+  // field_values supplies the aggregated source field for kSum/kAvg.
+  void apply_update(std::uint32_t var,
+                    const std::vector<std::uint64_t>& field_values,
+                    std::uint64_t now_us);
+
+  std::uint64_t read(std::uint32_t var, std::uint64_t now_us);
+
+ private:
+  struct Cell {
+    std::uint64_t window_index = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t count = 0;
+  };
+
+  void roll(std::uint32_t var, std::uint64_t now_us);
+
+  const spec::Schema* schema_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace camus::switchsim

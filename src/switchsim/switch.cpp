@@ -1,0 +1,138 @@
+#include "switchsim/switch.hpp"
+
+#include <map>
+
+#include "proto/generic.hpp"
+#include "proto/packet.hpp"
+
+namespace camus::switchsim {
+
+Switch::Switch(spec::Schema schema, table::Pipeline pipeline)
+    : schema_(std::make_shared<const spec::Schema>(std::move(schema))),
+      pipeline_(std::move(pipeline)),
+      extractor_(*schema_),
+      registers_(*schema_) {}
+
+Switch Switch::make_broadcast(spec::Schema schema,
+                              std::vector<std::uint16_t> ports) {
+  table::Pipeline pipe;
+  table::LeafEntry e;
+  e.state = table::kInitialState;
+  for (std::uint16_t p : ports) e.actions.add_port(p);
+  if (e.actions.ports.size() > 1)
+    e.mcast_group = pipe.mcast.intern(e.actions.ports);
+  pipe.leaf.add_entry(std::move(e));
+  pipe.finalize();
+  return Switch(schema, std::move(pipe));
+}
+
+const lang::ActionSet& Switch::classify(
+    const std::vector<std::uint64_t>& fields, std::uint64_t now_us) {
+  lang::Env env;
+  env.fields = fields;
+  env.states = registers_.snapshot(now_us);
+  const table::LeafEntry* leaf = pipeline_.evaluate(env);
+  static const lang::ActionSet kDrop{};
+  if (!leaf) return kDrop;
+  for (std::uint32_t var : leaf->actions.state_updates) {
+    registers_.apply_update(var, fields, now_us);
+    ++counters_.state_updates;
+  }
+  return leaf->actions;
+}
+
+std::vector<Switch::TxCopy> Switch::process(
+    std::span<const std::uint8_t> frame, std::uint64_t now_us) {
+  ++counters_.rx_frames;
+  auto pkt = proto::decode_market_data_packet(frame);
+  if (!pkt || pkt->itch.add_orders.empty()) {
+    ++counters_.parse_errors;
+    return {};
+  }
+  const auto fields = extractor_.extract(pkt->itch.add_orders.front());
+  const lang::ActionSet& actions = classify(fields, now_us);
+
+  if (actions.ports.empty()) {
+    ++counters_.dropped;
+    return {};
+  }
+  ++counters_.matched;
+  if (actions.ports.size() > 1) ++counters_.multicast_frames;
+  std::vector<TxCopy> out;
+  out.reserve(actions.ports.size());
+  for (std::uint16_t p : actions.ports) {
+    out.push_back({p});
+    ++counters_.tx_copies;
+  }
+  return out;
+}
+
+std::vector<Switch::TxCopy> Switch::process_generic(
+    std::span<const std::uint8_t> frame, std::uint64_t now_us) {
+  ++counters_.rx_frames;
+  auto fields = proto::decode_generic_packet(*schema_, frame);
+  if (!fields) {
+    ++counters_.parse_errors;
+    return {};
+  }
+  const lang::ActionSet& actions = classify(*fields, now_us);
+  if (actions.ports.empty()) {
+    ++counters_.dropped;
+    return {};
+  }
+  ++counters_.matched;
+  if (actions.ports.size() > 1) ++counters_.multicast_frames;
+  std::vector<TxCopy> out;
+  out.reserve(actions.ports.size());
+  for (std::uint16_t p : actions.ports) {
+    out.push_back({p});
+    ++counters_.tx_copies;
+  }
+  return out;
+}
+
+std::vector<Switch::TxPacket> Switch::process_messages(
+    std::span<const std::uint8_t> frame, std::uint64_t now_us) {
+  ++counters_.rx_frames;
+  auto pkt = proto::decode_market_data_packet(frame);
+  if (!pkt || pkt->itch.add_orders.empty()) {
+    ++counters_.parse_errors;
+    return {};
+  }
+
+  // Classify each message and bucket by egress port.
+  std::map<std::uint16_t, std::vector<proto::ItchAddOrder>> per_port;
+  bool any_matched = false;
+  for (const auto& msg : pkt->itch.add_orders) {
+    const auto fields = extractor_.extract(msg);
+    const lang::ActionSet& actions = classify(fields, now_us);
+    if (actions.ports.empty()) continue;
+    any_matched = true;
+    if (actions.ports.size() > 1) ++counters_.multicast_frames;
+    for (std::uint16_t p : actions.ports) per_port[p].push_back(msg);
+  }
+  if (!any_matched) {
+    ++counters_.dropped;
+    return {};
+  }
+  ++counters_.matched;
+
+  std::vector<TxPacket> out;
+  out.reserve(per_port.size());
+  for (auto& [port, msgs] : per_port) {
+    TxPacket tx;
+    tx.port = port;
+    tx.frame = proto::encode_market_data_packet(
+        pkt->eth, pkt->ip.src, pkt->ip.dst, pkt->itch.mold, msgs,
+        pkt->udp.dst_port);
+    out.push_back(std::move(tx));
+    ++counters_.tx_copies;
+  }
+  return out;
+}
+
+bool Switch::fits(const table::ResourceBudget& budget) const {
+  return budget.fits(pipeline_.resources());
+}
+
+}  // namespace camus::switchsim

@@ -1,0 +1,77 @@
+// A compiled packet-processing pipeline: the fixed-length sequence of
+// per-field match-action tables plus the leaf table and multicast groups
+// (paper Figure 4). Pure state-machine evaluation lives here; the switch
+// simulator adds packet parsing, registers, and port replication on top.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "table/table.hpp"
+
+namespace camus::table {
+
+class Pipeline {
+ public:
+  // Optional value-mapping stages produced by the domain-compression
+  // optimization: each maps one subject's raw value onto a narrow code
+  // domain via range entries (the Entry::state key is unused and fixed to
+  // kInitialState). The subject's main table then matches codes.
+  std::vector<Table> value_maps;
+  std::vector<Table> tables;  // in BDD field order
+  LeafTable leaf;
+  MulticastGroups mcast;
+  StateId initial_state = kInitialState;
+
+  // Builds lookup indices for every table. Must be called after the
+  // compiler populates entries and before evaluate().
+  void finalize();
+
+  // Runs the state machine over the given field/state values. Returns the
+  // matched leaf entry, or nullptr for drop.
+  const LeafEntry* evaluate(const lang::Env& env) const;
+
+  // Convenience: the merged ActionSet for the packet (empty set == drop).
+  const lang::ActionSet& evaluate_actions(const lang::Env& env) const;
+
+  ResourceUsage resources() const;
+
+  // Total logical entries across field tables and the leaf table — the
+  // quantity plotted in Figures 5a/5b and reported for Figure 5c.
+  std::uint64_t total_entries() const;
+
+  // Figure 4-style rendering of every table.
+  std::string to_string() const;
+
+  // GraphViz rendering of the pipeline as a state machine: one cluster per
+  // stage, edges labelled with the value match that takes them.
+  std::string to_dot() const;
+
+  // --- debugging -----------------------------------------------------
+  // One stage of an explained evaluation.
+  struct TraceStep {
+    std::string table;
+    std::uint64_t input_value = 0;   // field value presented to the stage
+    StateId state_before = 0;
+    bool hit = false;                // miss = state passes through
+    std::string match;               // matched entry's match, if hit
+    StateId state_after = 0;
+  };
+  struct Trace {
+    std::vector<TraceStep> steps;
+    StateId final_state = 0;
+    bool leaf_hit = false;
+    lang::ActionSet actions;  // empty = drop
+
+    std::string to_string() const;
+  };
+
+  // evaluate() with a step-by-step record — the debugging view of the
+  // state machine walk (value-map stages included).
+  Trace explain(const lang::Env& env) const;
+
+ private:
+  const LeafEntry* evaluate_mapped(const lang::Env& env) const;
+};
+
+}  // namespace camus::table

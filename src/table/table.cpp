@@ -1,0 +1,166 @@
+#include "table/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace camus::table {
+
+std::string to_string(MatchKind k) {
+  switch (k) {
+    case MatchKind::kExact: return "exact";
+    case MatchKind::kRange: return "range";
+    case MatchKind::kTernary: return "ternary";
+  }
+  return "?";
+}
+
+std::string ValueMatch::to_string() const {
+  switch (kind) {
+    case Kind::kAny:
+      return "*";
+    case Kind::kExact:
+      return std::to_string(lo);
+    case Kind::kRange:
+      return "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+  return "?";
+}
+
+void Table::finalize() {
+  index_.clear();
+  for (const Entry& e : entries_) {
+    StateIndex& si = index_[e.state];
+    switch (e.match.kind) {
+      case ValueMatch::Kind::kExact:
+        si.exact[e.match.lo] = e.next_state;
+        break;
+      case ValueMatch::Kind::kRange:
+        si.ranges.push_back(e);
+        break;
+      case ValueMatch::Kind::kAny:
+        si.any = e.next_state;
+        break;
+    }
+  }
+  for (auto& [state, si] : index_) {
+    std::sort(si.ranges.begin(), si.ranges.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.match.lo < b.match.lo;
+              });
+    // Entries for one state come from disjoint BDD branches; overlapping
+    // ranges indicate a compiler bug.
+    for (std::size_t i = 1; i < si.ranges.size(); ++i) {
+      if (si.ranges[i].match.lo <= si.ranges[i - 1].match.hi)
+        throw std::logic_error("overlapping range entries in table '" +
+                               name_ + "'");
+    }
+  }
+  indexed_ = true;
+}
+
+std::optional<StateId> Table::lookup(StateId state,
+                                     std::uint64_t value) const {
+  if (!indexed_)
+    throw std::logic_error("Table::lookup before finalize() on '" + name_ +
+                           "'");
+  auto it = index_.find(state);
+  if (it == index_.end()) return std::nullopt;
+  const StateIndex& si = it->second;
+  if (auto e = si.exact.find(value); e != si.exact.end()) return e->second;
+  if (!si.ranges.empty()) {
+    // Last range with lo <= value.
+    auto r = std::upper_bound(si.ranges.begin(), si.ranges.end(), value,
+                              [](std::uint64_t v, const Entry& e) {
+                                return v < e.match.lo;
+                              });
+    if (r != si.ranges.begin()) {
+      --r;
+      if (r->match.matches(value)) return r->next_state;
+    }
+  }
+  return si.any;  // wildcard fallback, or miss
+}
+
+std::uint32_t MulticastGroups::intern(
+    const std::vector<std::uint16_t>& ports) {
+  std::string key;
+  key.reserve(ports.size() * 2);
+  for (std::uint16_t p : ports) {
+    key.push_back(static_cast<char>(p & 0xff));
+    key.push_back(static_cast<char>(p >> 8));
+  }
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  const std::uint32_t id = static_cast<std::uint32_t>(groups_.size());
+  groups_.push_back(ports);
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+void LeafTable::add_entry(LeafEntry e) {
+  index_.emplace(e.state, entries_.size());
+  entries_.push_back(std::move(e));
+}
+
+const LeafEntry* LeafTable::lookup(StateId state) const {
+  auto it = index_.find(state);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+void ResourceUsage::accumulate(const ResourceUsage& other) {
+  sram_entries += other.sram_entries;
+  tcam_entries += other.tcam_entries;
+  logical_entries += other.logical_entries;
+  stages += other.stages;
+  multicast_groups += other.multicast_groups;
+}
+
+std::string ResourceUsage::to_string() const {
+  std::ostringstream os;
+  os << "entries=" << logical_entries << " (sram=" << sram_entries
+     << ", tcam=" << tcam_entries << "), stages=" << stages
+     << ", mcast_groups=" << multicast_groups;
+  return os.str();
+}
+
+bool ResourceBudget::fits(const ResourceUsage& u) const {
+  return u.stages <= max_stages &&
+         u.sram_entries <= sram_entries_per_stage * max_stages &&
+         u.tcam_entries <= tcam_entries_per_stage * max_stages &&
+         u.multicast_groups <= max_multicast_groups;
+}
+
+std::uint64_t tcam_entries_for_range(std::uint64_t lo, std::uint64_t hi,
+                                     std::uint32_t width_bits) {
+  if (lo > hi) return 0;
+  const std::uint64_t umax =
+      width_bits >= 64 ? ~0ULL : ((1ULL << width_bits) - 1);
+  hi = std::min(hi, umax);
+  if (lo > hi) return 0;
+  // Full domain: a single wildcard entry (the 2^64 block size would
+  // overflow the doubling loop below).
+  if (lo == 0 && hi == umax) return 1;
+
+  // Greedy minimal prefix cover: repeatedly take the largest power-of-two
+  // aligned block starting at lo that fits within [lo, hi].
+  std::uint64_t count = 0;
+  while (true) {
+    std::uint64_t block = 1;
+    // Largest block size that is aligned at lo and fits in the range.
+    while (block <= hi - lo) {
+      const std::uint64_t next = block << 1;
+      if (next == 0) break;                 // 2^64 overflow
+      if ((lo & (next - 1)) != 0) break;    // alignment
+      if (next - 1 > hi - lo) break;        // size
+      block = next;
+    }
+    ++count;
+    const std::uint64_t end = lo + (block - 1);
+    if (end >= hi) break;
+    lo = end + 1;
+  }
+  return count;
+}
+
+}  // namespace camus::table

@@ -1,0 +1,183 @@
+// Match-action table intermediate representation — the compiler's output
+// and the switch simulator's input. Mirrors the paper's Figure 4: one table
+// per field matching (entry state, field value) -> next state, plus a leaf
+// table mapping the final state to the merged ActionSet / multicast group.
+//
+// Miss semantics: a lookup miss leaves the state metadata unchanged. This
+// is how packets "pass through" tables for fields their current BDD path
+// does not predicate on; a packet whose state survives to the leaf table
+// without a leaf entry is dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/bound.hpp"
+
+namespace camus::table {
+
+using StateId = std::uint32_t;
+inline constexpr StateId kInitialState = 0;
+
+struct ResourceUsage;
+
+// Declared match capability of a table (drives resource accounting:
+// exact -> SRAM, range/ternary -> TCAM).
+enum class MatchKind : std::uint8_t { kExact, kRange, kTernary };
+
+std::string to_string(MatchKind k);
+
+// Per-entry match on the field value.
+struct ValueMatch {
+  enum class Kind : std::uint8_t { kAny, kExact, kRange };
+  Kind kind = Kind::kAny;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // inclusive; kExact has lo == hi
+
+  static ValueMatch any() { return {}; }
+  static ValueMatch exact(std::uint64_t v) {
+    return {Kind::kExact, v, v};
+  }
+  static ValueMatch range(std::uint64_t lo, std::uint64_t hi) {
+    return {Kind::kRange, lo, hi};
+  }
+
+  bool matches(std::uint64_t v) const noexcept {
+    return kind == Kind::kAny || (v >= lo && v <= hi);
+  }
+
+  std::string to_string() const;
+};
+
+struct Entry {
+  StateId state = kInitialState;
+  ValueMatch match;
+  StateId next_state = kInitialState;
+};
+
+// A single match-action stage. After populating `entries`, call finalize()
+// to build the lookup index used by the simulator.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, lang::Subject subject, MatchKind kind,
+        std::uint32_t width_bits)
+      : name_(std::move(name)),
+        subject_(subject),
+        kind_(kind),
+        width_bits_(width_bits) {}
+
+  const std::string& name() const noexcept { return name_; }
+  lang::Subject subject() const noexcept { return subject_; }
+  MatchKind kind() const noexcept { return kind_; }
+  std::uint32_t width_bits() const noexcept { return width_bits_; }
+
+  // Symbol-valued key: exact match values render as decoded tickers.
+  bool is_symbol() const noexcept { return symbol_; }
+  void set_symbol(bool v) noexcept { symbol_ = v; }
+
+  // SRAM/TCAM cost of this table's entries under its match kind.
+  ResourceUsage resources() const;
+
+  void add_entry(Entry e) { entries_.push_back(e); indexed_ = false; }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  // Builds per-state indices: hash lookup for exact entries, binary search
+  // over sorted disjoint ranges, wildcard fallback. Specific entries win
+  // over the per-state wildcard.
+  void finalize();
+
+  // Returns the next state, or nullopt on miss (caller keeps the state).
+  std::optional<StateId> lookup(StateId state, std::uint64_t value) const;
+
+ private:
+  struct StateIndex {
+    std::unordered_map<std::uint64_t, StateId> exact;
+    std::vector<Entry> ranges;  // sorted by lo; disjoint by construction
+    std::optional<StateId> any;
+  };
+
+  std::string name_;
+  lang::Subject subject_{};
+  MatchKind kind_ = MatchKind::kRange;
+  std::uint32_t width_bits_ = 64;
+  bool symbol_ = false;
+  std::vector<Entry> entries_;
+  std::unordered_map<StateId, StateIndex> index_;
+  bool indexed_ = false;
+};
+
+// Multicast group table: one group per distinct multi-port set. Unicast
+// actions do not consume a group (matching how the paper counts "198
+// multicast groups" separately from unicast forwards).
+class MulticastGroups {
+ public:
+  // Interns a port set (must be sorted unique). Returns the group id.
+  std::uint32_t intern(const std::vector<std::uint16_t>& ports);
+
+  const std::vector<std::uint16_t>& ports(std::uint32_t group) const {
+    return groups_.at(group);
+  }
+  std::size_t size() const noexcept { return groups_.size(); }
+
+ private:
+  std::vector<std::vector<std::uint16_t>> groups_;
+  std::unordered_map<std::string, std::uint32_t> ids_;  // key: packed ports
+};
+
+struct LeafEntry {
+  StateId state = kInitialState;
+  lang::ActionSet actions;
+  // Multicast group id when actions.ports.size() > 1; otherwise unused.
+  std::optional<std::uint32_t> mcast_group;
+};
+
+class LeafTable {
+ public:
+  void add_entry(LeafEntry e);
+  const std::vector<LeafEntry>& entries() const noexcept { return entries_; }
+
+  // Miss -> nullptr (drop).
+  const LeafEntry* lookup(StateId state) const;
+
+ private:
+  std::vector<LeafEntry> entries_;
+  std::unordered_map<StateId, std::size_t> index_;
+};
+
+// Resource accounting for one pipeline (paper §3.2, "Resource
+// Optimizations"). Exact entries live in SRAM; range entries expand to
+// O(#bits) TCAM entries via prefix expansion; wildcard entries cost one
+// TCAM entry.
+struct ResourceUsage {
+  std::uint64_t sram_entries = 0;
+  std::uint64_t tcam_entries = 0;
+  std::uint64_t logical_entries = 0;  // raw entry count across all tables
+  std::uint64_t stages = 0;           // tables + leaf
+  std::uint64_t multicast_groups = 0;
+
+  void accumulate(const ResourceUsage& other);
+  std::string to_string() const;
+};
+
+// Tofino-like per-device budget. The defaults are order-of-magnitude
+// approximations of a 12-stage switching ASIC; they gate the "fits in
+// switch memory" check, not any semantic behaviour.
+struct ResourceBudget {
+  std::uint64_t max_stages = 12;
+  std::uint64_t sram_entries_per_stage = 100000;
+  std::uint64_t tcam_entries_per_stage = 12000;
+  std::uint64_t max_multicast_groups = 65536;
+
+  bool fits(const ResourceUsage& u) const;
+};
+
+// Number of TCAM (prefix) entries needed to cover [lo, hi] on a
+// width_bits-wide key. Exact minimal prefix cover.
+std::uint64_t tcam_entries_for_range(std::uint64_t lo, std::uint64_t hi,
+                                     std::uint32_t width_bits);
+
+}  // namespace camus::table

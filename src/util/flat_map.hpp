@@ -1,0 +1,81 @@
+// Insert-only open-addressing hash map used for the BDD operation caches.
+// The compiler's hot loops are dominated by memo-table lookups; linear
+// probing over a flat array is several times faster than
+// std::unordered_map's chained buckets and avoids per-node allocation.
+// No erase support (the caches only grow, then clear wholesale).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace camus::util {
+
+template <typename K, typename V, typename Hash>
+class FlatMap {
+ public:
+  explicit FlatMap(std::size_t initial_capacity_log2 = 10)
+      : mask_((1ull << initial_capacity_log2) - 1),
+        slots_(mask_ + 1),
+        used_(mask_ + 1, 0) {}
+
+  // Returns the value for key, or nullptr. The pointer is invalidated by
+  // the next insert.
+  const V* find(const K& key) const {
+    std::size_t i = Hash{}(key)&mask_;
+    while (used_[i]) {
+      if (slots_[i].first == key) return &slots_[i].second;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  // Inserts; key must not be present (memo-table discipline).
+  void insert(const K& key, V value) {
+    if ((size_ + 1) * 10 > (mask_ + 1) * 7) grow();
+    std::size_t i = Hash{}(key)&mask_;
+    while (used_[i]) i = (i + 1) & mask_;
+    used_[i] = 1;
+    slots_[i] = {key, std::move(value)};
+    ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  void clear() {
+    std::fill(used_.begin(), used_.end(), 0);
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = (mask_ + 1) * 2;
+    std::vector<std::pair<K, V>> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    mask_ = new_cap - 1;
+    slots_.assign(new_cap, {});
+    used_.assign(new_cap, 0);
+    for (std::size_t j = 0; j < old_slots.size(); ++j) {
+      if (!old_used[j]) continue;
+      std::size_t i = Hash{}(old_slots[j].first) & mask_;
+      while (used_[i]) i = (i + 1) & mask_;
+      used_[i] = 1;
+      slots_[i] = std::move(old_slots[j]);
+    }
+  }
+
+  std::size_t mask_;
+  std::vector<std::pair<K, V>> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+// 64-bit mixer (splitmix64 finalizer) for composite integer keys.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace camus::util

@@ -1,0 +1,40 @@
+#include "util/intern.hpp"
+
+namespace camus::util {
+
+std::uint64_t Interner::intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  std::uint64_t id = names_.size();
+  names_.emplace_back(s);
+  ids_.emplace(std::string(s), id);
+  return id;
+}
+
+std::optional<std::uint64_t> Interner::lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t encode_symbol(std::string_view sym) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const unsigned char c = i < sym.size() ? static_cast<unsigned char>(sym[i])
+                                           : static_cast<unsigned char>(' ');
+    v = (v << 8) | c;
+  }
+  return v;
+}
+
+std::string decode_symbol(std::uint64_t value) {
+  std::string s(8, ' ');
+  for (std::size_t i = 0; i < 8; ++i) {
+    s[7 - i] = static_cast<char>(value & 0xff);
+    value >>= 8;
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+}  // namespace camus::util

@@ -1,0 +1,43 @@
+// String interning: maps symbolic field values (e.g. stock tickers) to dense
+// 64-bit ids and back. The compiler matches symbols by id; the protocol
+// layer encodes tickers as fixed-width byte strings, so the interner also
+// provides the canonical symbol <-> integer encoding used on the wire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace camus::util {
+
+class Interner {
+ public:
+  // Returns the id for `s`, creating one if unseen. Ids are dense from 0.
+  std::uint64_t intern(std::string_view s);
+
+  // Returns the id if `s` was interned before.
+  std::optional<std::uint64_t> lookup(std::string_view s) const;
+
+  // Returns the string for an id previously returned by intern().
+  // Precondition: id < size().
+  const std::string& name(std::uint64_t id) const { return names_.at(id); }
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> ids_;
+  std::vector<std::string> names_;
+};
+
+// Encodes an ASCII ticker symbol (up to 8 chars, right-padded with spaces,
+// as in ITCH) into a big-endian uint64. This makes symbol equality on the
+// wire identical to integer equality in the pipeline.
+std::uint64_t encode_symbol(std::string_view sym);
+
+// Inverse of encode_symbol: strips the space padding.
+std::string decode_symbol(std::uint64_t value);
+
+}  // namespace camus::util

@@ -1,0 +1,134 @@
+#include "util/interval.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace camus::util {
+
+IntervalSet IntervalSet::range(std::uint64_t lo, std::uint64_t hi) {
+  IntervalSet s;
+  if (lo <= hi) s.ivs_.push_back({lo, hi});
+  return s;
+}
+
+IntervalSet IntervalSet::less_than(std::uint64_t v) {
+  if (v == 0) return empty();
+  return range(0, v - 1);
+}
+
+IntervalSet IntervalSet::greater_than(std::uint64_t v, std::uint64_t umax) {
+  if (v >= umax) return empty();
+  return range(v + 1, umax);
+}
+
+bool IntervalSet::contains(std::uint64_t v) const noexcept {
+  // Binary search over the sorted intervals.
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), v,
+      [](std::uint64_t x, const Interval& iv) { return x < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  --it;
+  return v >= it->lo && v <= it->hi;
+}
+
+std::uint64_t IntervalSet::cardinality() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& iv : ivs_) {
+    const std::uint64_t span = iv.hi - iv.lo;
+    if (span == kMax || total > kMax - span - 1) return kMax;
+    total += span + 1;
+  }
+  return total;
+}
+
+std::uint64_t IntervalSet::min() const { return ivs_.front().lo; }
+std::uint64_t IntervalSet::max() const { return ivs_.back().hi; }
+
+void IntervalSet::normalize() {
+  if (ivs_.empty()) return;
+  std::sort(ivs_.begin(), ivs_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  out.push_back(ivs_[0]);
+  for (std::size_t i = 1; i < ivs_.size(); ++i) {
+    Interval& last = out.back();
+    const Interval& cur = ivs_[i];
+    // Merge overlapping or adjacent intervals ([0,4] + [5,9] -> [0,9]).
+    const bool adjacent = last.hi != kMax && cur.lo == last.hi + 1;
+    if (cur.lo <= last.hi || adjacent) {
+      last.hi = std::max(last.hi, cur.hi);
+    } else {
+      out.push_back(cur);
+    }
+  }
+  ivs_ = std::move(out);
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  std::size_t i = 0, j = 0;
+  while (i < ivs_.size() && j < other.ivs_.size()) {
+    const Interval& a = ivs_[i];
+    const Interval& b = other.ivs_[j];
+    const std::uint64_t lo = std::max(a.lo, b.lo);
+    const std::uint64_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.ivs_.push_back({lo, hi});
+    if (a.hi < b.hi)
+      ++i;
+    else
+      ++j;
+  }
+  return out;  // already sorted and disjoint
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  IntervalSet out;
+  out.ivs_ = ivs_;
+  out.ivs_.insert(out.ivs_.end(), other.ivs_.begin(), other.ivs_.end());
+  out.normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::complement(std::uint64_t umax) const {
+  IntervalSet out;
+  std::uint64_t next = 0;
+  bool open = true;  // whether [next, ...] is still to be emitted
+  for (const auto& iv : ivs_) {
+    if (iv.lo > umax) break;
+    if (iv.lo > next) out.ivs_.push_back({next, iv.lo - 1});
+    if (iv.hi >= umax) {
+      open = false;
+      break;
+    }
+    next = iv.hi + 1;
+  }
+  if (open && next <= umax) out.ivs_.push_back({next, umax});
+  return out;
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  // x \ y == x ∩ complement(y). Use the full uint64 universe for the
+  // complement; the intersection clips it back to this set's extent.
+  return intersect(other.complement(kMax));
+}
+
+bool IntervalSet::is_subset_of(const IntervalSet& other) const {
+  return intersect(other) == *this;
+}
+
+std::string IntervalSet::to_string() const {
+  if (is_empty()) return "{}";
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < ivs_.size(); ++i) {
+    if (i) os << ", ";
+    if (ivs_[i].lo == ivs_[i].hi)
+      os << ivs_[i].lo;
+    else
+      os << "[" << ivs_[i].lo << "," << ivs_[i].hi << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace camus::util

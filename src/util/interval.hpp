@@ -1,0 +1,89 @@
+// IntervalSet: a set of uint64 values represented as sorted, disjoint,
+// non-adjacent closed intervals. This is the workhorse value-domain
+// representation across the compiler:
+//   - conjunction simplification reduces per-field constraints to one set,
+//   - the BDD's domain-semantic pruning carries the residual set of values
+//     still possible for the current field,
+//   - Algorithm 1 intersects predicate sets along component paths to derive
+//     the match range of each table entry.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace camus::util {
+
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // inclusive
+
+  friend auto operator<=>(const Interval&, const Interval&) = default;
+};
+
+class IntervalSet {
+ public:
+  static constexpr std::uint64_t kMax =
+      std::numeric_limits<std::uint64_t>::max();
+
+  IntervalSet() = default;  // empty set
+
+  static IntervalSet empty() { return IntervalSet(); }
+  static IntervalSet all(std::uint64_t umax = kMax) {
+    return range(0, umax);
+  }
+  static IntervalSet point(std::uint64_t v) { return range(v, v); }
+  // [lo, hi]; returns empty if lo > hi.
+  static IntervalSet range(std::uint64_t lo, std::uint64_t hi);
+  // {x : x < v} == [0, v-1]; empty when v == 0.
+  static IntervalSet less_than(std::uint64_t v);
+  // {x : x > v} intersected with [0, umax]; empty when v >= umax.
+  static IntervalSet greater_than(std::uint64_t v, std::uint64_t umax = kMax);
+
+  bool is_empty() const noexcept { return ivs_.empty(); }
+  bool is_all(std::uint64_t umax = kMax) const noexcept {
+    return ivs_.size() == 1 && ivs_[0].lo == 0 && ivs_[0].hi == umax;
+  }
+  bool contains(std::uint64_t v) const noexcept;
+  bool is_single_point() const noexcept {
+    return ivs_.size() == 1 && ivs_[0].lo == ivs_[0].hi;
+  }
+
+  // Number of values in the set; saturates at kMax.
+  std::uint64_t cardinality() const noexcept;
+
+  std::uint64_t min() const;  // precondition: !is_empty()
+  std::uint64_t max() const;  // precondition: !is_empty()
+
+  IntervalSet intersect(const IntervalSet& other) const;
+  IntervalSet unite(const IntervalSet& other) const;
+  IntervalSet complement(std::uint64_t umax = kMax) const;
+  // this \ other
+  IntervalSet subtract(const IntervalSet& other) const;
+
+  bool is_subset_of(const IntervalSet& other) const;
+
+  const std::vector<Interval>& intervals() const noexcept { return ivs_; }
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const IntervalSet&, const IntervalSet&) = default;
+
+  // FNV-1a over the interval bounds; for hash-based interning.
+  std::size_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& iv : ivs_) {
+      h = (h ^ iv.lo) * 0x100000001b3ULL;
+      h = (h ^ iv.hi) * 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  void normalize();
+
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace camus::util

@@ -1,0 +1,59 @@
+// Minimal Result<T> used by parsers and the compiler front-end where a
+// malformed input is an expected outcome, not a programming error.
+// Exceptions remain in use for violated preconditions.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace camus::util {
+
+// Error with a human-readable message and optional source location.
+struct Error {
+  std::string message;
+  int line = 0;    // 1-based; 0 when not applicable
+  int column = 0;  // 1-based; 0 when not applicable
+
+  std::string to_string() const {
+    if (line > 0)
+      return "line " + std::to_string(line) + ":" + std::to_string(column) +
+             ": " + message;
+    return message;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT
+  Result(Error error) : error_(std::move(error)) {}             // NOLINT
+
+  bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result has no value: " + error_->message);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result has no value: " + error_->message);
+    return *value_;
+  }
+  T&& take() && {
+    if (!ok()) throw std::runtime_error("Result has no value: " + error_->message);
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::runtime_error("Result has no error");
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace camus::util

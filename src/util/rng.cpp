@@ -1,0 +1,65 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camus::util {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo;  // inclusive span - 1
+  if (span == std::numeric_limits<std::uint64_t>::max()) return next();
+  const std::uint64_t bound = span + 1;
+  // Debiased modulo (Lemire-style rejection on the cheap path).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return lo + r % bound;
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Avoid log(0): uniform01() is in [0,1), so 1 - u is in (0,1].
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept {
+  double u1 = 1.0 - uniform01();
+  double u2 = uniform01();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) noexcept {
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const noexcept {
+  double u = rng.uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const noexcept {
+  if (k >= cdf_.size()) return 0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace camus::util

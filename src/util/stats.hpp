@@ -1,0 +1,79 @@
+// Online statistics and CDF sampling used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camus::util {
+
+// Welford's online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+// Stores all samples; supports exact quantiles and CDF dumps. The latency
+// experiments collect at most a few million samples, so exact storage is
+// simpler and more faithful than a sketch.
+class CdfSampler {
+ public:
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  // Quantile q in [0, 1]. Returns 0 for an empty sampler.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+  double max() const { return quantile(1.0); }
+
+  // Fraction of samples <= x.
+  double fraction_below(double x) const;
+
+  // Evenly spaced (in probability) CDF points: {value, cumulative_prob}.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t n_points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = false;
+};
+
+// Fixed-width ASCII table used by the bench binaries to print paper-style
+// rows. Columns are sized to fit the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace camus::util

@@ -1,0 +1,26 @@
+// Wall-clock timing for the compile-time experiments (Figure 5c).
+#pragma once
+
+#include <chrono>
+
+namespace camus::util {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+  double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace camus::util

@@ -1,0 +1,91 @@
+#include "workload/feed.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace camus::workload {
+
+Feed generate_feed(const FeedParams& p) {
+  util::Rng rng(p.seed);
+  Feed feed;
+  feed.messages.reserve(p.n_messages);
+
+  std::vector<std::string> symbols =
+      p.symbols.empty() ? itch_symbols(100) : p.symbols;
+  // Ensure the watched symbol exists and find the "others" universe.
+  std::vector<std::size_t> others;
+  std::size_t watched_idx = symbols.size();
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i] == p.watched_symbol)
+      watched_idx = i;
+    else
+      others.push_back(i);
+  }
+  if (watched_idx == symbols.size()) {
+    watched_idx = symbols.size();
+    symbols.push_back(p.watched_symbol);
+  }
+  util::ZipfDistribution other_dist(std::max<std::size_t>(others.size(), 1),
+                                    p.zipf_s);
+
+  // Per-symbol random-walk price state.
+  std::vector<std::uint64_t> price(symbols.size());
+  for (auto& v : price) v = rng.uniform(p.price_min, p.price_max);
+
+  // Arrival process.
+  const double base_gap_us = 1e6 / p.rate_msgs_per_sec;
+  double t_us = 0;
+  bool in_burst = false;
+  double phase_end_us = 0;
+
+  std::uint64_t order_ref = 1;
+  for (std::size_t i = 0; i < p.n_messages; ++i) {
+    double gap;
+    if (p.mode == FeedMode::kNasdaqReplay) {
+      if (t_us >= phase_end_us) {
+        in_burst = !in_burst;
+        phase_end_us =
+            t_us + (in_burst ? p.burst_on_ms : p.burst_off_ms) * 1e3;
+      }
+      const double rate_scale = in_burst ? p.burst_factor : 0.2;
+      gap = rng.exponential(base_gap_us / rate_scale);
+    } else {
+      gap = rng.exponential(base_gap_us);
+    }
+    t_us += gap;
+
+    // Pick the symbol: watched fraction first, Zipf over the rest.
+    std::size_t sym_idx;
+    if (rng.chance(p.watched_fraction) || others.empty()) {
+      sym_idx = watched_idx;
+      ++feed.watched_count;
+    } else {
+      sym_idx = others[other_dist(rng)];
+    }
+
+    // Bounded +/-0.5% random-walk price step.
+    std::uint64_t& px = price[sym_idx];
+    const std::uint64_t step = std::max<std::uint64_t>(px / 200, 1);
+    px = rng.chance(0.5) ? px + rng.uniform(0, step)
+                         : px - std::min(px - 1, rng.uniform(0, step));
+    px = std::clamp(px, p.price_min, p.price_max);
+
+    FeedMessage fm;
+    fm.t_us = static_cast<std::uint64_t>(t_us);
+    fm.msg.stock_locate = static_cast<std::uint16_t>(sym_idx);
+    fm.msg.tracking = 0;
+    fm.msg.timestamp_ns = fm.t_us * 1000;
+    fm.msg.order_ref = order_ref++;
+    fm.msg.side = rng.chance(0.5) ? 'B' : 'S';
+    fm.msg.shares = static_cast<std::uint32_t>(
+        rng.uniform(p.shares_min, p.shares_max));
+    fm.msg.stock = symbols[sym_idx];
+    fm.msg.price = static_cast<std::uint32_t>(px);
+    feed.messages.push_back(std::move(fm));
+  }
+  return feed;
+}
+
+}  // namespace camus::workload

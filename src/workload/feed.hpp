@@ -1,0 +1,60 @@
+// ITCH market-data feed generators for the end-to-end experiments
+// (Figure 7). Two modes:
+//
+//  - kNasdaqReplay: substitutes the paper's Nasdaq trace (Aug 30 2017).
+//    Bursty arrivals (market-open style on/off bursts), Zipf symbol
+//    popularity, and a pinned fraction for the watched symbol (the paper
+//    reports GOOGL at 0.5% of the trace).
+//  - kSynthetic: the paper's synthetic feed — uniform arrivals with the
+//    watched symbol pinned at 5%.
+//
+// Per-symbol prices follow a bounded random walk so stateful (moving
+// average) subscriptions see realistic dynamics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/itch.hpp"
+
+namespace camus::workload {
+
+enum class FeedMode : std::uint8_t { kNasdaqReplay, kSynthetic };
+
+struct FeedParams {
+  std::uint64_t seed = 1;
+  FeedMode mode = FeedMode::kSynthetic;
+  std::size_t n_messages = 100000;
+  std::vector<std::string> symbols;  // defaults to itch_symbols(100)
+
+  std::string watched_symbol = "GOOGL";
+  double watched_fraction = 0.05;  // 0.005 for the Nasdaq-replay default
+  double zipf_s = 1.0;             // popularity skew of the other symbols
+
+  double rate_msgs_per_sec = 100000;  // mean offered load
+  // kNasdaqReplay burst model: alternating on/off phases; bursts run at
+  // burst_factor times the base rate.
+  double burst_factor = 10.0;
+  double burst_on_ms = 5.0;
+  double burst_off_ms = 20.0;
+
+  std::uint64_t price_min = 100'0000;   // $100.00 in 4-decimal fixed point
+  std::uint64_t price_max = 2000'0000;  // $2000.00
+  std::uint32_t shares_min = 1;
+  std::uint32_t shares_max = 1000;
+};
+
+struct FeedMessage {
+  std::uint64_t t_us = 0;  // arrival time at the publisher
+  proto::ItchAddOrder msg;
+};
+
+struct Feed {
+  std::vector<FeedMessage> messages;  // sorted by t_us
+  std::size_t watched_count = 0;      // messages for the watched symbol
+};
+
+Feed generate_feed(const FeedParams& params);
+
+}  // namespace camus::workload

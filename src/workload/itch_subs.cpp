@@ -1,0 +1,70 @@
+#include "workload/itch_subs.hpp"
+
+#include <stdexcept>
+
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+
+namespace camus::workload {
+
+using lang::BoundCond;
+using lang::BoundPredicate;
+using lang::RelOp;
+using lang::Subject;
+
+std::vector<std::string> itch_symbols(std::size_t n) {
+  static const std::vector<std::string> kWellKnown = {
+      "GOOGL", "AAPL", "MSFT", "AMZN", "ORCL", "INTC", "NVDA", "TSLA",
+      "META",  "NFLX", "AMD",  "CSCO", "QCOM", "IBM",  "TXN",  "ADBE"};
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n && i < kWellKnown.size(); ++i)
+    out.push_back(kWellKnown[i]);
+  for (std::size_t i = out.size(); i < n; ++i)
+    out.push_back("STK" + std::to_string(i));
+  return out;
+}
+
+ItchSubscriptions generate_itch_subscriptions(const spec::Schema& schema,
+                                              const ItchSubsParams& p) {
+  auto stock = schema.resolve_field("stock");
+  auto price = schema.resolve_field("price");
+  if (!stock || !price)
+    throw std::invalid_argument(
+        "ITCH subscription generator needs 'stock' and 'price' fields");
+
+  util::Rng rng(p.seed);
+  ItchSubscriptions out;
+  out.symbols = itch_symbols(p.n_symbols);
+
+  // Per-host fixed thresholds (see header comment).
+  std::vector<std::uint64_t> host_threshold(p.n_hosts);
+  for (auto& t : host_threshold) t = rng.uniform(1, p.price_max - 1);
+
+  const std::uint64_t price_umax = schema.field(*price).umax();
+  out.rules.reserve(p.n_subscriptions);
+  for (std::size_t i = 0; i < p.n_subscriptions; ++i) {
+    const std::size_t host =
+        p.round_robin ? i % p.n_hosts : rng.uniform(0, p.n_hosts - 1);
+    const std::uint64_t threshold = p.per_host_threshold
+                                        ? host_threshold[host]
+                                        : rng.uniform(1, p.price_max - 1);
+    const std::string& sym =
+        out.symbols[p.round_robin ? (i / p.n_hosts) % p.n_symbols
+                                  : rng.uniform(0, p.n_symbols - 1)];
+
+    BoundPredicate ps{Subject::field(*stock), RelOp::kEq,
+                      util::encode_symbol(sym)};
+    BoundPredicate pp{Subject::field(*price), RelOp::kGt,
+                      threshold & price_umax};
+
+    lang::BoundRule rule;
+    rule.cond = BoundCond::make_and(BoundCond::make_atom(ps),
+                                    BoundCond::make_atom(pp));
+    rule.actions.add_port(static_cast<std::uint16_t>(1 + host));
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace camus::workload

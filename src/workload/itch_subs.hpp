@@ -1,0 +1,56 @@
+// ITCH subscription generator for the compile-time experiment (Figure 5c):
+// subscriptions of the form "stock == S and price > P : fwd(H)", with S one
+// of n_symbols stock symbols, P in (0, price_max) and H one of n_hosts end
+// hosts.
+//
+// By default each host uses one fixed price threshold across all of its
+// subscriptions (per_host_threshold). This reproduces the paper's reported
+// scale — ~21K table entries and ~200 multicast groups at 100K
+// subscriptions — because the per-symbol threshold chains then share the
+// same global host ordering, so the merged action sets are prefixes of one
+// sequence and deduplicate across symbols. With per-subscription random
+// thresholds (the ablation setting) the action sets differ per symbol and
+// both counts grow substantially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::workload {
+
+struct ItchSubsParams {
+  std::uint64_t seed = 1;
+  std::size_t n_subscriptions = 1000;
+  std::size_t n_symbols = 100;
+  std::size_t n_hosts = 200;
+  std::uint64_t price_max = 1000;
+  bool per_host_threshold = true;
+  // Cover (host, symbol) pairs round-robin instead of sampling both
+  // uniformly. With enough subscriptions every symbol is watched by every
+  // host, so the per-symbol threshold chains share one global host
+  // ordering and the merged action sets deduplicate switch-wide — the
+  // regime the paper reports (~200 multicast groups at 100K
+  // subscriptions). Random sampling leaves each symbol missing a few
+  // hosts, which multiplies the distinct action sets.
+  bool round_robin = true;
+};
+
+struct ItchSubscriptions {
+  std::vector<lang::BoundRule> rules;
+  std::vector<std::string> symbols;  // the symbol universe
+};
+
+// Symbol universe used by the ITCH workloads ("STK0".."STK99"-style, plus
+// well-known tickers first so examples read naturally).
+std::vector<std::string> itch_symbols(std::size_t n);
+
+// `schema` must contain queryable fields named "stock" and "price" (e.g.
+// spec::make_itch_schema()).
+ItchSubscriptions generate_itch_subscriptions(const spec::Schema& schema,
+                                              const ItchSubsParams& params);
+
+}  // namespace camus::workload

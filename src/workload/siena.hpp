@@ -1,0 +1,42 @@
+// Siena-style synthetic subscription workloads (paper §4: "we generated
+// workloads using the Siena Synthetic Benchmark Generator"). Drives the
+// compiler-efficiency experiments of Figures 5a and 5b: subscriptions are
+// conjunctions of k atomic predicates drawn over a mixed string/numeric
+// attribute space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+
+namespace camus::workload {
+
+struct SienaParams {
+  std::uint64_t seed = 1;
+  std::size_t n_subscriptions = 20;
+  // Number of atomic predicates per conjunction (Figure 5b's x-axis,
+  // "selectiveness of subscriptions").
+  std::size_t predicates_per_subscription = 3;
+
+  std::size_t n_string_attrs = 2;
+  std::size_t n_numeric_attrs = 3;
+  std::size_t n_symbols = 50;       // distinct string constants
+  std::uint64_t numeric_max = 1000; // numeric constants drawn from [0, max]
+  double symbol_zipf_s = 0.8;       // popularity skew of string constants
+  std::size_t n_ports = 16;
+  // Operator mix on numeric attributes (strings always use ==).
+  double numeric_eq_fraction = 0.3;
+};
+
+struct SienaWorkload {
+  spec::Schema schema;
+  std::vector<lang::BoundRule> rules;
+  std::vector<std::string> symbols;
+};
+
+SienaWorkload generate_siena(const SienaParams& params);
+
+}  // namespace camus::workload

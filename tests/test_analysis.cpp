@@ -1,0 +1,101 @@
+// Rule-set static analysis: satisfiability, duplicates, selectivity.
+#include <gtest/gtest.h>
+
+#include "compiler/analysis.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+
+namespace {
+
+using namespace camus;
+
+std::vector<lang::BoundRule> bind_all(const spec::Schema& schema,
+                                      std::string_view text) {
+  auto parsed = lang::parse_rules(text);
+  EXPECT_TRUE(parsed.ok());
+  auto bound = lang::bind_rules(parsed.value(), schema);
+  EXPECT_TRUE(bound.ok()) << (bound.ok() ? "" : bound.error().to_string());
+  return std::move(bound).take();
+}
+
+TEST(Analysis, FlagsUnsatisfiableRules) {
+  auto schema = spec::make_itch_schema();
+  auto rules = bind_all(schema, R"(
+    shares < 10 and shares > 20 : fwd(1)
+    stock == GOOGL : fwd(2)
+  )");
+  auto report = compiler::analyze_rules(schema, rules);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().unsatisfiable_count, 1u);
+  EXPECT_FALSE(report.value().rules[0].satisfiable);
+  EXPECT_TRUE(report.value().rules[1].satisfiable);
+  EXPECT_NE(report.value().to_string(schema).find("UNSATISFIABLE"),
+            std::string::npos);
+}
+
+TEST(Analysis, DetectsDuplicatesAndSameCondition) {
+  auto schema = spec::make_itch_schema();
+  auto rules = bind_all(schema, R"(
+    stock == GOOGL and price > 5 : fwd(1)
+    price > 5 and stock == GOOGL : fwd(1)
+    stock == GOOGL and price > 5 : fwd(2)
+    stock == MSFT : fwd(1)
+  )");
+  auto report = compiler::analyze_rules(schema, rules);
+  ASSERT_TRUE(report.ok());
+  const auto& rs = report.value().rules;
+  // Rule 2 is rule 1 reordered: exact duplicate (canonical DNF form).
+  ASSERT_TRUE(rs[1].duplicate_of.has_value());
+  EXPECT_EQ(*rs[1].duplicate_of, 0u);
+  // Rule 3 shares the condition but forwards elsewhere.
+  ASSERT_TRUE(rs[2].same_condition_as.has_value());
+  EXPECT_FALSE(rs[2].duplicate_of.has_value());
+  EXPECT_FALSE(rs[3].duplicate_of.has_value());
+  EXPECT_EQ(report.value().duplicate_count, 1u);
+}
+
+TEST(Analysis, SelectivityEstimates) {
+  auto schema = spec::make_itch_schema();
+  auto rules = bind_all(schema, R"(
+    shares < 2147483648 : fwd(1)
+    shares < 1 : fwd(2)
+    shares >= 0 : fwd(3)
+  )");
+  auto report = compiler::analyze_rules(schema, rules);
+  ASSERT_TRUE(report.ok());
+  const auto& rs = report.value().rules;
+  EXPECT_NEAR(rs[0].selectivity, 0.5, 1e-6);       // half the 32-bit domain
+  EXPECT_NEAR(rs[1].selectivity, 1.0 / 4294967296.0, 1e-12);
+  EXPECT_NEAR(rs[2].selectivity, 1.0, 1e-9);       // tautology
+  EXPECT_TRUE(rs[2].subjects.empty());             // no constraints remain
+}
+
+TEST(Analysis, SubjectsListed) {
+  auto schema = spec::make_itch_schema();
+  auto rules = bind_all(
+      schema, "stock == GOOGL and price > 5 and avg(price) > 9 : fwd(1)");
+  auto report = compiler::analyze_rules(schema, rules);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().rules[0].subjects.size(), 3u);
+  EXPECT_EQ(report.value().rules[0].dnf_terms, 1u);
+}
+
+TEST(Analysis, DisjunctionUnionBound) {
+  auto schema = spec::make_itch_schema();
+  // Two disjoint halves: selectivity sums to ~1.
+  auto rules = bind_all(
+      schema, "shares < 2147483648 or shares >= 2147483648 : fwd(1)");
+  auto report = compiler::analyze_rules(schema, rules);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().rules[0].selectivity, 1.0, 1e-6);
+  EXPECT_EQ(report.value().rules[0].dnf_terms, 2u);
+}
+
+TEST(Analysis, EmptyRuleSet) {
+  auto schema = spec::make_itch_schema();
+  auto report = compiler::analyze_rules(schema, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().rules.empty());
+}
+
+}  // namespace

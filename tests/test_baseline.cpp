@@ -1,0 +1,81 @@
+// Software matchers: naive and counting-index implementations must agree
+// with each other and with the compiled pipeline.
+#include <gtest/gtest.h>
+
+#include "baseline/matcher.hpp"
+#include "compiler/compile.hpp"
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+#include "workload/siena.hpp"
+
+namespace {
+
+using namespace camus;
+
+TEST(NaiveMatcher, UnionOfMatchingRules) {
+  workload::SienaParams p;
+  p.n_subscriptions = 5;
+  auto w = workload::generate_siena(p);
+  auto flat = lang::flatten_rules(w.rules, w.schema);
+  ASSERT_TRUE(flat.ok());
+  baseline::NaiveMatcher m(flat.value());
+  EXPECT_EQ(m.rule_count(), 5u);
+}
+
+TEST(CountingMatcher, HandlesAlwaysTrueRules) {
+  spec::Schema s;
+  s.add_header("t", "h");
+  auto f = s.add_field("x", 8);
+  s.mark_queryable(f, spec::MatchHint::kRange);
+
+  // "x >= 0" folds to true: matches everything.
+  std::vector<lang::FlatRule> rules(1);
+  rules[0].terms.push_back(lang::Conjunction{});
+  rules[0].actions.add_port(9);
+  baseline::CountingMatcher cm(rules, s);
+  lang::Env env;
+  env.fields = {123};
+  EXPECT_EQ(cm.match(env).ports, (std::vector<std::uint16_t>{9}));
+}
+
+class MatcherEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherEquivalence, NaiveCountingAndPipelineAgree) {
+  util::Rng rng(GetParam());
+  workload::SienaParams p;
+  p.seed = GetParam();
+  p.n_subscriptions = 30;
+  p.predicates_per_subscription = 2;
+  p.n_symbols = 8;
+  p.numeric_max = 50;
+  auto w = workload::generate_siena(p);
+
+  auto flat = lang::flatten_rules(w.rules, w.schema);
+  ASSERT_TRUE(flat.ok());
+  baseline::NaiveMatcher naive(flat.value());
+  baseline::CountingMatcher counting(flat.value(), w.schema);
+  auto compiled = compiler::compile_rules(w.schema, w.rules);
+  ASSERT_TRUE(compiled.ok());
+
+  lang::Env env;
+  for (int trial = 0; trial < 500; ++trial) {
+    env.fields.clear();
+    for (const auto& f : w.schema.fields()) {
+      if (f.kind == spec::FieldKind::kSymbol) {
+        env.fields.push_back(
+            util::encode_symbol(rng.pick(w.symbols)));
+      } else {
+        env.fields.push_back(rng.uniform(0, p.numeric_max));
+      }
+    }
+    const auto expected = naive.match(env);
+    EXPECT_EQ(counting.match(env), expected) << trial;
+    EXPECT_EQ(compiled.value().pipeline.evaluate_actions(env), expected)
+        << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherEquivalence,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace

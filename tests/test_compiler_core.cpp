@@ -1,0 +1,249 @@
+// Core end-to-end compiler semantics: the paper's Figure 3/4 worked
+// example, and randomized equivalence between the compiled pipeline, the
+// BDD, and direct rule evaluation.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "lang/dnf.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+
+spec::Schema figure3_schema() {
+  spec::Schema s;
+  s.add_header("trade_t", "trade");
+  auto shares = s.add_field("shares", 32);
+  auto stock = s.add_field("stock", 64, spec::FieldKind::kSymbol);
+  s.mark_queryable(shares, spec::MatchHint::kRange);
+  s.mark_queryable(stock, spec::MatchHint::kExact);
+  return s;
+}
+
+// Rules shaped after the paper's Figure 3: two overlapping rules on
+// shares > 100 (actions merge to fwd(1,2)) and one on shares < 60.
+constexpr std::string_view kFigure3Rules = R"(
+  shares > 100 and stock == MSFT : fwd(2)
+  shares > 100 : fwd(1)
+  shares < 60 and stock == AAPL : fwd(3)
+)";
+
+lang::Env make_env(std::uint64_t shares, std::string_view stock) {
+  lang::Env env;
+  env.fields = {shares, util::encode_symbol(stock)};
+  return env;
+}
+
+TEST(Figure4, CompilesToThreeStagePipeline) {
+  const auto schema = figure3_schema();
+  auto compiled = compiler::compile_source(schema, kFigure3Rules);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  const auto& c = compiled.value();
+
+  // Shares component + stock component + leaf = the three-stage pipeline
+  // of Figure 4.
+  ASSERT_EQ(c.pipeline.tables.size(), 2u);
+  EXPECT_EQ(c.pipeline.tables[0].name(), "trade.shares");
+  EXPECT_EQ(c.pipeline.tables[1].name(), "trade.stock");
+  EXPECT_EQ(c.pipeline.tables[0].kind(), table::MatchKind::kRange);
+  EXPECT_EQ(c.pipeline.tables[1].kind(), table::MatchKind::kExact);
+
+  // Overlapping rules merged into a multicast action: fwd(1,2).
+  ASSERT_EQ(c.pipeline.mcast.size(), 1u);
+  EXPECT_EQ(c.pipeline.mcast.ports(0),
+            (std::vector<std::uint16_t>{1, 2}));
+}
+
+TEST(Figure4, EvaluationMatchesPaperSemantics) {
+  const auto schema = figure3_schema();
+  auto compiled = compiler::compile_source(schema, kFigure3Rules);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  const auto& pipe = compiled.value().pipeline;
+
+  // shares > 100 and MSFT: both rules 1 and 2 -> fwd(1,2).
+  EXPECT_EQ(pipe.evaluate_actions(make_env(150, "MSFT")).ports,
+            (std::vector<std::uint16_t>{1, 2}));
+  // shares > 100, other stock: only rule 2 -> fwd(1).
+  EXPECT_EQ(pipe.evaluate_actions(make_env(150, "ORCL")).ports,
+            (std::vector<std::uint16_t>{1}));
+  // shares < 60 and AAPL -> fwd(3).
+  EXPECT_EQ(pipe.evaluate_actions(make_env(10, "AAPL")).ports,
+            (std::vector<std::uint16_t>{3}));
+  // shares < 60, other stock -> drop.
+  EXPECT_TRUE(pipe.evaluate_actions(make_env(10, "MSFT")).is_drop());
+  // Middle band -> drop.
+  EXPECT_TRUE(pipe.evaluate_actions(make_env(80, "AAPL")).is_drop());
+  // Boundaries.
+  EXPECT_TRUE(pipe.evaluate_actions(make_env(60, "AAPL")).is_drop());
+  EXPECT_TRUE(pipe.evaluate_actions(make_env(100, "MSFT")).is_drop());
+  EXPECT_EQ(pipe.evaluate_actions(make_env(101, "MSFT")).ports,
+            (std::vector<std::uint16_t>{1, 2}));
+  EXPECT_EQ(pipe.evaluate_actions(make_env(59, "AAPL")).ports,
+            (std::vector<std::uint16_t>{3}));
+}
+
+// Randomized equivalence: pipeline == BDD == direct DNF rule evaluation.
+struct RandomEquivParams {
+  std::uint64_t seed;
+  bool prune;
+  bool compress;
+};
+
+class RandomEquivalence
+    : public ::testing::TestWithParam<RandomEquivParams> {};
+
+TEST_P(RandomEquivalence, PipelineMatchesDirectEvaluation) {
+  const auto p = GetParam();
+  util::Rng rng(p.seed);
+
+  spec::Schema schema;
+  schema.add_header("msg_t", "msg");
+  const auto f0 = schema.add_field("a", 8);
+  const auto f1 = schema.add_field("b", 8);
+  const auto f2 = schema.add_field("sym", 64, spec::FieldKind::kSymbol);
+  schema.mark_queryable(f0, spec::MatchHint::kRange);
+  schema.mark_queryable(f1, spec::MatchHint::kRange);
+  schema.mark_queryable(f2, spec::MatchHint::kExact);
+
+  const std::vector<std::string> symbols = {"AA", "BB", "CC", "DD"};
+
+  // Random rules over a small domain so random packets hit matches often.
+  std::vector<lang::Rule> rules;
+  const std::size_t n_rules = 1 + rng.uniform(0, 14);
+  for (std::size_t i = 0; i < n_rules; ++i) {
+    std::string text;
+    const std::size_t n_atoms = 1 + rng.uniform(0, 3);
+    for (std::size_t k = 0; k < n_atoms; ++k) {
+      if (k) text += rng.chance(0.7) ? " and " : " or ";
+      if (rng.chance(0.2)) text += "!";
+      switch (rng.uniform(0, 3)) {
+        case 0:
+          text += "a " + std::string(rng.chance(0.5) ? "<" : ">") + " " +
+                  std::to_string(rng.uniform(0, 255));
+          break;
+        case 1:
+          text += "b " + std::string(rng.chance(0.5) ? "<=" : ">=") + " " +
+                  std::to_string(rng.uniform(0, 255));
+          break;
+        case 2:
+          text += "a == " + std::to_string(rng.uniform(0, 255));
+          break;
+        default:
+          text += "sym " + std::string(rng.chance(0.7) ? "==" : "!=") + " " +
+                  rng.pick(symbols);
+          break;
+      }
+    }
+    text += " : fwd(" + std::to_string(rng.uniform(1, 8)) + ")";
+    auto parsed = lang::parse_rule(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.error().to_string();
+    rules.push_back(std::move(parsed).take());
+  }
+
+  auto bound = lang::bind_rules(rules, schema);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  auto flat = lang::flatten_rules(bound.value(), schema);
+  ASSERT_TRUE(flat.ok());
+
+  compiler::CompileOptions opts;
+  opts.semantic_prune = p.prune;
+  opts.domain_compression = p.compress;
+  opts.compression_min_entries = 1;
+  auto compiled = compiler::compile_rules(schema, bound.value(), opts);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  const auto& c = compiled.value();
+
+  for (int trial = 0; trial < 400; ++trial) {
+    lang::Env env;
+    env.fields = {rng.uniform(0, 255), rng.uniform(0, 255),
+                  util::encode_symbol(rng.pick(symbols))};
+
+    // Ground truth: union of actions of all matching rules.
+    lang::ActionSet expected;
+    for (const auto& fr : flat.value()) {
+      if (lang::eval_flat_rule(fr, env)) expected.merge(fr.actions);
+    }
+
+    const auto& bdd_actions = c.manager->evaluate(c.root, env);
+    EXPECT_EQ(bdd_actions, expected) << "BDD mismatch, trial " << trial;
+
+    const auto& pipe_actions = c.pipeline.evaluate_actions(env);
+    EXPECT_EQ(pipe_actions, expected) << "pipeline mismatch, trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomEquivalence,
+    ::testing::Values(
+        RandomEquivParams{1, true, false}, RandomEquivParams{2, true, false},
+        RandomEquivParams{3, true, false}, RandomEquivParams{4, false, false},
+        RandomEquivParams{5, false, false}, RandomEquivParams{6, true, true},
+        RandomEquivParams{7, true, true}, RandomEquivParams{8, false, true},
+        RandomEquivParams{9, true, false}, RandomEquivParams{10, true, true}));
+
+}  // namespace
+
+namespace order_independence {
+
+using namespace camus;
+
+// Property: rule ORDER must not affect the compiled function ("the switch
+// executes the actions of all matching rules, in no particular order").
+class RuleOrderIndependence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RuleOrderIndependence, ShuffledRulesCompileToSameFunction) {
+  util::Rng rng(GetParam());
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams p;
+  p.seed = GetParam();
+  p.n_subscriptions = 60;
+  p.n_symbols = 8;
+  p.n_hosts = 8;
+  p.price_max = 50;
+  p.per_host_threshold = false;
+  auto subs = workload::generate_itch_subscriptions(schema, p);
+
+  auto original = compiler::compile_rules(schema, subs.rules);
+  ASSERT_TRUE(original.ok());
+  auto shuffled_rules = subs.rules;
+  rng.shuffle(shuffled_rules);
+  auto shuffled = compiler::compile_rules(schema, shuffled_rules);
+  ASSERT_TRUE(shuffled.ok());
+
+  for (int trial = 0; trial < 400; ++trial) {
+    lang::Env env;
+    env.fields = {rng.uniform(0, 100),
+                  util::encode_symbol(rng.pick(subs.symbols)),
+                  rng.uniform(0, 60)};
+    env.states = {0, 0};
+    ASSERT_EQ(original.value().pipeline.evaluate_actions(env),
+              shuffled.value().pipeline.evaluate_actions(env))
+        << trial;
+  }
+  // The reduced BDD is canonical per function, so sizes agree too.
+  EXPECT_EQ(original.value().stats.bdd_after_prune.node_count,
+            shuffled.value().stats.bdd_after_prune.node_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleOrderIndependence,
+                         ::testing::Values(311, 312, 313));
+
+TEST(PipelineDot, RendersStatesAndEdges) {
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(
+      schema, "stock == GOOGL and price > 10 : fwd(1)");
+  ASSERT_TRUE(c.ok());
+  const std::string dot = c.value().pipeline.to_dot();
+  EXPECT_NE(dot.find("digraph pipeline"), std::string::npos);
+  EXPECT_NE(dot.find("fwd(1)"), std::string::npos);
+  EXPECT_NE(dot.find("GOOGL"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace order_independence

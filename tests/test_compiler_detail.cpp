@@ -1,0 +1,418 @@
+// Compiler internals: Algorithm 1 structure, match-kind selection,
+// wildcard fallback, drop-entry emission, field ordering heuristics,
+// domain compression, P4 emission.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/compress.hpp"
+#include "compiler/field_order.hpp"
+#include "compiler/p4gen.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+
+spec::Schema fig3_schema() {
+  spec::Schema s;
+  s.add_header("trade_t", "trade");
+  auto shares = s.add_field("shares", 32);
+  auto stock = s.add_field("stock", 64, spec::FieldKind::kSymbol);
+  s.mark_queryable(shares, spec::MatchHint::kRange);
+  s.mark_queryable(stock, spec::MatchHint::kExact);
+  return s;
+}
+
+constexpr std::string_view kFig3Rules = R"(
+  shares > 100 and stock == MSFT : fwd(2)
+  shares > 100 : fwd(1)
+  shares < 60 and stock == AAPL : fwd(3)
+)";
+
+TEST(Algorithm1, DropEntriesMatchFigure4Shape) {
+  const auto schema = fig3_schema();
+  compiler::CompileOptions opts;
+  opts.emit_drop_entries = true;
+  auto c = compiler::compile_source(schema, kFig3Rules, opts);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  const auto& pipe = c.value().pipeline;
+
+  // Figure 4: shares table has 3 rows (<60, >100, middle-band drop).
+  ASSERT_EQ(pipe.tables.size(), 2u);
+  EXPECT_EQ(pipe.tables[0].entries().size(), 3u);
+  // Stock table: 2 states x (1 symbol + 1 fallback) = 4 rows.
+  EXPECT_EQ(pipe.tables[1].entries().size(), 4u);
+  // Leaf: fwd(3), fwd(1,2), fwd(1), drop = 4 rows.
+  EXPECT_EQ(pipe.leaf.entries().size(), 4u);
+
+  // The rendering mentions the wildcard rows.
+  const std::string rendered = pipe.to_string();
+  EXPECT_NE(rendered.find("*"), std::string::npos);
+  EXPECT_NE(rendered.find("drop()"), std::string::npos);
+  EXPECT_NE(rendered.find("fwd(1,2)"), std::string::npos);
+}
+
+TEST(Algorithm1, MinimalModeOmitsDropEntries) {
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema, kFig3Rules);
+  ASSERT_TRUE(c.ok());
+  const auto& pipe = c.value().pipeline;
+  EXPECT_EQ(pipe.tables[0].entries().size(), 2u);  // no middle-band row
+  EXPECT_EQ(pipe.leaf.entries().size(), 3u);       // no drop row
+  // Stock table: state(AAPL-node): 1 exact entry; state(MSFT-node):
+  // MSFT->fwd(1,2) plus wildcard->fwd(1).
+  EXPECT_EQ(pipe.tables[1].entries().size(), 3u);
+}
+
+TEST(Algorithm1, WildcardFallbackForNegation) {
+  // !(stock == AAPL): the complement set would need 2 interval entries;
+  // the wildcard fallback encodes it in 1 plus the point.
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema,
+                                    "!(stock == AAPL) : fwd(1)");
+  ASSERT_TRUE(c.ok());
+  const auto& t = c.value().pipeline.tables[0];
+  EXPECT_EQ(t.subject().id, 1u);  // only the stock table exists
+  ASSERT_EQ(t.entries().size(), 2u);
+  bool has_any = false, has_exact = false;
+  for (const auto& e : t.entries()) {
+    has_any |= e.match.kind == table::ValueMatch::Kind::kAny;
+    has_exact |= e.match.kind == table::ValueMatch::Kind::kExact;
+  }
+  EXPECT_TRUE(has_any);
+  EXPECT_TRUE(has_exact);
+
+  lang::Env env;
+  env.fields = {0, util::encode_symbol("MSFT")};
+  EXPECT_FALSE(c.value().pipeline.evaluate_actions(env).is_drop());
+  env.fields = {0, util::encode_symbol("AAPL")};
+  EXPECT_TRUE(c.value().pipeline.evaluate_actions(env).is_drop());
+}
+
+TEST(Algorithm1, ExactHintYieldsExactTable) {
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema, kFig3Rules);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().pipeline.tables[1].kind(), table::MatchKind::kExact);
+  EXPECT_EQ(c.value().pipeline.tables[1].width_bits(), 64u);
+}
+
+TEST(Algorithm1, ExactOptimizationOnRangeHintedField) {
+  // Only equality predicates on a range-hinted field: the optimizer
+  // promotes the table to exact (SRAM) unless disabled.
+  const auto schema = fig3_schema();
+  auto c1 = compiler::compile_source(schema,
+                                     "shares == 5 : fwd(1)\n"
+                                     "shares == 9 : fwd(2)");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1.value().pipeline.tables[0].kind(), table::MatchKind::kExact);
+
+  compiler::CompileOptions opts;
+  opts.exact_match_optimization = false;
+  auto c2 = compiler::compile_source(schema,
+                                     "shares == 5 : fwd(1)\n"
+                                     "shares == 9 : fwd(2)",
+                                     opts);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2.value().pipeline.tables[0].kind(), table::MatchKind::kRange);
+  // TCAM cost differs, semantics do not.
+  EXPECT_GT(c2.value().pipeline.resources().tcam_entries,
+            c1.value().pipeline.resources().tcam_entries);
+}
+
+TEST(Algorithm1, RootOnLaterFieldPassesThroughEarlierTables) {
+  // A rule predicating only on stock: the shares component is empty and
+  // the pipeline starts at the stock component.
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema, "stock == NVDA : fwd(7)");
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.value().pipeline.tables.size(), 1u);
+  EXPECT_EQ(c.value().pipeline.tables[0].name(), "trade.stock");
+  lang::Env env;
+  env.fields = {12345, util::encode_symbol("NVDA")};
+  EXPECT_EQ(c.value().pipeline.evaluate_actions(env).ports,
+            (std::vector<std::uint16_t>{7}));
+}
+
+TEST(Algorithm1, TautologyCompilesToLeafOnly) {
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema,
+                                    "shares < 60 or shares >= 60 : fwd(9)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c.value().pipeline.tables.empty());
+  lang::Env env;
+  env.fields = {0, 0};
+  EXPECT_EQ(c.value().pipeline.evaluate_actions(env).ports,
+            (std::vector<std::uint16_t>{9}));
+}
+
+TEST(Algorithm1, ContradictionCompilesToDropAll) {
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema,
+                                    "shares < 60 and shares > 100 : fwd(9)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c.value().pipeline.tables.empty());
+  EXPECT_TRUE(c.value().pipeline.leaf.entries().empty());
+  lang::Env env;
+  env.fields = {80, 0};
+  EXPECT_TRUE(c.value().pipeline.evaluate_actions(env).is_drop());
+}
+
+TEST(Algorithm1, StatsArepopulated) {
+  const auto schema = fig3_schema();
+  auto c = compiler::compile_source(schema, kFig3Rules);
+  ASSERT_TRUE(c.ok());
+  const auto& st = c.value().stats;
+  EXPECT_EQ(st.rule_count, 3u);
+  EXPECT_EQ(st.dnf_terms, 3u);
+  EXPECT_EQ(st.tablegen.components, 2u);
+  EXPECT_GE(st.tablegen.in_nodes, 3u);
+  EXPECT_GT(st.tablegen.paths_enumerated, 0u);
+  EXPECT_GT(st.bdd_after_prune.node_count, 0u);
+  EXPECT_EQ(st.total_entries, c.value().pipeline.total_entries());
+  EXPECT_FALSE(st.to_string().empty());
+}
+
+// ---- field ordering ---------------------------------------------------
+
+TEST(FieldOrder, HeuristicsReorderSubjects) {
+  auto schema = spec::make_itch_schema();  // order: shares, price, stock
+  std::vector<lang::FlatRule> no_rules;
+
+  auto declared = compiler::choose_order(schema, no_rules,
+                                         bdd::OrderHeuristic::kDeclared);
+  ASSERT_EQ(declared.subjects().size(), 5u);  // 3 fields + 2 state vars
+  EXPECT_EQ(declared.subjects()[0], lang::Subject::field(0));
+
+  auto exact_first = compiler::choose_order(
+      schema, no_rules, bdd::OrderHeuristic::kExactFirst);
+  EXPECT_EQ(exact_first.subjects()[0],
+            lang::Subject::field(*schema.resolve_field("stock")));
+}
+
+TEST(FieldOrder, SelectivityUsesRuleConstants) {
+  auto schema = spec::make_itch_schema();
+  // Many distinct price constants, one stock constant.
+  std::string rules_text;
+  for (int i = 1; i <= 10; ++i)
+    rules_text += "stock == GOOGL and price > " + std::to_string(i * 7) +
+                  " : fwd(1)\n";
+  auto parsed = lang::parse_rules(rules_text);
+  ASSERT_TRUE(parsed.ok());
+  auto bound = lang::bind_rules(parsed.value(), schema);
+  ASSERT_TRUE(bound.ok());
+  auto flat = lang::flatten_rules(bound.value(), schema);
+  ASSERT_TRUE(flat.ok());
+
+  auto asc = compiler::choose_order(schema, flat.value(),
+                                    bdd::OrderHeuristic::kSelectivityAsc);
+  auto desc = compiler::choose_order(schema, flat.value(),
+                                     bdd::OrderHeuristic::kSelectivityDesc);
+  const auto price = lang::Subject::field(*schema.resolve_field("price"));
+  EXPECT_NE(asc.rank(price), desc.rank(price));
+  EXPECT_GT(asc.rank(price), desc.rank(price));
+}
+
+TEST(FieldOrder, AllHeuristicsPreserveSemantics) {
+  auto schema = spec::make_itch_schema();
+  const std::string rules = R"(
+    stock == GOOGL and price > 100 : fwd(1)
+    shares < 50 or price > 900 : fwd(2)
+    stock == MSFT and shares > 10 : fwd(3)
+  )";
+  std::vector<table::Pipeline> pipes;
+  for (auto h : {bdd::OrderHeuristic::kDeclared,
+                 bdd::OrderHeuristic::kExactFirst,
+                 bdd::OrderHeuristic::kSelectivityAsc,
+                 bdd::OrderHeuristic::kSelectivityDesc}) {
+    compiler::CompileOptions opts;
+    opts.order = h;
+    auto c = compiler::compile_source(schema, rules, opts);
+    ASSERT_TRUE(c.ok());
+    pipes.push_back(std::move(c.value().pipeline));
+  }
+  util::Rng rng(77);
+  lang::Env env;
+  env.states = {0, 0};
+  const std::vector<std::string> syms = {"GOOGL", "MSFT", "X"};
+  for (int trial = 0; trial < 300; ++trial) {
+    env.fields = {rng.uniform(0, 100), util::encode_symbol(rng.pick(syms)),
+                  rng.uniform(0, 1000)};
+    const auto& expect = pipes[0].evaluate_actions(env);
+    for (std::size_t i = 1; i < pipes.size(); ++i)
+      ASSERT_EQ(pipes[i].evaluate_actions(env), expect) << trial << " " << i;
+  }
+}
+
+// ---- domain compression -------------------------------------------------
+
+TEST(Compression, BuildsValueMapAndShrinksKey) {
+  auto schema = spec::make_itch_schema();
+  std::string rules;
+  for (int i = 1; i <= 6; ++i)
+    rules += "price > " + std::to_string(i * 100) + " : fwd(" +
+             std::to_string(i) + ")\n";
+  compiler::CompileOptions opts;
+  opts.domain_compression = true;
+  opts.compression_min_entries = 2;
+  auto c = compiler::compile_source(schema, rules, opts);
+  ASSERT_TRUE(c.ok());
+  const auto& pipe = c.value().pipeline;
+  ASSERT_EQ(pipe.value_maps.size(), 1u);
+  EXPECT_EQ(pipe.value_maps[0].name(), "add_order.price_map");
+  // 6 thresholds -> 7 regions -> 3-bit code domain.
+  EXPECT_EQ(pipe.value_maps[0].entries().size(), 7u);
+  EXPECT_LE(pipe.tables[0].width_bits(), 8u);
+}
+
+TEST(Compression, SkipsWideTablesAndSmallTables) {
+  auto schema = spec::make_itch_schema();
+  compiler::CompileOptions opts;
+  opts.domain_compression = true;
+  opts.compression_max_regions = 3;
+  auto c = compiler::compile_source(schema,
+                                    "price > 100 : fwd(1)\n"
+                                    "price > 200 : fwd(2)\n"
+                                    "price > 300 : fwd(3)\n"
+                                    "price > 400 : fwd(4)\n",
+                                    opts);
+  ASSERT_TRUE(c.ok());
+  // 5 regions > max 3: not compressed.
+  EXPECT_TRUE(c.value().pipeline.value_maps.empty());
+
+  opts.compression_max_regions = 256;
+  opts.compression_min_entries = 100;
+  auto c2 = compiler::compile_source(schema, "price > 100 : fwd(1)", opts);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(c2.value().pipeline.value_maps.empty());
+}
+
+TEST(Compression, ReducesTcamFootprint) {
+  auto schema = spec::make_itch_schema();
+  // Distinct per-subscription thresholds give every symbol its own price
+  // chain (shared per-host thresholds would hash-cons all symbols onto one
+  // chain, leaving a single price state and nothing to amortize). The
+  // small price domain keeps the region count under the compression cap.
+  workload::ItchSubsParams p;
+  p.n_subscriptions = 2000;
+  p.n_hosts = 16;
+  p.n_symbols = 32;
+  p.price_max = 200;
+  p.per_host_threshold = false;
+  auto subs = workload::generate_itch_subscriptions(schema, p);
+
+  // Order stock before price so the price table has one In state per
+  // symbol — the regime where a shared region map amortizes (with price
+  // first there is a single price state and nothing to share).
+  compiler::CompileOptions opts;
+  opts.order = bdd::OrderHeuristic::kExactFirst;
+  auto plain = compiler::compile_rules(schema, subs.rules, opts);
+  opts.domain_compression = true;
+  auto compressed = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(plain.ok() && compressed.ok());
+  EXPECT_LT(compressed.value().pipeline.resources().tcam_entries,
+            plain.value().pipeline.resources().tcam_entries);
+}
+
+// ---- P4 emission -----------------------------------------------------------
+
+TEST(P4Gen, StructuralContents) {
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(schema, "stock == GOOGL : fwd(1)");
+  ASSERT_TRUE(c.ok());
+  const std::string p4 =
+      compiler::generate_p4(schema, &c.value().pipeline);
+
+  for (const char* needle : {
+           "header itch_add_order_t", "bit<64> stock", "bit<32> shares",
+           "struct metadata_t", "bit<32> bdd_state",
+           "parser CamusParser", "parse_moldudp",
+           "register<bit<64>>", "reg_my_counter", "reg_avg_price",
+           "action set_next_state", "action fwd_mcast",
+           "table tbl_leaf", "meta.bdd_state: exact",
+           "default_action = NoAction()", "V1Switch", "update_my_counter",
+       }) {
+    EXPECT_NE(p4.find(needle), std::string::npos) << needle;
+  }
+  // Balanced braces: cheap structural sanity for generated code.
+  EXPECT_EQ(std::count(p4.begin(), p4.end(), '{'),
+            std::count(p4.begin(), p4.end(), '}'));
+}
+
+TEST(P4Gen, TableMatchKindsFollowPipeline) {
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(
+      schema, "stock == GOOGL and price > 10 : fwd(1)");
+  ASSERT_TRUE(c.ok());
+  const std::string p4 =
+      compiler::generate_p4(schema, &c.value().pipeline);
+  EXPECT_NE(p4.find("hdr.add_order.stock: exact"), std::string::npos);
+  EXPECT_NE(p4.find("hdr.add_order.price: range"), std::string::npos);
+}
+
+TEST(P4Gen, WithoutPipelineUsesHints) {
+  auto schema = spec::make_itch_schema();
+  const std::string p4 = compiler::generate_p4(schema);
+  EXPECT_NE(p4.find("hdr.add_order.stock: exact"), std::string::npos);
+  EXPECT_NE(p4.find("hdr.add_order.shares: range"), std::string::npos);
+}
+
+TEST(P4Gen, P414DialectContents) {
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(
+      schema, "stock == GOOGL and price > 10 : fwd(1)");
+  ASSERT_TRUE(c.ok());
+  const std::string p4 =
+      compiler::generate_p4_14(schema, &c.value().pipeline);
+  for (const char* needle : {
+           "header_type itch_add_order_t", "metadata camus_meta_t meta",
+           "parser start", "extract(ethernet)", "return select",
+           "register reg_my_counter", "instance_count: 1024",
+           "action set_next_state(next_state)", "modify_field",
+           "reads {", "meta.bdd_state: exact",
+           "add_order.stock: exact", "add_order.price: range",
+           "apply(tbl_leaf)", "control ingress",
+       }) {
+    EXPECT_NE(p4.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(std::count(p4.begin(), p4.end(), '{'),
+            std::count(p4.begin(), p4.end(), '}'));
+  // P4_16-only constructs must not leak into the P4_14 output.
+  EXPECT_EQ(p4.find("V1Switch"), std::string::npos);
+  EXPECT_EQ(p4.find("#include"), std::string::npos);
+}
+
+TEST(P4Gen, P414WithoutPipelineUsesHints) {
+  auto schema = spec::make_itch_schema();
+  const std::string p4 = compiler::generate_p4_14(schema);
+  EXPECT_NE(p4.find("add_order.shares: range"), std::string::npos);
+  EXPECT_NE(p4.find("add_order.stock: exact"), std::string::npos);
+  EXPECT_NE(p4.find("tbl_my_counter"), std::string::npos);
+}
+
+TEST(P4Gen, ControlPlaneDumpRoundTripsCounts) {
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(schema,
+                                    "stock == GOOGL : fwd(1)\n"
+                                    "stock == MSFT : fwd(1,2)\n");
+  ASSERT_TRUE(c.ok());
+  const std::string dump =
+      compiler::generate_control_plane_rules(c.value().pipeline);
+  const auto count = [&](std::string_view needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = dump.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("table_add tbl_"),
+            c.value().pipeline.total_entries());
+  EXPECT_EQ(count("mcast_group"), c.value().pipeline.mcast.size());
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Robustness fuzzing: random and mutated inputs must never crash the
+// front-ends — parsers return errors, decoders return nullopt, and valid
+// inputs keep round-tripping.
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "proto/packet.hpp"
+#include "proto/pcap.hpp"
+#include "spec/spec_parser.hpp"
+#include "table/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace camus;
+
+// Random printable garbage.
+std::string random_text(util::Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcz_ABCZ019 ().,:;<>=!&|\"\n\t#/*+-@[]{}";
+  std::string s;
+  const std::size_t n = rng.uniform(0, max_len);
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(kAlphabet[rng.uniform(0, sizeof(kAlphabet) - 2)]);
+  return s;
+}
+
+// Token soup that looks more like real rules.
+std::string rule_soup(util::Rng& rng) {
+  static const std::vector<std::string> kTokens = {
+      "stock",  "price",   "shares", "==",   "!=",   "<",     ">",
+      "<=",     ">=",      "and",    "or",   "not",  "!",     "(",
+      ")",      ":",       "fwd",    "drop", "update", ",",   ";",
+      "GOOGL",  "42",      "avg",    "in",   "my_counter", "1.2.3.4",
+      "\"X\"",  "0",       "18446744073709551615"};
+  std::string s;
+  const std::size_t n = rng.uniform(1, 25);
+  for (std::size_t i = 0; i < n; ++i) {
+    s += kTokens[rng.uniform(0, kTokens.size() - 1)];
+    s += ' ';
+  }
+  return s;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RuleParserNeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::string text =
+        rng.chance(0.5) ? random_text(rng, 120) : rule_soup(rng);
+    (void)lang::parse_rules(text);   // must not crash or hang
+    (void)lang::parse_condition(text);
+  }
+}
+
+TEST_P(FuzzSeeds, SpecParserNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  static const std::vector<std::string> kTokens = {
+      "header_type", "header", "fields", "{", "}", ";", ":", "(",
+      ")",           ",",      "t",      "x", "32", "64", "symbol",
+      "@query_field", "@query_counter", "@query_avg", "100"};
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    if (rng.chance(0.5)) {
+      text = random_text(rng, 150);
+    } else {
+      const std::size_t n = rng.uniform(1, 30);
+      for (std::size_t k = 0; k < n; ++k) {
+        text += kTokens[rng.uniform(0, kTokens.size() - 1)];
+        text += ' ';
+      }
+    }
+    (void)spec::parse_spec(text);
+  }
+}
+
+TEST_P(FuzzSeeds, PipelineDeserializerNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x5151);
+  // Mutations of a valid serialization.
+  const std::string valid =
+      "camus-pipeline v1\ninitial_state 0\n"
+      "table t subject=f0 kind=range width=8 symbol=0\n"
+      "entry 0 range 1 9 1\nleaf\nentry 1 ports=1 updates=- mcast=-\nend\n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = valid;
+    const std::size_t flips = 1 + rng.uniform(0, 5);
+    for (std::size_t k = 0; k < flips; ++k) {
+      const std::size_t pos = rng.uniform(0, text.size() - 1);
+      text[pos] = static_cast<char>(rng.uniform(32, 126));
+    }
+    (void)table::deserialize_pipeline(text);
+  }
+  for (int i = 0; i < 500; ++i)
+    (void)table::deserialize_pipeline(random_text(rng, 300));
+}
+
+TEST_P(FuzzSeeds, PcapParserNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<std::uint8_t> data(rng.uniform(0, 200));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    (void)proto::parse_pcap(data);
+    (void)proto::decode_market_data_packet(data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(1001, 2002, 3003));
+
+TEST(FuzzRoundTrip, ValidRulesSurviveReprinting) {
+  // Parse -> print -> parse -> print must be a fixed point.
+  util::Rng rng(777);
+  static const std::vector<std::string> kSubjects = {"stock", "price",
+                                                     "shares"};
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    const std::size_t n = 1 + rng.uniform(0, 2);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k) text += rng.chance(0.5) ? " and " : " or ";
+      if (rng.chance(0.25)) text += "!";
+      text += kSubjects[rng.uniform(0, 2)];
+      static const char* kOps[] = {"==", "!=", "<", ">", "<=", ">="};
+      text += " ";
+      text += kOps[rng.uniform(0, 5)];
+      text += " " + std::to_string(rng.uniform(0, 999));
+    }
+    text += " : fwd(" + std::to_string(1 + rng.uniform(0, 9)) + ")";
+    auto r1 = lang::parse_rule(text);
+    ASSERT_TRUE(r1.ok()) << text;
+    const std::string p1 = r1.value().to_string();
+    auto r2 = lang::parse_rule(p1);
+    ASSERT_TRUE(r2.ok()) << p1;
+    EXPECT_EQ(r2.value().to_string(), p1);
+  }
+}
+
+}  // namespace

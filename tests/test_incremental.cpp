@@ -1,0 +1,241 @@
+// Incremental compilation: semantics must match batch compilation; small
+// changes must produce small deltas; state ids must stay stable.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/incremental.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+using compiler::IncrementalCompiler;
+
+lang::Env itch_env(std::uint64_t shares, const std::string& stock,
+                   std::uint64_t price) {
+  lang::Env env;
+  env.fields = {shares, util::encode_symbol(stock), price};
+  env.states = {0, 0};
+  return env;
+}
+
+TEST(Incremental, FirstCommitIsAllAdds) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  ASSERT_TRUE(inc.add_source("stock == MSFT : fwd(2)").ok());
+  auto delta = inc.commit();
+  ASSERT_TRUE(delta.ok()) << delta.error().to_string();
+  EXPECT_EQ(delta.value().reused_entries, 0u);
+  EXPECT_EQ(delta.value().adds(), delta.value().total_entries);
+  EXPECT_EQ(delta.value().removes(), 0u);
+}
+
+TEST(Incremental, MatchesBatchCompilation) {
+  auto schema = spec::make_itch_schema();
+  const std::vector<std::string> sources = {
+      "stock == GOOGL : fwd(1)",
+      "stock == MSFT and price > 100 : fwd(2)",
+      "shares > 500 or price < 10 : fwd(3)",
+      "!(stock == AAPL) and shares < 50 : fwd(4)",
+  };
+
+  IncrementalCompiler inc(spec::make_itch_schema());
+  std::vector<lang::BoundRule> batch_rules;
+  for (const auto& s : sources) {
+    ASSERT_TRUE(inc.add_source(s).ok()) << s;
+    auto parsed = lang::parse_rule(s);
+    ASSERT_TRUE(parsed.ok());
+    auto bound = lang::bind_rule(parsed.value(), schema);
+    ASSERT_TRUE(bound.ok());
+    batch_rules.push_back(std::move(bound).take());
+  }
+  ASSERT_TRUE(inc.commit().ok());
+  auto batch = compiler::compile_rules(schema, batch_rules);
+  ASSERT_TRUE(batch.ok());
+
+  util::Rng rng(17);
+  const std::vector<std::string> syms = {"GOOGL", "MSFT", "AAPL", "X"};
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto env = itch_env(rng.uniform(0, 1000), rng.pick(syms),
+                              rng.uniform(0, 200));
+    EXPECT_EQ(inc.pipeline().evaluate_actions(env),
+              batch.value().pipeline.evaluate_actions(env))
+        << trial;
+  }
+}
+
+TEST(Incremental, SmallChangeSmallDelta) {
+  auto schema = spec::make_itch_schema();
+  // Exact-match field first: a new-symbol subscription then only touches
+  // its own branch. With a range field at the root, a new threshold
+  // legitimately reshapes the root component and churns it.
+  compiler::CompileOptions opts;
+  opts.order = bdd::OrderHeuristic::kExactFirst;
+  IncrementalCompiler inc(spec::make_itch_schema(), opts);
+  workload::ItchSubsParams p;
+  p.seed = 5;
+  p.n_subscriptions = 500;
+  p.n_symbols = 50;
+  p.n_hosts = 50;
+  auto subs = workload::generate_itch_subscriptions(schema, p);
+  for (auto& r : subs.rules) inc.add(std::move(r));
+  auto first = inc.commit();
+  ASSERT_TRUE(first.ok());
+  const std::size_t total = first.value().total_entries;
+  ASSERT_GT(total, 100u);
+
+  // Adding one subscription for a brand-new symbol must touch only a
+  // handful of entries.
+  auto id = inc.add_source("stock == ZZZZ and price > 42 : fwd(7)");
+  ASSERT_TRUE(id.ok());
+  auto delta = inc.commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_GT(delta.value().reused_entries, total * 9 / 10);
+  EXPECT_LT(delta.value().ops.size(), 20u);
+  EXPECT_GT(delta.value().adds(), 0u);
+
+  // Removing it again restores the original table contents.
+  ASSERT_TRUE(inc.remove(id.value()));
+  auto delta2 = inc.commit();
+  ASSERT_TRUE(delta2.ok());
+  EXPECT_EQ(delta2.value().total_entries, total);
+  EXPECT_EQ(delta2.value().adds(), 0u);
+  EXPECT_GT(delta2.value().removes(), 0u);
+}
+
+TEST(Incremental, NoChangeYieldsEmptyDelta) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  ASSERT_TRUE(inc.commit().ok());
+  auto delta = inc.commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta.value().ops.empty());
+  EXPECT_EQ(delta.value().reused_entries, delta.value().total_entries);
+}
+
+TEST(Incremental, RemoveUnknownIdReturnsFalse) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  EXPECT_FALSE(inc.remove(99));
+}
+
+TEST(Incremental, RejectsBadSource) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  EXPECT_FALSE(inc.add_source("nosuch == 5 : fwd(1)").ok());
+  EXPECT_FALSE(inc.add_source("stock == : fwd(1)").ok());
+  EXPECT_EQ(inc.subscription_count(), 0u);
+}
+
+TEST(Incremental, PipelineBeforeCommitThrows) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  EXPECT_THROW(inc.pipeline(), std::logic_error);
+}
+
+TEST(Incremental, EmptyCommitDropsEverything) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  auto id = inc.add_source("stock == GOOGL : fwd(1)");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(inc.commit().ok());
+  ASSERT_TRUE(inc.remove(id.value()));
+  auto delta = inc.commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta.value().total_entries, 0u);
+  const auto env = itch_env(1, "GOOGL", 1);
+  EXPECT_TRUE(inc.pipeline().evaluate_actions(env).is_drop());
+}
+
+TEST(Incremental, SwitchReprogramKeepsRegisters) {
+  auto schema = spec::make_itch_schema();
+  IncrementalCompiler inc(spec::make_itch_schema());
+  ASSERT_TRUE(
+      inc.add_source("stock == AAPL : fwd(1); update(my_counter)").ok());
+  ASSERT_TRUE(inc.commit().ok());
+  switchsim::Switch sw(schema, inc.pipeline());
+
+  const auto env = itch_env(1, "AAPL", 1);
+  (void)sw.classify(env.fields, 10);
+  (void)sw.classify(env.fields, 20);
+  EXPECT_EQ(sw.registers().read(0, 50), 2u);
+
+  // Add a rule, reprogram: counter state survives the table update.
+  ASSERT_TRUE(inc.add_source("stock == MSFT : fwd(2)").ok());
+  ASSERT_TRUE(inc.commit().ok());
+  sw.reprogram(inc.pipeline());
+  EXPECT_EQ(sw.registers().read(0, 50), 2u);
+  EXPECT_EQ(sw.classify(itch_env(1, "MSFT", 1).fields, 60).ports,
+            (std::vector<std::uint16_t>{2}));
+  // Another AAPL message keeps counting where the old pipeline left off.
+  (void)sw.classify(env.fields, 70);
+  EXPECT_EQ(sw.registers().read(0, 70), 3u);
+}
+
+TEST(Incremental, OpToStringFormats) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  auto delta = inc.commit();
+  ASSERT_TRUE(delta.ok());
+  ASSERT_FALSE(delta.value().ops.empty());
+  for (const auto& op : delta.value().ops) {
+    EXPECT_EQ(op.to_string().substr(0, 4), "add ");
+  }
+}
+
+// Property: a random sequence of adds/removes with commits in between is
+// always equivalent to batch-compiling the surviving rule set.
+class IncrementalChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalChurn, AlwaysMatchesBatch) {
+  util::Rng rng(GetParam());
+  auto schema = spec::make_itch_schema();
+  IncrementalCompiler inc(spec::make_itch_schema());
+
+  std::map<IncrementalCompiler::SubscriptionId, lang::BoundRule> alive;
+  const std::vector<std::string> syms = {"AA", "BB", "CC", "DD", "EE"};
+
+  for (int round = 0; round < 6; ++round) {
+    // Random adds.
+    const std::size_t n_adds = 1 + rng.uniform(0, 4);
+    for (std::size_t i = 0; i < n_adds; ++i) {
+      const std::string text =
+          "stock == " + rng.pick(syms) + " and price > " +
+          std::to_string(rng.uniform(0, 100)) + " : fwd(" +
+          std::to_string(1 + rng.uniform(0, 9)) + ")";
+      auto parsed = lang::parse_rule(text);
+      ASSERT_TRUE(parsed.ok());
+      auto bound = lang::bind_rule(parsed.value(), schema);
+      ASSERT_TRUE(bound.ok());
+      const auto id = inc.add(bound.value());
+      alive.emplace(id, std::move(bound).take());
+    }
+    // Random removes.
+    while (!alive.empty() && rng.chance(0.3)) {
+      auto it = alive.begin();
+      std::advance(it, rng.uniform(0, alive.size() - 1));
+      ASSERT_TRUE(inc.remove(it->first));
+      alive.erase(it);
+    }
+
+    ASSERT_TRUE(inc.commit().ok());
+    std::vector<lang::BoundRule> batch_rules;
+    for (const auto& [id, r] : alive) batch_rules.push_back(r);
+    auto batch = compiler::compile_rules(schema, batch_rules);
+    ASSERT_TRUE(batch.ok());
+
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto env = itch_env(rng.uniform(0, 10), rng.pick(syms),
+                                rng.uniform(0, 120));
+      ASSERT_EQ(inc.pipeline().evaluate_actions(env),
+                batch.value().pipeline.evaluate_actions(env))
+          << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalChurn,
+                         ::testing::Values(61, 62, 63, 64));
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Cross-feature interactions: domain compression over state-variable
+// tables, incremental compilation with compression enabled, stateful
+// rules through serialized pipelines.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/incremental.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "table/serialize.hpp"
+#include "util/intern.hpp"
+
+namespace {
+
+using namespace camus;
+
+TEST(Interactions, CompressionOnStateVariableTable) {
+  // Several thresholds on the windowed counter force a range table on a
+  // state subject; compression must preserve the stateful semantics.
+  auto schema = spec::make_itch_schema();
+  compiler::CompileOptions opts;
+  opts.domain_compression = true;
+  opts.compression_min_entries = 1;
+  auto c = compiler::compile_source(schema, R"(
+    stock == AAPL and my_counter > 2 : fwd(1)
+    stock == AAPL and my_counter > 5 : fwd(2)
+    stock == AAPL and my_counter > 8 : fwd(3)
+    stock == AAPL : update(my_counter)
+  )", opts);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  // The counter table was compressed onto a code domain.
+  bool state_map = false;
+  for (const auto& m : c.value().pipeline.value_maps)
+    state_map |= m.subject().kind == lang::Subject::Kind::kState;
+  EXPECT_TRUE(state_map);
+
+  switchsim::Switch sw(schema, c.value().pipeline);
+  lang::Env env;
+  env.fields = {1, util::encode_symbol("AAPL"), 1};
+  std::vector<std::size_t> port_counts;
+  for (int i = 0; i < 10; ++i) {
+    const auto& actions = sw.classify(env.fields, 10 + i);
+    port_counts.push_back(actions.ports.size());
+  }
+  // Messages 1-3: counter 0,1,2 -> no match. 4-6: >2 -> fwd(1). 7-9: also
+  // >5 -> 2 ports. 10: also >8 -> 3 ports.
+  EXPECT_EQ(port_counts,
+            (std::vector<std::size_t>{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}));
+}
+
+TEST(Interactions, IncrementalWithCompression) {
+  auto schema = spec::make_itch_schema();
+  compiler::CompileOptions opts;
+  opts.domain_compression = true;
+  opts.compression_min_entries = 2;
+  compiler::IncrementalCompiler inc(schema, opts);
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(inc.add_source("price > " + std::to_string(i * 100) +
+                               " : fwd(" + std::to_string(i) + ")")
+                    .ok());
+  }
+  auto first = inc.commit();
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_FALSE(inc.pipeline().value_maps.empty());
+
+  // A second commit with one more threshold still yields a valid,
+  // consistent pipeline (compression regenerates the code domain).
+  ASSERT_TRUE(inc.add_source("price > 450 : fwd(9)").ok());
+  auto second = inc.commit();
+  ASSERT_TRUE(second.ok());
+  lang::Env env;
+  env.fields = {0, 0, 460};
+  env.states = {0, 0};
+  const auto& actions = inc.pipeline().evaluate_actions(env);
+  // price 460 > 100..400 and > 450: ports 1-4 and 9.
+  EXPECT_EQ(actions.ports, (std::vector<std::uint16_t>{1, 2, 3, 4, 9}));
+}
+
+TEST(Interactions, StatefulPipelineSurvivesSerialization) {
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(schema, R"(
+    stock == AAPL and my_counter > 1 : fwd(1)
+    stock == AAPL : update(my_counter)
+  )");
+  ASSERT_TRUE(c.ok());
+  auto back = table::deserialize_pipeline(
+      table::serialize_pipeline(c.value().pipeline));
+  ASSERT_TRUE(back.ok());
+  switchsim::Switch sw(schema, std::move(back).take());
+  lang::Env env;
+  env.fields = {1, util::encode_symbol("AAPL"), 1};
+  EXPECT_TRUE(sw.classify(env.fields, 10).ports.empty());
+  EXPECT_TRUE(sw.classify(env.fields, 20).ports.empty());
+  EXPECT_EQ(sw.classify(env.fields, 30).ports,
+            (std::vector<std::uint16_t>{1}));
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Extended ITCH message types (order-executed, trade, cancel): round
+// trips, mixed-payload framing, and the switch's behaviour on mixed feeds.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "proto/packet.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+
+namespace {
+
+using namespace camus;
+using namespace camus::proto;
+
+TEST(ItchTypes, OrderExecutedRoundTrip) {
+  ItchOrderExecuted m;
+  m.stock_locate = 7;
+  m.order_ref = 0xabcdef;
+  m.executed_shares = 250;
+  m.match_number = 0x1234567890ULL;
+  const auto bytes = encode_itch_message(m);
+  EXPECT_EQ(bytes.size(), ItchOrderExecuted::kSize);
+  ItchOrderExecuted out;
+  Reader r(bytes);
+  ASSERT_TRUE(out.decode(r));
+  EXPECT_EQ(out.order_ref, m.order_ref);
+  EXPECT_EQ(out.executed_shares, 250u);
+  EXPECT_EQ(out.match_number, m.match_number);
+}
+
+TEST(ItchTypes, TradeRoundTrip) {
+  ItchTrade m;
+  m.stock = "NVDA";
+  m.price = 777;
+  m.shares = 10;
+  m.side = 'S';
+  m.match_number = 42;
+  const auto bytes = encode_itch_message(m);
+  EXPECT_EQ(bytes.size(), ItchTrade::kSize);
+  ItchTrade out;
+  Reader r(bytes);
+  ASSERT_TRUE(out.decode(r));
+  EXPECT_EQ(out.stock, "NVDA");
+  EXPECT_EQ(out.price, 777u);
+  EXPECT_EQ(out.side, 'S');
+}
+
+TEST(ItchTypes, CancelRoundTrip) {
+  ItchOrderCancel m;
+  m.order_ref = 99;
+  m.cancelled_shares = 5;
+  const auto bytes = encode_itch_message(m);
+  EXPECT_EQ(bytes.size(), ItchOrderCancel::kSize);
+  ItchOrderCancel out;
+  Reader r(bytes);
+  ASSERT_TRUE(out.decode(r));
+  EXPECT_EQ(out.order_ref, 99u);
+  EXPECT_EQ(out.cancelled_shares, 5u);
+}
+
+TEST(ItchTypes, WrongTypeByteRejected) {
+  ItchOrderExecuted m;
+  auto bytes = encode_itch_message(m);
+  bytes[0] = 'A';
+  ItchOrderExecuted out;
+  Reader r(bytes);
+  EXPECT_FALSE(out.decode(r));
+}
+
+std::vector<std::uint8_t> mixed_payload() {
+  ItchAddOrder add;
+  add.stock = "GOOGL";
+  add.shares = 100;
+  add.price = 500;
+  ItchOrderExecuted exec;
+  ItchTrade trade;
+  trade.stock = "MSFT";
+  ItchOrderCancel cancel;
+  MoldUdp64Header mold;
+  mold.sequence = 3;
+  return encode_itch_payload_raw(
+      mold, {encode_itch_message(exec), encode_itch_message(add),
+             encode_itch_message(trade), encode_itch_message(cancel)});
+}
+
+TEST(ItchTypes, MixedPayloadTallies) {
+  auto pkt = decode_itch_payload(mixed_payload());
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->mold.message_count, 4u);
+  ASSERT_EQ(pkt->add_orders.size(), 1u);
+  EXPECT_EQ(pkt->add_orders[0].stock, "GOOGL");
+  EXPECT_EQ(pkt->executed_messages, 1u);
+  EXPECT_EQ(pkt->trade_messages, 1u);
+  EXPECT_EQ(pkt->cancel_messages, 1u);
+  EXPECT_EQ(pkt->skipped_messages, 0u);
+}
+
+TEST(ItchTypes, SwitchClassifiesAddOrderWithinMixedPacket) {
+  // A packet whose FIRST message is not an add-order still classifies on
+  // the first add-order present.
+  auto schema = spec::make_itch_schema();
+  auto c = compiler::compile_source(schema, "stock == GOOGL : fwd(1)");
+  ASSERT_TRUE(c.ok());
+  switchsim::Switch sw(schema, c.value().pipeline);
+
+  Writer w;
+  EthernetHeader eth;
+  eth.encode(w);
+  Ipv4Header ip;
+  const auto payload = mixed_payload();
+  ip.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize +
+                                            UdpHeader::kSize + payload.size());
+  ip.encode(w);
+  UdpHeader udp;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(w);
+  w.bytes(payload);
+
+  const auto copies = sw.process(w.data(), 0);
+  ASSERT_EQ(copies.size(), 1u);
+  EXPECT_EQ(copies[0].port, 1);
+}
+
+}  // namespace

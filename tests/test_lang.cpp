@@ -1,0 +1,316 @@
+// Subscription language front-end: lexer, parser, binder.
+#include <gtest/gtest.h>
+
+#include "lang/bound.hpp"
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "util/intern.hpp"
+
+namespace {
+
+using namespace camus;
+using lang::Token;
+
+TEST(Lexer, BasicTokens) {
+  auto toks = lang::tokenize("stock == GOOGL and price > 50 : fwd(1,2)");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = toks.value();
+  ASSERT_GE(t.size(), 13u);
+  EXPECT_EQ(t[0].kind, Token::Kind::kIdent);
+  EXPECT_EQ(t[0].text, "stock");
+  EXPECT_EQ(t[1].kind, Token::Kind::kCmp);
+  EXPECT_EQ(t[1].text, "==");
+  EXPECT_EQ(t[3].kind, Token::Kind::kAnd);
+  EXPECT_EQ(t.back().kind, Token::Kind::kEnd);
+}
+
+TEST(Lexer, OperatorSpellings) {
+  auto toks = lang::tokenize("&& || ! not and or <= >= != < > = .");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = toks.value();
+  EXPECT_EQ(t[0].kind, Token::Kind::kAnd);
+  EXPECT_EQ(t[1].kind, Token::Kind::kOr);
+  EXPECT_EQ(t[2].kind, Token::Kind::kNot);
+  EXPECT_EQ(t[3].kind, Token::Kind::kNot);
+  EXPECT_EQ(t[4].kind, Token::Kind::kAnd);
+  EXPECT_EQ(t[5].kind, Token::Kind::kOr);
+  EXPECT_EQ(t[6].text, "<=");
+  EXPECT_EQ(t[7].text, ">=");
+  EXPECT_EQ(t[8].text, "!=");
+  EXPECT_EQ(t[11].kind, Token::Kind::kAssign);
+  EXPECT_EQ(t[12].kind, Token::Kind::kDot);
+}
+
+TEST(Lexer, Ipv4Literal) {
+  auto toks = lang::tokenize("ip.dst == 192.168.0.1");
+  ASSERT_TRUE(toks.ok());
+  const auto& t = toks.value();
+  // ip . dst == <ipv4>
+  EXPECT_EQ(t[4].kind, Token::Kind::kIpv4);
+  EXPECT_EQ(t[4].number, 0xc0a80001u);
+}
+
+TEST(Lexer, Ipv4Malformed) {
+  EXPECT_FALSE(lang::tokenize("x == 1.2.3").ok());      // three octets
+  EXPECT_FALSE(lang::tokenize("x == 1.2.3.4.5").ok());  // five octets
+  EXPECT_FALSE(lang::tokenize("x == 300.2.3.4").ok());  // octet range
+}
+
+TEST(Lexer, StringsAndComments) {
+  auto toks = lang::tokenize("x == \"GOO GL\" # trailing comment\n// line");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[2].kind, Token::Kind::kString);
+  EXPECT_EQ(toks.value()[2].text, "GOO GL");
+  EXPECT_FALSE(lang::tokenize("x == \"unterminated").ok());
+}
+
+TEST(Lexer, NumberOverflow) {
+  EXPECT_FALSE(lang::tokenize("x == 99999999999999999999999").ok());
+  auto ok = lang::tokenize("x == 18446744073709551615");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()[2].number, ~0ULL);
+}
+
+TEST(Parser, PrecedenceOrBelowAnd) {
+  // a or b and c == a or (b and c)
+  auto c = lang::parse_condition("a == 1 or b == 2 and c == 3");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->kind, lang::Cond::Kind::kOr);
+  EXPECT_EQ(c.value()->rhs->kind, lang::Cond::Kind::kAnd);
+}
+
+TEST(Parser, ParensOverridePrecedence) {
+  auto c = lang::parse_condition("(a == 1 or b == 2) and c == 3");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->kind, lang::Cond::Kind::kAnd);
+  EXPECT_EQ(c.value()->lhs->kind, lang::Cond::Kind::kOr);
+}
+
+TEST(Parser, NotBindsTightest) {
+  auto c = lang::parse_condition("!a == 1 and b == 2");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->kind, lang::Cond::Kind::kAnd);
+  EXPECT_EQ(c.value()->lhs->kind, lang::Cond::Kind::kNot);
+}
+
+TEST(Parser, MacroSubject) {
+  auto c = lang::parse_condition("avg(price) > 50");
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c.value()->kind, lang::Cond::Kind::kAtom);
+  ASSERT_TRUE(c.value()->atom.macro.has_value());
+  EXPECT_EQ(*c.value()->atom.macro, lang::AggMacro::kAvg);
+  EXPECT_EQ(c.value()->atom.subject, "price");
+}
+
+TEST(Parser, Actions) {
+  auto r = lang::parse_rule("a == 1 : fwd(1,2,3); update(ctr); drop()");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_EQ(r.value().actions.size(), 3u);
+  EXPECT_EQ(r.value().actions[0].kind, lang::Action::Kind::kFwd);
+  EXPECT_EQ(r.value().actions[0].fwd.ports,
+            (std::vector<std::uint16_t>{1, 2, 3}));
+  EXPECT_EQ(r.value().actions[1].kind, lang::Action::Kind::kUpdate);
+  EXPECT_EQ(r.value().actions[1].update.state_var, "ctr");
+  EXPECT_EQ(r.value().actions[2].kind, lang::Action::Kind::kDrop);
+}
+
+TEST(Parser, AssignmentUpdateForm) {
+  auto r = lang::parse_rule("a == 1 : my_counter = incr()");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_EQ(r.value().actions.size(), 1u);
+  EXPECT_EQ(r.value().actions[0].kind, lang::Action::Kind::kUpdate);
+  EXPECT_EQ(r.value().actions[0].update.state_var, "my_counter");
+}
+
+TEST(Parser, MultipleRules) {
+  auto rs = lang::parse_rules(R"(
+    # comment
+    stock == GOOGL : fwd(1)
+    stock == MSFT and price > 5 : fwd(2); fwd(3)
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.error().to_string();
+  EXPECT_EQ(rs.value().size(), 2u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(lang::parse_rule("a == 1").ok());          // no action
+  EXPECT_FALSE(lang::parse_rule("a == : fwd(1)").ok());   // no literal
+  EXPECT_FALSE(lang::parse_rule("a 1 : fwd(1)").ok());    // no cmp
+  EXPECT_FALSE(lang::parse_rule("a == 1 : fwd()").ok());  // no port
+  EXPECT_FALSE(lang::parse_rule("a == 1 : fwd(70000)").ok());  // port range
+  EXPECT_FALSE(lang::parse_rule("a == 1 : zap()").ok());  // unknown action
+  EXPECT_FALSE(lang::parse_condition("(a == 1").ok());    // unbalanced
+  EXPECT_FALSE(lang::parse_condition("a == 1 b == 2").ok());  // trailing
+}
+
+TEST(Parser, RoundTripPrinting) {
+  auto r = lang::parse_rule("!(a == 1 and b < 2) or c > 3 : fwd(1)");
+  ASSERT_TRUE(r.ok());
+  const std::string printed = r.value().to_string();
+  auto r2 = lang::parse_rule(printed);
+  ASSERT_TRUE(r2.ok()) << printed;
+  EXPECT_EQ(r2.value().to_string(), printed);
+}
+
+// ---- binder ----------------------------------------------------------
+
+class BindTest : public ::testing::Test {
+ protected:
+  spec::Schema schema_ = spec::make_itch_schema();
+
+  lang::BoundRule bind(std::string_view text) {
+    auto r = lang::parse_rule(text);
+    EXPECT_TRUE(r.ok()) << text;
+    auto b = lang::bind_rule(r.value(), schema_);
+    EXPECT_TRUE(b.ok()) << (b.ok() ? "" : b.error().to_string());
+    return std::move(b).take();
+  }
+
+  util::Error bind_err(std::string_view text) {
+    auto r = lang::parse_rule(text);
+    EXPECT_TRUE(r.ok()) << text;
+    auto b = lang::bind_rule(r.value(), schema_);
+    EXPECT_FALSE(b.ok()) << text;
+    return b.ok() ? util::Error{} : b.error();
+  }
+};
+
+TEST_F(BindTest, ResolvesFieldsAndSymbols) {
+  auto r = bind("stock == GOOGL and price > 50 : fwd(1)");
+  ASSERT_EQ(r.cond->kind, lang::BoundCond::Kind::kAnd);
+  const auto& stock_atom = r.cond->lhs->atom;
+  EXPECT_EQ(stock_atom.value, util::encode_symbol("GOOGL"));
+  EXPECT_EQ(r.actions.ports, (std::vector<std::uint16_t>{1}));
+}
+
+TEST_F(BindTest, QualifiedAndBareNames) {
+  bind("add_order.stock == GOOGL : fwd(1)");
+  bind("stock == \"GOOGL\" : fwd(1)");
+}
+
+TEST_F(BindTest, DesugarsComparisons) {
+  // != -> !(==), <= -> !(>), >= -> !(<)
+  auto ne = bind("price != 5 : fwd(1)");
+  EXPECT_EQ(ne.cond->kind, lang::BoundCond::Kind::kNot);
+  EXPECT_EQ(ne.cond->lhs->atom.op, lang::RelOp::kEq);
+  auto le = bind("price <= 5 : fwd(1)");
+  EXPECT_EQ(le.cond->kind, lang::BoundCond::Kind::kNot);
+  EXPECT_EQ(le.cond->lhs->atom.op, lang::RelOp::kGt);
+  auto ge = bind("price >= 5 : fwd(1)");
+  EXPECT_EQ(ge.cond->kind, lang::BoundCond::Kind::kNot);
+  EXPECT_EQ(ge.cond->lhs->atom.op, lang::RelOp::kLt);
+}
+
+TEST_F(BindTest, FoldsWidthConstantComparisons) {
+  // price is 32-bit: comparisons beyond the domain fold to constants.
+  auto t = bind("price < 99999999999 : fwd(1)");
+  EXPECT_EQ(t.cond->kind, lang::BoundCond::Kind::kTrue);
+  auto f = bind("price > 99999999999 : fwd(1)");
+  EXPECT_EQ(f.cond->kind, lang::BoundCond::Kind::kFalse);
+  auto f2 = bind("price < 0 : fwd(1)");
+  EXPECT_EQ(f2.cond->kind, lang::BoundCond::Kind::kFalse);
+  auto t2 = bind("price >= 0 : fwd(1)");
+  EXPECT_EQ(t2.cond->kind, lang::BoundCond::Kind::kTrue);
+  auto f3 = bind("shares > 4294967295 : fwd(1)");
+  EXPECT_EQ(f3.cond->kind, lang::BoundCond::Kind::kFalse);
+}
+
+TEST_F(BindTest, ResolvesMacrosAndStateVars) {
+  auto r = bind("stock == GOOGL and avg(price) > 50 : fwd(1)");
+  const auto& avg_atom = r.cond->rhs->atom;
+  EXPECT_EQ(avg_atom.subject.kind, lang::Subject::Kind::kState);
+  EXPECT_EQ(schema_.state_var(avg_atom.subject.id).name, "avg_price");
+
+  auto r2 = bind("my_counter > 10 : fwd(1)");
+  EXPECT_EQ(r2.cond->atom.subject.kind, lang::Subject::Kind::kState);
+
+  auto r3 = bind("stock == GOOGL : fwd(1); update(my_counter)");
+  ASSERT_EQ(r3.actions.state_updates.size(), 1u);
+}
+
+TEST_F(BindTest, RejectsInvalidBindings) {
+  bind_err("nosuch == 5 : fwd(1)");
+  bind_err("stock > GOOGL : fwd(1)");        // order cmp on symbol
+  bind_err("stock == 5 : fwd(1)");           // numeric literal on symbol
+  bind_err("price == GOOGL : fwd(1)");       // symbol literal on numeric
+  bind_err("stock == TOOLONGSYM1 : fwd(1)"); // > 8 chars
+  bind_err("avg(shares) > 5 : fwd(1)");      // no such declared aggregate
+  bind_err("stock == GOOGL : update(nope)"); // unknown state var
+}
+
+TEST_F(BindTest, MergesAndDeduplicatesActions) {
+  auto r = bind("stock == GOOGL : fwd(2,1); fwd(2); drop()");
+  EXPECT_EQ(r.actions.ports, (std::vector<std::uint16_t>{1, 2}));
+}
+
+TEST_F(BindTest, EvalMatchesSemantics) {
+  auto r = bind("!(shares < 60 or shares > 100) and stock == AAPL : fwd(1)");
+  lang::Env env;
+  env.fields = {80, util::encode_symbol("AAPL"), 0};
+  env.states = {0, 0};
+  EXPECT_TRUE(lang::eval_cond(*r.cond, env));
+  env.fields[0] = 50;
+  EXPECT_FALSE(lang::eval_cond(*r.cond, env));
+  env.fields[0] = 80;
+  env.fields[1] = util::encode_symbol("MSFT");
+  EXPECT_FALSE(lang::eval_cond(*r.cond, env));
+}
+
+}  // namespace
+
+namespace in_operator_tests {
+
+using namespace camus;
+
+TEST(Parser, InOperatorExpandsToDisjunction) {
+  auto c = lang::parse_condition("stock in (GOOGL, MSFT, AAPL)");
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  // ((GOOGL or MSFT) or AAPL)
+  EXPECT_EQ(c.value()->kind, lang::Cond::Kind::kOr);
+  EXPECT_EQ(c.value()->lhs->kind, lang::Cond::Kind::kOr);
+  EXPECT_EQ(c.value()->rhs->atom.op, lang::CmpOp::kEq);
+  EXPECT_EQ(c.value()->rhs->atom.literal.text, "AAPL");
+}
+
+TEST(Parser, InOperatorNumericAndSingleton) {
+  auto c = lang::parse_condition("price in (1, 2, 3)");
+  ASSERT_TRUE(c.ok());
+  auto single = lang::parse_condition("price in (42)");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value()->kind, lang::Cond::Kind::kAtom);
+  EXPECT_EQ(single.value()->atom.literal.int_value, 42u);
+}
+
+TEST(Parser, InOperatorComposesAndErrors) {
+  auto c = lang::parse_rule(
+      "stock in (GOOGL, MSFT) and price > 5 : fwd(1)");
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  EXPECT_FALSE(lang::parse_condition("stock in GOOGL").ok());
+  EXPECT_FALSE(lang::parse_condition("stock in (GOOGL,)").ok());
+  EXPECT_FALSE(lang::parse_condition("stock in ()").ok());
+  EXPECT_FALSE(lang::parse_condition("stock in (GOOGL").ok());
+}
+
+TEST(Parser, InOperatorBindsAndEvaluates) {
+  auto schema = spec::make_itch_schema();
+  auto r = lang::parse_rule("stock in (GOOGL, MSFT) : fwd(1)");
+  ASSERT_TRUE(r.ok());
+  auto b = lang::bind_rule(r.value(), schema);
+  ASSERT_TRUE(b.ok()) << b.error().to_string();
+  lang::Env env;
+  env.fields = {0, util::encode_symbol("MSFT"), 0};
+  env.states = {0, 0};
+  EXPECT_TRUE(lang::eval_cond(*b.value().cond, env));
+  env.fields[1] = util::encode_symbol("IBM");
+  EXPECT_FALSE(lang::eval_cond(*b.value().cond, env));
+}
+
+TEST(Parser, IdentifierNamedInStillWorksAsField) {
+  // A field literally named "in" must still parse as a predicate subject.
+  auto c = lang::parse_condition("in == 5");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->atom.subject, "in");
+}
+
+}  // namespace in_operator_tests

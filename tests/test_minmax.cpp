@@ -1,0 +1,104 @@
+// min/max windowed aggregates: spec annotations, macros, register
+// semantics, and end-to-end stateful rules.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "compiler/p4gen.hpp"
+#include "lang/parser.hpp"
+#include "proto/packet.hpp"
+#include "spec/spec_parser.hpp"
+#include "switchsim/switch.hpp"
+
+namespace {
+
+using namespace camus;
+
+spec::Schema minmax_schema() {
+  auto r = spec::parse_spec(R"(
+    header_type tick_t {
+        fields { price: 32; stock: 64 (symbol); }
+    }
+    header tick_t tick;
+    @query_field(tick.price)
+    @query_field_exact(tick.stock)
+    @query_min(low_price, tick.price, 1000)
+    @query_max(high_price, tick.price, 1000)
+  )");
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+  return std::move(r).take();
+}
+
+TEST(MinMax, SpecParsesAnnotations) {
+  auto s = minmax_schema();
+  ASSERT_EQ(s.state_vars().size(), 2u);
+  EXPECT_EQ(s.state_var(0).func, spec::StateFunc::kMin);
+  EXPECT_EQ(s.state_var(1).func, spec::StateFunc::kMax);
+  EXPECT_EQ(s.state_var(0).window_us, 1000u);
+  EXPECT_TRUE(s.resolve_macro(spec::StateFunc::kMin, "price").has_value());
+  EXPECT_TRUE(s.resolve_macro(spec::StateFunc::kMax, "tick.price"));
+}
+
+TEST(MinMax, RegistersTrackExtremes) {
+  auto s = minmax_schema();
+  switchsim::StateRegisters regs(s);
+  // fields: price, stock
+  regs.apply_update(0, {500, 0}, 10);
+  regs.apply_update(0, {300, 0}, 20);
+  regs.apply_update(0, {400, 0}, 30);
+  EXPECT_EQ(regs.read(0, 50), 300u);  // min
+  regs.apply_update(1, {500, 0}, 10);
+  regs.apply_update(1, {800, 0}, 20);
+  regs.apply_update(1, {700, 0}, 30);
+  EXPECT_EQ(regs.read(1, 50), 800u);  // max
+  // Window rollover resets to empty (reads 0).
+  EXPECT_EQ(regs.read(0, 1000), 0u);
+  regs.apply_update(0, {999, 0}, 1100);
+  EXPECT_EQ(regs.read(0, 1200), 999u);
+}
+
+TEST(MinMax, MacroBindsInRules) {
+  auto s = minmax_schema();
+  auto c = compiler::compile_source(
+      s, "stock == GOOGL and max(price) > 900 : fwd(1)\n"
+         "stock == GOOGL : update(high_price)\n");
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+
+  switchsim::Switch sw(s, c.value().pipeline);
+  auto frame = [](std::uint32_t price) {
+    proto::ItchAddOrder m;
+    m.stock = "GOOGL";
+    m.price = price;
+    proto::EthernetHeader eth;
+    proto::MoldUdp64Header mold;
+    return proto::encode_market_data_packet(eth, 1, 2, mold, {m});
+  };
+  // No high yet.
+  EXPECT_TRUE(sw.process(frame(500), 10).empty());
+  // Spike to 950: the NEXT message sees max > 900.
+  EXPECT_TRUE(sw.process(frame(950), 20).empty());
+  EXPECT_EQ(sw.process(frame(100), 30).size(), 1u);
+  // New window: the high resets.
+  EXPECT_TRUE(sw.process(frame(100), 1500).empty());
+}
+
+TEST(MinMax, MinMacroParsesAndPrints) {
+  auto parsed = lang::parse_rule("min(price) < 10 : fwd(1)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed.value().to_string().find("min(price)"),
+            std::string::npos);
+  auto parsed2 = lang::parse_rule("max(price) >= 10 : fwd(1)");
+  ASSERT_TRUE(parsed2.ok());
+  ASSERT_TRUE(parsed2.value().cond->atom.macro.has_value());
+}
+
+TEST(MinMax, P4EmissionCoversMinMax) {
+  auto s = minmax_schema();
+  const std::string p16 = compiler::generate_p4(s);
+  EXPECT_NE(p16.find("update_low_price"), std::string::npos);
+  EXPECT_NE(p16.find("update_high_price"), std::string::npos);
+  const std::string p14 = compiler::generate_p4_14(s);
+  EXPECT_NE(p14.find("min(meta.low_price_val"), std::string::npos);
+  EXPECT_NE(p14.find("max(meta.high_price_val"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// pcap trace writer/reader: round trips, byte-order tolerance, truncation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "proto/packet.hpp"
+#include "proto/pcap.hpp"
+#include "switchsim/switch.hpp"
+#include "spec/itch_spec.hpp"
+#include "workload/feed.hpp"
+
+namespace {
+
+using namespace camus;
+
+std::vector<std::uint8_t> sample_frame(const std::string& stock) {
+  proto::ItchAddOrder msg;
+  msg.stock = stock;
+  msg.shares = 5;
+  msg.price = 7;
+  proto::EthernetHeader eth;
+  proto::MoldUdp64Header mold;
+  return proto::encode_market_data_packet(eth, 1, 2, mold, {msg});
+}
+
+TEST(Pcap, RoundTrip) {
+  proto::PcapWriter w;
+  const auto f1 = sample_frame("AAPL");
+  const auto f2 = sample_frame("GOOGL");
+  w.add(1500000, f1);      // t = 1.5s
+  w.add(2750001, f2);
+  EXPECT_EQ(w.packet_count(), 2u);
+
+  auto parsed = proto::parse_pcap(w.bytes());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].timestamp_us, 1500000u);
+  EXPECT_EQ((*parsed)[1].timestamp_us, 2750001u);
+  EXPECT_EQ((*parsed)[0].frame, f1);
+  EXPECT_EQ((*parsed)[1].frame, f2);
+
+  // Frames decode back to the original messages.
+  auto pkt = proto::decode_market_data_packet((*parsed)[1].frame);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->itch.add_orders[0].stock, "GOOGL");
+}
+
+TEST(Pcap, GlobalHeaderFields) {
+  proto::PcapWriter w(1234);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 24u);
+  // Magic, little-endian.
+  EXPECT_EQ(b[0], 0xd4);
+  EXPECT_EQ(b[1], 0xc3);
+  EXPECT_EQ(b[2], 0xb2);
+  EXPECT_EQ(b[3], 0xa1);
+  // Snaplen at offset 16.
+  EXPECT_EQ(b[16], 1234 & 0xff);
+  // Linktype 1 at offset 20.
+  EXPECT_EQ(b[20], 1);
+}
+
+TEST(Pcap, SnaplenTruncatesButKeepsOrigLen) {
+  proto::PcapWriter w(10);
+  const auto f = sample_frame("MSFT");
+  w.add(0, f);
+  auto parsed = proto::parse_pcap(w.bytes());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].frame.size(), 10u);
+}
+
+TEST(Pcap, RejectsBadMagicAndTolleratesTruncation) {
+  EXPECT_FALSE(proto::parse_pcap(std::vector<std::uint8_t>(10, 0)).has_value());
+  std::vector<std::uint8_t> bad(24, 0);
+  EXPECT_FALSE(proto::parse_pcap(bad).has_value());
+
+  proto::PcapWriter w;
+  w.add(0, sample_frame("A"));
+  w.add(0, sample_frame("B"));
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 5);  // cut into the last record
+  auto parsed = proto::parse_pcap(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);  // trailing record dropped
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "camus_test_trace.pcap";
+  proto::PcapWriter w;
+  w.add(42, sample_frame("NVDA"));
+  ASSERT_TRUE(w.write_file(path.string()));
+  auto parsed = proto::read_pcap_file(path.string());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].timestamp_us, 42u);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(proto::read_pcap_file("/nonexistent/x.pcap").has_value());
+}
+
+TEST(Pcap, FeedExportReplaysThroughSwitch) {
+  // Generate a feed, export to pcap, replay the capture through a switch.
+  auto schema = spec::make_itch_schema();
+  workload::FeedParams fp;
+  fp.seed = 12;
+  fp.n_messages = 500;
+  auto feed = workload::generate_feed(fp);
+
+  proto::PcapWriter w;
+  proto::EthernetHeader eth;
+  std::uint64_t seq = 1;
+  for (const auto& fm : feed.messages) {
+    proto::MoldUdp64Header mold;
+    mold.sequence = seq++;
+    w.add(fm.t_us,
+          proto::encode_market_data_packet(eth, 1, 2, mold, {fm.msg}));
+  }
+
+  auto parsed = proto::parse_pcap(w.bytes());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), feed.messages.size());
+
+  auto sw = switchsim::Switch::make_broadcast(schema, {1});
+  for (const auto& p : *parsed) (void)sw.process(p.frame, p.timestamp_us);
+  EXPECT_EQ(sw.counters().rx_frames, feed.messages.size());
+  EXPECT_EQ(sw.counters().parse_errors, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Wire formats: Ethernet/IPv4/UDP headers, MoldUDP64 framing, ITCH
+// add-order messages, full-packet round trips, malformed-input hardening.
+#include <gtest/gtest.h>
+
+#include "proto/packet.hpp"
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace camus::proto;
+
+TEST(Wire, BigEndianRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u48(0x0000123456789aULL);
+  w.u64(0x1122334455667788ULL);
+  Reader r(w.data());
+  std::uint8_t v8;
+  std::uint16_t v16;
+  std::uint32_t v32;
+  std::uint64_t v48, v64;
+  ASSERT_TRUE(r.u8(v8) && r.u16(v16) && r.u32(v32) && r.u48(v48) &&
+              r.u64(v64));
+  EXPECT_EQ(v8, 0xab);
+  EXPECT_EQ(v16, 0x1234);
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v48, 0x0000123456789aULL);
+  EXPECT_EQ(v64, 0x1122334455667788ULL);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.u8(v8));  // exhausted
+}
+
+TEST(Wire, NetworkByteOrderOnTheWire) {
+  Writer w;
+  w.u16(0x0800);
+  ASSERT_EQ(w.data()[0], 0x08);
+  ASSERT_EQ(w.data()[1], 0x00);
+}
+
+TEST(Wire, FixedStringPadsAndTruncates) {
+  Writer w;
+  w.fixed_string("AB", 4);
+  w.fixed_string("ABCDEF", 3);
+  const auto& d = w.data();
+  EXPECT_EQ(std::string(d.begin(), d.begin() + 4), "AB  ");
+  EXPECT_EQ(std::string(d.begin() + 4, d.end()), "ABC");
+}
+
+TEST(Wire, InternetChecksumVerifies) {
+  // A checksummed header re-sums to zero.
+  Writer w;
+  w.u16(0x4500);
+  w.u16(0x0030);
+  w.u16(0x0000);
+  w.u16(0x4000);
+  w.u16(0x4011);
+  w.u16(0x0000);  // checksum slot
+  w.u32(0x0a000001);
+  w.u32(0xe8010101);
+  const std::uint16_t sum = internet_checksum(w.data());
+  w.patch_u16(10, sum);
+  EXPECT_EQ(internet_checksum(w.data()), 0);
+}
+
+TEST(Headers, Ipv4RoundTripAndChecksum) {
+  Ipv4Header ip;
+  ip.src = 0x0a000001;
+  ip.dst = 0xe8010101;
+  ip.total_len = 100;
+  ip.ttl = 17;
+  Writer w;
+  ip.encode(w);
+
+  Ipv4Header out;
+  Reader r(w.data());
+  ASSERT_TRUE(out.decode(r));
+  EXPECT_EQ(out.src, ip.src);
+  EXPECT_EQ(out.dst, ip.dst);
+  EXPECT_EQ(out.total_len, 100);
+  EXPECT_EQ(out.ttl, 17);
+  EXPECT_TRUE(out.checksum_ok);
+
+  // Corrupt a byte: decode succeeds but checksum_ok is false.
+  auto bytes = w.data();
+  bytes[16] ^= 0xff;
+  Ipv4Header bad;
+  Reader r2(bytes);
+  ASSERT_TRUE(bad.decode(r2));
+  EXPECT_FALSE(bad.checksum_ok);
+}
+
+TEST(Headers, Ipv4RejectsBadVersionAndIhl) {
+  std::vector<std::uint8_t> buf(20, 0);
+  buf[0] = 0x55;  // version 5
+  Ipv4Header h;
+  Reader r(buf);
+  EXPECT_FALSE(h.decode(r));
+  buf[0] = 0x43;  // IHL 3 (< 5)
+  Reader r2(buf);
+  EXPECT_FALSE(h.decode(r2));
+}
+
+TEST(Itch, AddOrderRoundTrip) {
+  ItchAddOrder msg;
+  msg.stock_locate = 42;
+  msg.tracking = 7;
+  msg.timestamp_ns = 0x123456789abcULL;
+  msg.order_ref = 0xdeadbeefcafef00dULL;
+  msg.side = 'S';
+  msg.shares = 1000;
+  msg.stock = "GOOGL";
+  msg.price = 1234500;
+
+  Writer w;
+  msg.encode(w);
+  EXPECT_EQ(w.size(), ItchAddOrder::kSize);
+
+  ItchAddOrder out;
+  Reader r(w.data());
+  ASSERT_TRUE(out.decode(r));
+  EXPECT_EQ(out.stock_locate, msg.stock_locate);
+  EXPECT_EQ(out.timestamp_ns, msg.timestamp_ns);
+  EXPECT_EQ(out.order_ref, msg.order_ref);
+  EXPECT_EQ(out.side, 'S');
+  EXPECT_EQ(out.shares, 1000u);
+  EXPECT_EQ(out.stock, "GOOGL");
+  EXPECT_EQ(out.price, 1234500u);
+  EXPECT_EQ(out.stock_key(), camus::util::encode_symbol("GOOGL"));
+}
+
+TEST(Itch, AddOrderRejectsBadTypeAndSide) {
+  ItchAddOrder msg;
+  msg.stock = "X";
+  Writer w;
+  msg.encode(w);
+  auto bytes = w.data();
+  bytes[0] = 'Z';
+  {
+    ItchAddOrder out;
+    Reader r(bytes);
+    EXPECT_FALSE(out.decode(r));
+  }
+  bytes[0] = 'A';
+  bytes[19] = 'Q';  // side byte
+  {
+    ItchAddOrder out;
+    Reader r(bytes);
+    EXPECT_FALSE(out.decode(r));
+  }
+}
+
+TEST(Itch, PayloadFraming) {
+  MoldUdp64Header mold;
+  mold.session = "SESSION01";
+  mold.sequence = 77;
+  std::vector<ItchAddOrder> msgs(3);
+  msgs[0].stock = "AAPL";
+  msgs[1].stock = "MSFT";
+  msgs[2].stock = "GOOGL";
+  const auto payload = encode_itch_payload(mold, msgs);
+
+  auto pkt = decode_itch_payload(payload);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->mold.session, "SESSION01");
+  EXPECT_EQ(pkt->mold.sequence, 77u);
+  EXPECT_EQ(pkt->mold.message_count, 3u);
+  ASSERT_EQ(pkt->add_orders.size(), 3u);
+  EXPECT_EQ(pkt->add_orders[2].stock, "GOOGL");
+  EXPECT_EQ(pkt->skipped_messages, 0u);
+}
+
+TEST(Itch, PayloadSkipsUnknownMessages) {
+  // Hand-build a payload with one unknown message between add-orders.
+  Writer w;
+  MoldUdp64Header mold;
+  mold.message_count = 2;
+  mold.encode(w);
+  w.u16(4);  // unknown 4-byte message
+  w.u32(0xabcdef01);
+  ItchAddOrder msg;
+  msg.stock = "ORCL";
+  w.u16(ItchAddOrder::kSize);
+  msg.encode(w);
+
+  auto pkt = decode_itch_payload(w.data());
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->skipped_messages, 1u);
+  ASSERT_EQ(pkt->add_orders.size(), 1u);
+  EXPECT_EQ(pkt->add_orders[0].stock, "ORCL");
+}
+
+TEST(Itch, PayloadRejectsTruncation) {
+  MoldUdp64Header mold;
+  std::vector<ItchAddOrder> msgs(1);
+  msgs[0].stock = "AAPL";
+  auto payload = encode_itch_payload(mold, msgs);
+  // Any truncation of the message region must fail cleanly.
+  for (std::size_t cut = 1; cut < payload.size(); cut += 3) {
+    std::vector<std::uint8_t> trunc(payload.begin(), payload.end() - cut);
+    EXPECT_FALSE(decode_itch_payload(trunc).has_value()) << cut;
+  }
+}
+
+TEST(Packet, FullFrameRoundTrip) {
+  MoldUdp64Header mold;
+  mold.sequence = 5;
+  ItchAddOrder msg;
+  msg.stock = "NVDA";
+  msg.shares = 10;
+  msg.price = 42;
+  EthernetHeader eth;
+  eth.dst = 0x01005e000001ULL;
+  eth.src = 0x020000000001ULL;
+
+  const auto frame =
+      encode_market_data_packet(eth, 0x0a000001, 0xe8010101, mold, {msg});
+  auto pkt = decode_market_data_packet(frame);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->eth.dst, eth.dst);
+  EXPECT_EQ(pkt->ip.src, 0x0a000001u);
+  EXPECT_EQ(pkt->ip.dst, 0xe8010101u);
+  EXPECT_TRUE(pkt->ip.checksum_ok);
+  EXPECT_EQ(pkt->udp.dst_port, kItchUdpPort);
+  ASSERT_EQ(pkt->itch.add_orders.size(), 1u);
+  EXPECT_EQ(pkt->itch.add_orders[0].stock, "NVDA");
+  EXPECT_EQ(pkt->itch.mold.sequence, 5u);
+
+  // IP total length is consistent with the frame.
+  EXPECT_EQ(frame.size(), EthernetHeader::kSize + pkt->ip.total_len);
+}
+
+TEST(Packet, RejectsNonIpAndNonUdp) {
+  MoldUdp64Header mold;
+  ItchAddOrder msg;
+  msg.stock = "A";
+  EthernetHeader eth;
+  auto frame =
+      encode_market_data_packet(eth, 1, 2, mold, {msg});
+  // Break the ethertype.
+  frame[12] = 0x86;
+  frame[13] = 0xdd;
+  EXPECT_FALSE(decode_market_data_packet(frame).has_value());
+}
+
+TEST(Packet, TruncationFuzzNeverCrashes) {
+  camus::util::Rng rng(4242);
+  MoldUdp64Header mold;
+  std::vector<ItchAddOrder> msgs(2);
+  msgs[0].stock = "AAPL";
+  msgs[1].stock = "MSFT";
+  EthernetHeader eth;
+  const auto frame = encode_market_data_packet(eth, 1, 2, mold, msgs);
+
+  // Every prefix must decode or fail cleanly.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    std::vector<std::uint8_t> prefix(frame.begin(), frame.begin() + len);
+    EXPECT_FALSE(decode_market_data_packet(prefix).has_value()) << len;
+  }
+  // Random byte corruption: decode either succeeds or fails, never crashes.
+  for (int trial = 0; trial < 500; ++trial) {
+    auto fuzzed = frame;
+    const std::size_t n_flips = 1 + rng.uniform(0, 7);
+    for (std::size_t i = 0; i < n_flips; ++i)
+      fuzzed[rng.uniform(0, fuzzed.size() - 1)] ^=
+          static_cast<std::uint8_t>(rng.uniform(1, 255));
+    (void)decode_market_data_packet(fuzzed);
+  }
+}
+
+TEST(Packet, MultiMessagePacketSizes) {
+  MoldUdp64Header mold;
+  std::vector<ItchAddOrder> msgs(5);
+  for (auto& m : msgs) m.stock = "IBM";
+  EthernetHeader eth;
+  const auto frame = encode_market_data_packet(eth, 1, 2, mold, msgs);
+  EXPECT_EQ(frame.size(), EthernetHeader::kSize + Ipv4Header::kSize +
+                              UdpHeader::kSize + MoldUdp64Header::kSize +
+                              5 * (2 + ItchAddOrder::kSize));
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Camus pub/sub runtime: controller, publisher/subscriber endpoints.
+#include <gtest/gtest.h>
+
+#include "pubsub/controller.hpp"
+#include "pubsub/endpoints.hpp"
+#include "spec/itch_spec.hpp"
+
+namespace {
+
+using namespace camus;
+
+proto::ItchAddOrder order(std::string stock, std::uint32_t price = 100) {
+  proto::ItchAddOrder m;
+  m.stock = std::move(stock);
+  m.price = price;
+  m.shares = 10;
+  return m;
+}
+
+TEST(Controller, SubscribeInterestOnlyForm) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  ASSERT_TRUE(ctl.subscribe(3, "stock == GOOGL").ok());
+  ASSERT_TRUE(ctl.subscribe(4, "stock == GOOGL : fwd(4)").ok());
+  EXPECT_EQ(ctl.subscription_count(), 2u);
+
+  auto sw = ctl.build_switch();
+  ASSERT_TRUE(sw.ok()) << sw.error().to_string();
+  pubsub::Publisher pub;
+  const auto copies = sw.value().process(pub.publish(order("GOOGL")), 0);
+  std::vector<std::uint16_t> ports;
+  for (const auto& c : copies) ports.push_back(c.port);
+  EXPECT_EQ(ports, (std::vector<std::uint16_t>{3, 4}));
+}
+
+TEST(Controller, RejectsBadRules) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  EXPECT_FALSE(ctl.subscribe(1, "nosuchfield == 5").ok());
+  EXPECT_FALSE(ctl.subscribe(1, "stock == ").ok());
+  EXPECT_EQ(ctl.subscription_count(), 0u);
+}
+
+TEST(Controller, RecompilesOnChange) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  ASSERT_TRUE(ctl.subscribe(1, "stock == AAPL").ok());
+  ASSERT_TRUE(ctl.compile().ok());
+  const auto entries1 = ctl.compiled().stats.total_entries;
+  ASSERT_TRUE(ctl.subscribe(2, "stock == MSFT and price > 100").ok());
+  ASSERT_TRUE(ctl.compile().ok());
+  EXPECT_GT(ctl.compiled().stats.total_entries, entries1);
+}
+
+TEST(Controller, EmitsP4AndControlPlane) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  ASSERT_TRUE(ctl.subscribe(1, "stock == GOOGL and price > 500").ok());
+  ASSERT_TRUE(ctl.compile().ok());
+
+  const std::string p4 = ctl.p4_program();
+  EXPECT_NE(p4.find("parser CamusParser"), std::string::npos);
+  EXPECT_NE(p4.find("table tbl_add_order_stock"), std::string::npos);
+  EXPECT_NE(p4.find("register"), std::string::npos);
+  EXPECT_NE(p4.find("V1Switch"), std::string::npos);
+
+  const std::string rules = ctl.control_plane_rules();
+  EXPECT_NE(rules.find("table_add tbl_add_order_stock"), std::string::npos);
+  EXPECT_NE(rules.find("table_add tbl_leaf"), std::string::npos);
+}
+
+TEST(Controller, CompiledBeforeCompileThrows) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  EXPECT_THROW(ctl.compiled(), std::logic_error);
+  EXPECT_THROW(ctl.control_plane_rules(), std::logic_error);
+}
+
+TEST(Controller, ClearResets) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  ASSERT_TRUE(ctl.subscribe(1, "stock == AAPL").ok());
+  ctl.clear();
+  EXPECT_EQ(ctl.subscription_count(), 0u);
+  ASSERT_TRUE(ctl.compile().ok());  // empty rule set compiles to drop-all
+  auto sw = ctl.build_switch();
+  ASSERT_TRUE(sw.ok());
+  pubsub::Publisher pub;
+  EXPECT_TRUE(sw.value().process(pub.publish(order("AAPL")), 0).empty());
+}
+
+TEST(Publisher, SequencesMoldUdp) {
+  pubsub::Publisher pub;
+  const auto f1 = pub.publish(order("A"));
+  const auto f2 = pub.publish_batch({order("B"), order("C")});
+  const auto f3 = pub.publish(order("D"));
+  auto p1 = proto::decode_market_data_packet(f1);
+  auto p2 = proto::decode_market_data_packet(f2);
+  auto p3 = proto::decode_market_data_packet(f3);
+  ASSERT_TRUE(p1 && p2 && p3);
+  EXPECT_EQ(p1->itch.mold.sequence, 1u);
+  EXPECT_EQ(p2->itch.mold.sequence, 2u);
+  EXPECT_EQ(p2->itch.add_orders.size(), 2u);
+  EXPECT_EQ(p3->itch.mold.sequence, 4u);
+}
+
+TEST(Subscriber, TracksSymbolsAndGaps) {
+  pubsub::Publisher pub;
+  pubsub::Subscriber sub(1);
+  const auto f1 = pub.publish(order("GOOGL"));
+  const auto f2 = pub.publish(order("AAPL"));   // dropped by the "switch"
+  const auto f3 = pub.publish(order("GOOGL"));
+
+  EXPECT_TRUE(sub.deliver(f1));
+  EXPECT_TRUE(sub.deliver(f3));  // skipping f2 creates a gap
+  EXPECT_EQ(sub.received(), 2u);
+  EXPECT_EQ(sub.per_symbol().at("GOOGL"), 2u);
+  EXPECT_EQ(sub.sequence_gaps(), 1u);
+
+  std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_FALSE(sub.deliver(junk));
+  EXPECT_EQ(sub.malformed(), 1u);
+}
+
+}  // namespace
+
+namespace unsubscribe_tests {
+
+using namespace camus;
+
+TEST(Controller, UnsubscribeRemovesPortRules) {
+  pubsub::Controller ctl(spec::make_itch_schema());
+  ASSERT_TRUE(ctl.subscribe(1, "stock == GOOGL").ok());
+  ASSERT_TRUE(ctl.subscribe(1, "stock == AAPL").ok());
+  ASSERT_TRUE(ctl.subscribe(2, "stock == MSFT").ok());
+  ASSERT_TRUE(ctl.subscribe(3, "stock == NVDA : fwd(3); fwd(4)").ok());
+  EXPECT_EQ(ctl.unsubscribe(1), 2u);
+  EXPECT_EQ(ctl.subscription_count(), 2u);
+  // Port 3's rule also forwards to 4: kept.
+  EXPECT_EQ(ctl.unsubscribe(3), 0u);
+  EXPECT_EQ(ctl.unsubscribe(99), 0u);
+
+  auto sw = ctl.build_switch();
+  ASSERT_TRUE(sw.ok());
+  pubsub::Publisher pub;
+  proto::ItchAddOrder m;
+  m.stock = "GOOGL";
+  EXPECT_TRUE(sw.value().process(pub.publish(m), 0).empty());
+  m.stock = "MSFT";
+  EXPECT_EQ(sw.value().process(pub.publish(m), 0).size(), 1u);
+}
+
+}  // namespace unsubscribe_tests

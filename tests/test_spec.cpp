@@ -1,0 +1,133 @@
+// Message-format specification parser (paper Figure 2).
+#include <gtest/gtest.h>
+
+#include "spec/itch_spec.hpp"
+#include "spec/spec_parser.hpp"
+
+namespace {
+
+using namespace camus::spec;
+
+TEST(SpecParser, ParsesFigure2) {
+  auto r = parse_spec(itch_spec_text());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const Schema& s = r.value();
+
+  ASSERT_EQ(s.headers().size(), 1u);
+  EXPECT_EQ(s.headers()[0].type_name, "itch_add_order_t");
+  EXPECT_EQ(s.headers()[0].instance, "add_order");
+
+  ASSERT_EQ(s.fields().size(), 3u);
+  EXPECT_EQ(s.field(0).name, "shares");
+  EXPECT_EQ(s.field(0).width_bits, 32u);
+  EXPECT_EQ(s.field(1).kind, FieldKind::kSymbol);
+  EXPECT_EQ(s.field(1).width_bits, 64u);
+
+  // Annotation order defines the query order: shares, price, stock.
+  ASSERT_EQ(s.query_order().size(), 3u);
+  EXPECT_EQ(s.field(s.query_order()[0]).name, "shares");
+  EXPECT_EQ(s.field(s.query_order()[1]).name, "price");
+  EXPECT_EQ(s.field(s.query_order()[2]).name, "stock");
+  EXPECT_EQ(s.field(s.query_order()[2]).hint, MatchHint::kExact);
+  EXPECT_EQ(s.field(s.query_order()[0]).hint, MatchHint::kRange);
+
+  ASSERT_EQ(s.state_vars().size(), 2u);
+  EXPECT_EQ(s.state_var(0).name, "my_counter");
+  EXPECT_EQ(s.state_var(0).func, StateFunc::kCount);
+  EXPECT_EQ(s.state_var(0).window_us, 100u);
+  EXPECT_EQ(s.state_var(1).name, "avg_price");
+  EXPECT_EQ(s.state_var(1).func, StateFunc::kAvg);
+  EXPECT_EQ(s.state_var(1).src_field, s.resolve_field("price"));
+}
+
+TEST(SpecParser, FieldResolution) {
+  Schema s = make_itch_schema();
+  EXPECT_TRUE(s.resolve_field("add_order.stock").has_value());
+  EXPECT_TRUE(s.resolve_field("stock").has_value());
+  EXPECT_FALSE(s.resolve_field("nope").has_value());
+  EXPECT_FALSE(s.resolve_field("wrong.stock").has_value());
+  EXPECT_TRUE(s.resolve_state_var("my_counter").has_value());
+  EXPECT_TRUE(s.resolve_macro(StateFunc::kAvg, "price").has_value());
+  EXPECT_FALSE(s.resolve_macro(StateFunc::kSum, "price").has_value());
+}
+
+TEST(SpecParser, AmbiguousBareNameRejected) {
+  auto r = parse_spec(R"(
+    header_type a_t { fields { x: 8; } }
+    header_type b_t { fields { x: 8; } }
+    header a_t a;
+    header b_t b;
+    @query_field(a.x)
+  )");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_FALSE(r.value().resolve_field("x").has_value());  // ambiguous
+  EXPECT_TRUE(r.value().resolve_field("a.x").has_value());
+}
+
+TEST(SpecParser, MultipleInstancesOfOneType) {
+  auto r = parse_spec(R"(
+    header_type pair_t { fields { v: 16; } }
+    header pair_t first;
+    header pair_t second;
+    @query_field(first.v)
+    @query_field(second.v)
+  )");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().fields().size(), 2u);
+  EXPECT_EQ(r.value().query_order().size(), 2u);
+}
+
+TEST(SpecParser, Errors) {
+  // Unknown annotation.
+  EXPECT_FALSE(parse_spec("header_type t { fields { x: 8; } }\n"
+                          "header t h;\n@bogus(h.x)")
+                   .ok());
+  // Field width out of range.
+  EXPECT_FALSE(parse_spec("header_type t { fields { x: 0; } }").ok());
+  EXPECT_FALSE(parse_spec("header_type t { fields { x: 65; } }").ok());
+  // Unknown header type in instance.
+  EXPECT_FALSE(parse_spec("header nope h;").ok());
+  // Duplicate header_type.
+  EXPECT_FALSE(parse_spec("header_type t { fields { x: 8; } }\n"
+                          "header_type t { fields { y: 8; } }\nheader t h;")
+                   .ok());
+  // Annotation on unknown field.
+  EXPECT_FALSE(parse_spec("header_type t { fields { x: 8; } }\n"
+                          "header t h;\n@query_field(h.nope)")
+                   .ok());
+  // Symbol field must be exact.
+  EXPECT_FALSE(parse_spec("header_type t { fields { s: 64 (symbol); } }\n"
+                          "header t h;\n@query_field(h.s)")
+                   .ok());
+  // Duplicate state variable.
+  EXPECT_FALSE(parse_spec("header_type t { fields { x: 8; } }\nheader t h;\n"
+                          "@query_counter(c, 10)\n@query_counter(c, 20)")
+                   .ok());
+  // No headers at all.
+  EXPECT_FALSE(parse_spec("// nothing").ok());
+  // Garbage top-level token.
+  EXPECT_FALSE(parse_spec("banana").ok());
+}
+
+TEST(SpecParser, ErrorsCarryLocation) {
+  auto r = parse_spec("header_type t {\n  fields {\n    x: 99;\n  }\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().line, 3);
+}
+
+TEST(Schema, FieldUmax) {
+  Schema s;
+  s.add_header("t", "h");
+  auto f8 = s.add_field("a", 8);
+  auto f64 = s.add_field("b", 64);
+  EXPECT_EQ(s.field(f8).umax(), 255u);
+  EXPECT_EQ(s.field(f64).umax(), ~0ULL);
+  EXPECT_THROW(s.add_field("bad", 0), std::invalid_argument);
+}
+
+TEST(Schema, AddFieldRequiresHeader) {
+  Schema s;
+  EXPECT_THROW(s.add_field("x", 8), std::logic_error);
+}
+
+}  // namespace

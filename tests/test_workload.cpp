@@ -1,0 +1,220 @@
+// Workload generators: determinism, parameter effects, distributions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lang/dnf.hpp"
+#include "spec/itch_spec.hpp"
+#include "workload/feed.hpp"
+#include "workload/itch_subs.hpp"
+#include "workload/siena.hpp"
+
+namespace {
+
+using namespace camus;
+
+TEST(SienaGenerator, Deterministic) {
+  workload::SienaParams p;
+  p.seed = 42;
+  p.n_subscriptions = 25;
+  auto a = workload::generate_siena(p);
+  auto b = workload::generate_siena(p);
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (std::size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].cond->to_string(), b.rules[i].cond->to_string());
+    EXPECT_EQ(a.rules[i].actions, b.rules[i].actions);
+  }
+  p.seed = 43;
+  auto c = workload::generate_siena(p);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.rules.size(); ++i)
+    any_diff |= a.rules[i].cond->to_string() != c.rules[i].cond->to_string();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SienaGenerator, RespectsParameters) {
+  workload::SienaParams p;
+  p.n_subscriptions = 40;
+  p.predicates_per_subscription = 4;
+  p.n_string_attrs = 2;
+  p.n_numeric_attrs = 3;
+  auto w = workload::generate_siena(p);
+  EXPECT_EQ(w.rules.size(), 40u);
+  EXPECT_EQ(w.schema.fields().size(), 5u);
+  EXPECT_EQ(w.schema.query_order().size(), 5u);
+
+  // Every rule is a pure conjunction with exactly k distinct subjects.
+  for (const auto& r : w.rules) {
+    auto flat = lang::flatten_rule({r.cond, r.actions}, w.schema);
+    ASSERT_TRUE(flat.ok());
+    ASSERT_EQ(flat.value().terms.size(), 1u);
+    EXPECT_EQ(flat.value().terms[0].constraints.size(), 4u);
+    EXPECT_FALSE(r.actions.ports.empty());
+  }
+}
+
+TEST(SienaGenerator, PredicateCountCappedByAttributes) {
+  workload::SienaParams p;
+  p.predicates_per_subscription = 99;
+  p.n_string_attrs = 1;
+  p.n_numeric_attrs = 2;
+  p.n_subscriptions = 5;
+  auto w = workload::generate_siena(p);
+  for (const auto& r : w.rules) {
+    auto flat = lang::flatten_rule({r.cond, r.actions}, w.schema);
+    ASSERT_TRUE(flat.ok());
+    EXPECT_LE(flat.value().terms[0].constraints.size(), 3u);
+  }
+}
+
+TEST(ItchSubscriptions, ShapeAndDeterminism) {
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams p;
+  p.n_subscriptions = 100;
+  p.n_hosts = 10;
+  p.n_symbols = 5;
+  auto subs = workload::generate_itch_subscriptions(schema, p);
+  ASSERT_EQ(subs.rules.size(), 100u);
+  EXPECT_EQ(subs.symbols.size(), 5u);
+
+  for (const auto& r : subs.rules) {
+    // stock == S and price > P : fwd(H)
+    ASSERT_EQ(r.cond->kind, lang::BoundCond::Kind::kAnd);
+    EXPECT_EQ(r.cond->lhs->atom.op, lang::RelOp::kEq);
+    EXPECT_EQ(r.cond->rhs->atom.op, lang::RelOp::kGt);
+    ASSERT_EQ(r.actions.ports.size(), 1u);
+    EXPECT_GE(r.actions.ports[0], 1u);
+    EXPECT_LE(r.actions.ports[0], 10u);
+  }
+
+  auto subs2 = workload::generate_itch_subscriptions(schema, p);
+  EXPECT_EQ(subs.rules[7].cond->to_string(),
+            subs2.rules[7].cond->to_string());
+}
+
+TEST(ItchSubscriptions, RoundRobinCoversAllPairs) {
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams p;
+  p.n_subscriptions = 50;
+  p.n_hosts = 5;
+  p.n_symbols = 2;
+  p.round_robin = true;
+  auto subs = workload::generate_itch_subscriptions(schema, p);
+  // Hosts cycle 1..5 and symbols advance every 5 subscriptions.
+  std::set<std::uint16_t> hosts;
+  for (const auto& r : subs.rules) hosts.insert(r.actions.ports[0]);
+  EXPECT_EQ(hosts.size(), 5u);
+}
+
+TEST(ItchSubscriptions, PerHostThresholdShared) {
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams p;
+  p.n_subscriptions = 40;
+  p.n_hosts = 4;
+  p.n_symbols = 2;
+  auto subs = workload::generate_itch_subscriptions(schema, p);
+  // With per-host thresholds there are at most n_hosts distinct values.
+  std::set<std::uint64_t> thresholds;
+  for (const auto& r : subs.rules) thresholds.insert(r.cond->rhs->atom.value);
+  EXPECT_LE(thresholds.size(), 4u);
+
+  p.per_host_threshold = false;
+  auto subs2 = workload::generate_itch_subscriptions(schema, p);
+  std::set<std::uint64_t> thresholds2;
+  for (const auto& r : subs2.rules)
+    thresholds2.insert(r.cond->rhs->atom.value);
+  EXPECT_GT(thresholds2.size(), 4u);
+}
+
+TEST(ItchSubscriptions, RequiresStockAndPriceFields) {
+  spec::Schema s;
+  s.add_header("t", "h");
+  s.mark_queryable(s.add_field("x", 8), spec::MatchHint::kRange);
+  workload::ItchSubsParams p;
+  EXPECT_THROW(workload::generate_itch_subscriptions(s, p),
+               std::invalid_argument);
+}
+
+TEST(FeedGenerator, WatchedFractionApproximate) {
+  workload::FeedParams p;
+  p.seed = 5;
+  p.n_messages = 50000;
+  p.watched_fraction = 0.05;
+  p.mode = workload::FeedMode::kSynthetic;
+  auto feed = workload::generate_feed(p);
+  ASSERT_EQ(feed.messages.size(), 50000u);
+  const double frac =
+      static_cast<double>(feed.watched_count) / feed.messages.size();
+  EXPECT_NEAR(frac, 0.05, 0.01);
+
+  std::size_t counted = 0;
+  for (const auto& m : feed.messages)
+    if (m.msg.stock == "GOOGL") ++counted;
+  EXPECT_EQ(counted, feed.watched_count);
+}
+
+TEST(FeedGenerator, TimestampsMonotone) {
+  workload::FeedParams p;
+  p.n_messages = 10000;
+  for (auto mode :
+       {workload::FeedMode::kSynthetic, workload::FeedMode::kNasdaqReplay}) {
+    p.mode = mode;
+    auto feed = workload::generate_feed(p);
+    for (std::size_t i = 1; i < feed.messages.size(); ++i)
+      ASSERT_GE(feed.messages[i].t_us, feed.messages[i - 1].t_us) << i;
+  }
+}
+
+TEST(FeedGenerator, BurstyModeIsBurstier) {
+  workload::FeedParams p;
+  p.n_messages = 50000;
+  p.rate_msgs_per_sec = 200000;
+
+  auto peak_1ms_rate = [](const workload::Feed& feed) {
+    std::map<std::uint64_t, std::size_t> buckets;
+    for (const auto& m : feed.messages) ++buckets[m.t_us / 1000];
+    std::size_t peak = 0;
+    for (const auto& [t, n] : buckets) peak = std::max(peak, n);
+    return peak;
+  };
+
+  p.mode = workload::FeedMode::kSynthetic;
+  const auto uniform_peak = peak_1ms_rate(workload::generate_feed(p));
+  p.mode = workload::FeedMode::kNasdaqReplay;
+  const auto bursty_peak = peak_1ms_rate(workload::generate_feed(p));
+  EXPECT_GT(bursty_peak, uniform_peak * 2);
+}
+
+TEST(FeedGenerator, PricesWithinBounds) {
+  workload::FeedParams p;
+  p.n_messages = 5000;
+  auto feed = workload::generate_feed(p);
+  for (const auto& m : feed.messages) {
+    ASSERT_GE(m.msg.price, p.price_min);
+    ASSERT_LE(m.msg.price, p.price_max);
+    ASSERT_GE(m.msg.shares, p.shares_min);
+    ASSERT_LE(m.msg.shares, p.shares_max);
+  }
+}
+
+TEST(FeedGenerator, AddsMissingWatchedSymbol) {
+  workload::FeedParams p;
+  p.symbols = {"AAA", "BBB"};
+  p.watched_symbol = "ZZZ";
+  p.watched_fraction = 0.5;
+  p.n_messages = 2000;
+  auto feed = workload::generate_feed(p);
+  EXPECT_GT(feed.watched_count, 500u);
+}
+
+TEST(ItchSymbols, WellKnownFirstAndSized) {
+  auto syms = workload::itch_symbols(20);
+  ASSERT_EQ(syms.size(), 20u);
+  EXPECT_EQ(syms[0], "GOOGL");
+  for (const auto& s : syms) EXPECT_LE(s.size(), 8u);
+  std::set<std::string> uniq(syms.begin(), syms.end());
+  EXPECT_EQ(uniq.size(), 20u);
+}
+
+}  // namespace
