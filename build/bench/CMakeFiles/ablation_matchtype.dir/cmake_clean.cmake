@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matchtype.dir/ablation_matchtype.cpp.o"
+  "CMakeFiles/ablation_matchtype.dir/ablation_matchtype.cpp.o.d"
+  "ablation_matchtype"
+  "ablation_matchtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matchtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

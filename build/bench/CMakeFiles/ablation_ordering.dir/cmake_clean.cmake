@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ordering.dir/ablation_ordering.cpp.o"
+  "CMakeFiles/ablation_ordering.dir/ablation_ordering.cpp.o.d"
+  "ablation_ordering"
+  "ablation_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

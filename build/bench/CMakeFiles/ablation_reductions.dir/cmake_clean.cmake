@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reductions.dir/ablation_reductions.cpp.o"
+  "CMakeFiles/ablation_reductions.dir/ablation_reductions.cpp.o.d"
+  "ablation_reductions"
+  "ablation_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

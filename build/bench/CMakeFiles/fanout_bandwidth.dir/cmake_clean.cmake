@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanout_bandwidth.dir/fanout_bandwidth.cpp.o"
+  "CMakeFiles/fanout_bandwidth.dir/fanout_bandwidth.cpp.o.d"
+  "fanout_bandwidth"
+  "fanout_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanout_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

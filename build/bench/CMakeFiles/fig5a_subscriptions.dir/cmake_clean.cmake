@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_subscriptions.dir/fig5a_subscriptions.cpp.o"
+  "CMakeFiles/fig5a_subscriptions.dir/fig5a_subscriptions.cpp.o.d"
+  "fig5a_subscriptions"
+  "fig5a_subscriptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_subscriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_predicates.dir/fig5b_predicates.cpp.o"
+  "CMakeFiles/fig5b_predicates.dir/fig5b_predicates.cpp.o.d"
+  "fig5b_predicates"
+  "fig5b_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

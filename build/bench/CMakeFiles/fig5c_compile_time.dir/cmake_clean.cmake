@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_compile_time.dir/fig5c_compile_time.cpp.o"
+  "CMakeFiles/fig5c_compile_time.dir/fig5c_compile_time.cpp.o.d"
+  "fig5c_compile_time"
+  "fig5c_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_subscribers.dir/scaling_subscribers.cpp.o"
+  "CMakeFiles/scaling_subscribers.dir/scaling_subscribers.cpp.o.d"
+  "scaling_subscribers"
+  "scaling_subscribers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_subscribers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camusc.dir/camusc.cpp.o"
+  "CMakeFiles/camusc.dir/camusc.cpp.o.d"
+  "camusc"
+  "camusc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camusc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

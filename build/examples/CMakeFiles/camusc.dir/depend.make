@@ -1,0 +1,2 @@
+# Empty dependencies file for camusc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_to_pcap.dir/feed_to_pcap.cpp.o"
+  "CMakeFiles/feed_to_pcap.dir/feed_to_pcap.cpp.o.d"
+  "feed_to_pcap"
+  "feed_to_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_to_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

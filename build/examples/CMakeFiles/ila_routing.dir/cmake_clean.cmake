@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ila_routing.dir/ila_routing.cpp.o"
+  "CMakeFiles/ila_routing.dir/ila_routing.cpp.o.d"
+  "ila_routing"
+  "ila_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ila_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

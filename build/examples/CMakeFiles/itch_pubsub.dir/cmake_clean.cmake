@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itch_pubsub.dir/itch_pubsub.cpp.o"
+  "CMakeFiles/itch_pubsub.dir/itch_pubsub.cpp.o.d"
+  "itch_pubsub"
+  "itch_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itch_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_experiment.dir/latency_experiment.cpp.o"
+  "CMakeFiles/latency_experiment.dir/latency_experiment.cpp.o.d"
+  "latency_experiment"
+  "latency_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

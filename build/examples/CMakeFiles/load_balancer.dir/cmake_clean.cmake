@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancer.dir/load_balancer.cpp.o"
+  "CMakeFiles/load_balancer.dir/load_balancer.cpp.o.d"
+  "load_balancer"
+  "load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcache_routing.dir/netcache_routing.cpp.o"
+  "CMakeFiles/netcache_routing.dir/netcache_routing.cpp.o.d"
+  "netcache_routing"
+  "netcache_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcache_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

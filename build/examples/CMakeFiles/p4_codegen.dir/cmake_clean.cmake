@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_codegen.dir/p4_codegen.cpp.o"
+  "CMakeFiles/p4_codegen.dir/p4_codegen.cpp.o.d"
+  "p4_codegen"
+  "p4_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("lang")
+subdirs("spec")
+subdirs("bdd")
+subdirs("table")
+subdirs("compiler")
+subdirs("proto")
+subdirs("switchsim")
+subdirs("workload")
+subdirs("baseline")
+subdirs("netsim")
+subdirs("pubsub")

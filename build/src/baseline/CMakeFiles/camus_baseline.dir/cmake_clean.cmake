@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_baseline.dir/matcher.cpp.o"
+  "CMakeFiles/camus_baseline.dir/matcher.cpp.o.d"
+  "libcamus_baseline.a"
+  "libcamus_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

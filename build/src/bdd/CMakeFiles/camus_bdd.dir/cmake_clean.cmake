@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/camus_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/camus_bdd.dir/order.cpp.o"
+  "CMakeFiles/camus_bdd.dir/order.cpp.o.d"
+  "libcamus_bdd.a"
+  "libcamus_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

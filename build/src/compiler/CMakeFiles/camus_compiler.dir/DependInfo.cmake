@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/algorithm1.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/algorithm1.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/compiler/analysis.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/analysis.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/analysis.cpp.o.d"
+  "/root/repo/src/compiler/compile.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/compile.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/compile.cpp.o.d"
+  "/root/repo/src/compiler/compress.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/compress.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/compress.cpp.o.d"
+  "/root/repo/src/compiler/field_order.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/field_order.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/field_order.cpp.o.d"
+  "/root/repo/src/compiler/incremental.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/incremental.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/incremental.cpp.o.d"
+  "/root/repo/src/compiler/p4gen.cpp" "src/compiler/CMakeFiles/camus_compiler.dir/p4gen.cpp.o" "gcc" "src/compiler/CMakeFiles/camus_compiler.dir/p4gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/camus_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/camus_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/camus_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/camus_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/camus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_compiler.dir/algorithm1.cpp.o"
+  "CMakeFiles/camus_compiler.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/camus_compiler.dir/analysis.cpp.o"
+  "CMakeFiles/camus_compiler.dir/analysis.cpp.o.d"
+  "CMakeFiles/camus_compiler.dir/compile.cpp.o"
+  "CMakeFiles/camus_compiler.dir/compile.cpp.o.d"
+  "CMakeFiles/camus_compiler.dir/compress.cpp.o"
+  "CMakeFiles/camus_compiler.dir/compress.cpp.o.d"
+  "CMakeFiles/camus_compiler.dir/field_order.cpp.o"
+  "CMakeFiles/camus_compiler.dir/field_order.cpp.o.d"
+  "CMakeFiles/camus_compiler.dir/incremental.cpp.o"
+  "CMakeFiles/camus_compiler.dir/incremental.cpp.o.d"
+  "CMakeFiles/camus_compiler.dir/p4gen.cpp.o"
+  "CMakeFiles/camus_compiler.dir/p4gen.cpp.o.d"
+  "libcamus_compiler.a"
+  "libcamus_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/lang/CMakeFiles/camus_lang.dir/ast.cpp.o" "gcc" "src/lang/CMakeFiles/camus_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/lang/bound.cpp" "src/lang/CMakeFiles/camus_lang.dir/bound.cpp.o" "gcc" "src/lang/CMakeFiles/camus_lang.dir/bound.cpp.o.d"
+  "/root/repo/src/lang/dnf.cpp" "src/lang/CMakeFiles/camus_lang.dir/dnf.cpp.o" "gcc" "src/lang/CMakeFiles/camus_lang.dir/dnf.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/lang/CMakeFiles/camus_lang.dir/lexer.cpp.o" "gcc" "src/lang/CMakeFiles/camus_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/camus_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/camus_lang.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/camus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/camus_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_lang.dir/ast.cpp.o"
+  "CMakeFiles/camus_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/camus_lang.dir/bound.cpp.o"
+  "CMakeFiles/camus_lang.dir/bound.cpp.o.d"
+  "CMakeFiles/camus_lang.dir/dnf.cpp.o"
+  "CMakeFiles/camus_lang.dir/dnf.cpp.o.d"
+  "CMakeFiles/camus_lang.dir/lexer.cpp.o"
+  "CMakeFiles/camus_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/camus_lang.dir/parser.cpp.o"
+  "CMakeFiles/camus_lang.dir/parser.cpp.o.d"
+  "libcamus_lang.a"
+  "libcamus_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_netsim.dir/market_experiment.cpp.o"
+  "CMakeFiles/camus_netsim.dir/market_experiment.cpp.o.d"
+  "CMakeFiles/camus_netsim.dir/sim.cpp.o"
+  "CMakeFiles/camus_netsim.dir/sim.cpp.o.d"
+  "libcamus_netsim.a"
+  "libcamus_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/generic.cpp" "src/proto/CMakeFiles/camus_proto.dir/generic.cpp.o" "gcc" "src/proto/CMakeFiles/camus_proto.dir/generic.cpp.o.d"
+  "/root/repo/src/proto/headers.cpp" "src/proto/CMakeFiles/camus_proto.dir/headers.cpp.o" "gcc" "src/proto/CMakeFiles/camus_proto.dir/headers.cpp.o.d"
+  "/root/repo/src/proto/itch.cpp" "src/proto/CMakeFiles/camus_proto.dir/itch.cpp.o" "gcc" "src/proto/CMakeFiles/camus_proto.dir/itch.cpp.o.d"
+  "/root/repo/src/proto/packet.cpp" "src/proto/CMakeFiles/camus_proto.dir/packet.cpp.o" "gcc" "src/proto/CMakeFiles/camus_proto.dir/packet.cpp.o.d"
+  "/root/repo/src/proto/pcap.cpp" "src/proto/CMakeFiles/camus_proto.dir/pcap.cpp.o" "gcc" "src/proto/CMakeFiles/camus_proto.dir/pcap.cpp.o.d"
+  "/root/repo/src/proto/wire.cpp" "src/proto/CMakeFiles/camus_proto.dir/wire.cpp.o" "gcc" "src/proto/CMakeFiles/camus_proto.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/camus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

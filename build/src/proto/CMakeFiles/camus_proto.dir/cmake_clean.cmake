@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_proto.dir/generic.cpp.o"
+  "CMakeFiles/camus_proto.dir/generic.cpp.o.d"
+  "CMakeFiles/camus_proto.dir/headers.cpp.o"
+  "CMakeFiles/camus_proto.dir/headers.cpp.o.d"
+  "CMakeFiles/camus_proto.dir/itch.cpp.o"
+  "CMakeFiles/camus_proto.dir/itch.cpp.o.d"
+  "CMakeFiles/camus_proto.dir/packet.cpp.o"
+  "CMakeFiles/camus_proto.dir/packet.cpp.o.d"
+  "CMakeFiles/camus_proto.dir/pcap.cpp.o"
+  "CMakeFiles/camus_proto.dir/pcap.cpp.o.d"
+  "CMakeFiles/camus_proto.dir/wire.cpp.o"
+  "CMakeFiles/camus_proto.dir/wire.cpp.o.d"
+  "libcamus_proto.a"
+  "libcamus_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_pubsub.dir/controller.cpp.o"
+  "CMakeFiles/camus_pubsub.dir/controller.cpp.o.d"
+  "CMakeFiles/camus_pubsub.dir/endpoints.cpp.o"
+  "CMakeFiles/camus_pubsub.dir/endpoints.cpp.o.d"
+  "libcamus_pubsub.a"
+  "libcamus_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/itch_spec.cpp" "src/spec/CMakeFiles/camus_spec.dir/itch_spec.cpp.o" "gcc" "src/spec/CMakeFiles/camus_spec.dir/itch_spec.cpp.o.d"
+  "/root/repo/src/spec/schema.cpp" "src/spec/CMakeFiles/camus_spec.dir/schema.cpp.o" "gcc" "src/spec/CMakeFiles/camus_spec.dir/schema.cpp.o.d"
+  "/root/repo/src/spec/spec_parser.cpp" "src/spec/CMakeFiles/camus_spec.dir/spec_parser.cpp.o" "gcc" "src/spec/CMakeFiles/camus_spec.dir/spec_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/camus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

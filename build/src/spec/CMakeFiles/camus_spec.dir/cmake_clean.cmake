@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_spec.dir/itch_spec.cpp.o"
+  "CMakeFiles/camus_spec.dir/itch_spec.cpp.o.d"
+  "CMakeFiles/camus_spec.dir/schema.cpp.o"
+  "CMakeFiles/camus_spec.dir/schema.cpp.o.d"
+  "CMakeFiles/camus_spec.dir/spec_parser.cpp.o"
+  "CMakeFiles/camus_spec.dir/spec_parser.cpp.o.d"
+  "libcamus_spec.a"
+  "libcamus_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_switchsim.dir/extract.cpp.o"
+  "CMakeFiles/camus_switchsim.dir/extract.cpp.o.d"
+  "CMakeFiles/camus_switchsim.dir/registers.cpp.o"
+  "CMakeFiles/camus_switchsim.dir/registers.cpp.o.d"
+  "CMakeFiles/camus_switchsim.dir/switch.cpp.o"
+  "CMakeFiles/camus_switchsim.dir/switch.cpp.o.d"
+  "libcamus_switchsim.a"
+  "libcamus_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_table.dir/pipeline.cpp.o"
+  "CMakeFiles/camus_table.dir/pipeline.cpp.o.d"
+  "CMakeFiles/camus_table.dir/serialize.cpp.o"
+  "CMakeFiles/camus_table.dir/serialize.cpp.o.d"
+  "CMakeFiles/camus_table.dir/table.cpp.o"
+  "CMakeFiles/camus_table.dir/table.cpp.o.d"
+  "libcamus_table.a"
+  "libcamus_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_util.dir/intern.cpp.o"
+  "CMakeFiles/camus_util.dir/intern.cpp.o.d"
+  "CMakeFiles/camus_util.dir/interval.cpp.o"
+  "CMakeFiles/camus_util.dir/interval.cpp.o.d"
+  "CMakeFiles/camus_util.dir/rng.cpp.o"
+  "CMakeFiles/camus_util.dir/rng.cpp.o.d"
+  "CMakeFiles/camus_util.dir/stats.cpp.o"
+  "CMakeFiles/camus_util.dir/stats.cpp.o.d"
+  "libcamus_util.a"
+  "libcamus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camus_workload.dir/feed.cpp.o"
+  "CMakeFiles/camus_workload.dir/feed.cpp.o.d"
+  "CMakeFiles/camus_workload.dir/itch_subs.cpp.o"
+  "CMakeFiles/camus_workload.dir/itch_subs.cpp.o.d"
+  "CMakeFiles/camus_workload.dir/siena.cpp.o"
+  "CMakeFiles/camus_workload.dir/siena.cpp.o.d"
+  "libcamus_workload.a"
+  "libcamus_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camus_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

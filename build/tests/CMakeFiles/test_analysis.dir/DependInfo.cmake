@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/camus_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/camus_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/camus_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/camus_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/camus_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/camus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_core.dir/test_compiler_core.cpp.o"
+  "CMakeFiles/test_compiler_core.dir/test_compiler_core.cpp.o.d"
+  "test_compiler_core"
+  "test_compiler_core.pdb"
+  "test_compiler_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_detail.dir/test_compiler_detail.cpp.o"
+  "CMakeFiles/test_compiler_detail.dir/test_compiler_detail.cpp.o.d"
+  "test_compiler_detail"
+  "test_compiler_detail.pdb"
+  "test_compiler_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

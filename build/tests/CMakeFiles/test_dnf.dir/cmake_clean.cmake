@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnf.dir/test_dnf.cpp.o"
+  "CMakeFiles/test_dnf.dir/test_dnf.cpp.o.d"
+  "test_dnf"
+  "test_dnf.pdb"
+  "test_dnf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

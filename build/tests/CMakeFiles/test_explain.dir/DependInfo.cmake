@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_explain.cpp" "tests/CMakeFiles/test_explain.dir/test_explain.cpp.o" "gcc" "tests/CMakeFiles/test_explain.dir/test_explain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/camus_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/camus_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/camus_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/camus_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/camus_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/camus_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/camus_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/camus_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/camus_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/camus_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/camus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

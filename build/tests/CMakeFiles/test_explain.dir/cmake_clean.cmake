@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explain.dir/test_explain.cpp.o"
+  "CMakeFiles/test_explain.dir/test_explain.cpp.o.d"
+  "test_explain"
+  "test_explain.pdb"
+  "test_explain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

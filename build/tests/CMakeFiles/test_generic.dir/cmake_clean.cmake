@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic.dir/test_generic.cpp.o"
+  "CMakeFiles/test_generic.dir/test_generic.cpp.o.d"
+  "test_generic"
+  "test_generic.pdb"
+  "test_generic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

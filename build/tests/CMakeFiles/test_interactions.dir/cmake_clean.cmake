@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interactions.dir/test_interactions.cpp.o"
+  "CMakeFiles/test_interactions.dir/test_interactions.cpp.o.d"
+  "test_interactions"
+  "test_interactions.pdb"
+  "test_interactions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_itch_types.dir/test_itch_types.cpp.o"
+  "CMakeFiles/test_itch_types.dir/test_itch_types.cpp.o.d"
+  "test_itch_types"
+  "test_itch_types.pdb"
+  "test_itch_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_itch_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/test_lang.cpp.o"
+  "CMakeFiles/test_lang.dir/test_lang.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+  "test_lang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

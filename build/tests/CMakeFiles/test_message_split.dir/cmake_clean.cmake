@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_split.dir/test_message_split.cpp.o"
+  "CMakeFiles/test_message_split.dir/test_message_split.cpp.o.d"
+  "test_message_split"
+  "test_message_split.pdb"
+  "test_message_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

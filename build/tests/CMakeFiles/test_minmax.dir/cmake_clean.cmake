@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minmax.dir/test_minmax.cpp.o"
+  "CMakeFiles/test_minmax.dir/test_minmax.cpp.o.d"
+  "test_minmax"
+  "test_minmax.pdb"
+  "test_minmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pubsub.dir/test_pubsub.cpp.o"
+  "CMakeFiles/test_pubsub.dir/test_pubsub.cpp.o.d"
+  "test_pubsub"
+  "test_pubsub.pdb"
+  "test_pubsub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switchsim.dir/test_switchsim.cpp.o"
+  "CMakeFiles/test_switchsim.dir/test_switchsim.cpp.o.d"
+  "test_switchsim"
+  "test_switchsim.pdb"
+  "test_switchsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_switchsim.
+# This may be replaced when dependencies are built.
