@@ -6,9 +6,14 @@
 // symbol space. Under broadcast + host filtering every server pays the
 // full feed rate regardless of N; with switch filtering each server only
 // receives its slice, so per-server load FALLS as servers are added.
+// Flags: --quick (shorter feed), --threads N (parallel sharded compile),
+// --json FILE (one compile-stats JSON object per host count,
+// newline-delimited; "-" for stderr). Stdout is unchanged by either flag.
 #include <cstdio>
+#include <cstdlib>
 
 #include <map>
+#include <string>
 
 #include "netsim/market_experiment.hpp"
 #include "pubsub/controller.hpp"
@@ -19,7 +24,32 @@
 using namespace camus;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+  bool quick = false;
+  std::size_t threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--threads N] [--json FILE|-]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::FILE* json_out = nullptr;
+  if (!json_path.empty()) {
+    json_out = json_path == "-" ? stderr : std::fopen(json_path.c_str(), "w");
+    if (!json_out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   const std::size_t n_msgs = quick ? 40000 : 150000;
 
   std::printf("Scaling: watched-message p99 latency vs #subscriber hosts\n");
@@ -45,7 +75,9 @@ int main(int argc, char** argv) {
 
   for (std::uint16_t n_hosts : {2, 4, 8, 16, 32}) {
     std::map<std::string, std::uint16_t> interest;
-    pubsub::Controller ctl(spec::make_itch_schema());
+    compiler::CompileOptions copts;
+    copts.threads = threads;
+    pubsub::Controller ctl(spec::make_itch_schema(), copts);
     for (std::size_t s = 0; s < symbols.size(); ++s) {
       const std::uint16_t port =
           static_cast<std::uint16_t>(1 + s % n_hosts);
@@ -69,6 +101,8 @@ int main(int argc, char** argv) {
     // Camus: compiled per-host subscriptions.
     auto sw = ctl.build_switch();
     if (!sw.ok()) return 1;
+    if (json_out)
+      std::fprintf(json_out, "%s\n", ctl.compiled().stats.to_json().c_str());
     mp.mode = netsim::FilterMode::kSwitchFilter;
     const auto camus = netsim::run_fanout_experiment(mp, sw.value(), feed,
                                                      interest, n_hosts);
@@ -88,5 +122,6 @@ int main(int argc, char** argv) {
       "Camus tail)\nno matter how the symbols are spread, and the bytes "
       "delivered grow linearly\nwith the host count; with in-network "
       "filtering both stay flat.\n");
+  if (json_out && json_out != stderr) std::fclose(json_out);
   return 0;
 }

@@ -17,6 +17,8 @@
 //   --compress         enable domain compression
 //   --emit-drop        emit explicit drop entries
 //   --stats            print compile statistics
+//   --stats-json FILE  write the compile-stats JSON profile ("-" = stdout)
+//   --threads N        parallel sharded compilation (0 = hardware threads)
 //   --explain ASSIGN   trace one message through the pipeline, e.g.
 //                      --explain "stock=GOOGL,price=120,shares=5"
 // With no --spec, uses the built-in ITCH schema; with no --rules, reads
@@ -44,7 +46,8 @@ int usage() {
   std::cerr << "usage: camusc [--spec FILE] [--rules FILE] [--p4 FILE] "
                "[--p4-14 FILE]\n              [--rules-out FILE] [--dot "
                "FILE] [--tables] [--analyze]\n              [--order H] "
-               "[--no-prune] [--compress] [--emit-drop] [--stats]\n";
+               "[--no-prune] [--compress] [--emit-drop] [--stats]\n"
+               "              [--stats-json FILE|-] [--threads N]\n";
   return 2;
 }
 
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> files;
   bool want_tables = false, want_analyze = false, want_stats = false;
   std::string explain_assign;
+  std::string stats_json_path;
   compiler::CompileOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +95,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       explain_assign = v;
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (!v) return usage();
+      stats_json_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage();
+      opts.threads = std::strtoull(v, nullptr, 10);
     } else if (arg == "--order") {
       const char* h = next();
       if (!h) return usage();
@@ -238,8 +250,17 @@ int main(int argc, char** argv) {
     std::cout << "explain " << explain_assign << ":\n"
               << c.pipeline.explain(env).to_string();
   }
+  if (!stats_json_path.empty()) {
+    if (stats_json_path == "-") {
+      std::cout << c.stats.to_json() << "\n";
+    } else if (!spill(stats_json_path, c.stats.to_json() + "\n")) {
+      std::cerr << "camusc: cannot write " << stats_json_path << "\n";
+      return 1;
+    }
+  }
   if (want_tables) std::cout << c.pipeline.to_string();
-  if (want_stats || (!want_tables && files.empty())) {
+  if (want_stats ||
+      (!want_tables && files.empty() && stats_json_path.empty())) {
     std::cout << c.stats.to_string() << "\n"
               << "resources: " << c.pipeline.resources().to_string() << "\n"
               << "fits Tofino-like budget: "

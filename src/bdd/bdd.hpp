@@ -69,6 +69,26 @@ struct BddStats {
   std::map<Subject, std::size_t> nodes_per_subject;
 };
 
+// Unique-table and memo-cache telemetry (compile-phase profiling). Probes
+// and hits are lifetime totals; accumulate() folds worker-manager stats
+// into the master's for the sharded parallel compile path.
+struct CacheStats {
+  std::size_t unique_nodes = 0;   // hash-consed node table size
+  std::size_t terminals = 0;      // distinct terminal ActionSets
+  std::size_t vars = 0;           // distinct atomic predicates
+  std::uint64_t unite_probes = 0;      // syntactic union memo
+  std::uint64_t unite_hits = 0;
+  std::uint64_t unite_res_probes = 0;  // semantic union memo
+  std::uint64_t unite_res_hits = 0;
+  std::uint64_t split_probes = 0;      // residual split memo
+  std::uint64_t split_hits = 0;
+
+  void accumulate(const CacheStats& other);
+
+  // Hit rate over both union memos (the compile hot path); 0 when unused.
+  double memo_hit_rate() const noexcept;
+};
+
 class BddManager {
  public:
   BddManager(VarOrder order, DomainMap domains);
@@ -131,10 +151,20 @@ class BddManager {
   // root, semantic=true). Used directly by the ablation benchmarks.
   NodeRef prune(NodeRef root);
 
+  // Copies the subgraph rooted at `root` in `src` into this manager,
+  // re-interning variables and terminals (hash-consing deduplicates
+  // against existing nodes). Both managers must use the same subject
+  // order; this is how the parallel compiler merges per-thread shard BDDs
+  // into the master manager.
+  NodeRef import(const BddManager& src, NodeRef root);
+
   // --- queries ---------------------------------------------------------
   const ActionSet& evaluate(NodeRef root, const lang::Env& env) const;
 
   BddStats stats(NodeRef root) const;
+
+  // Unique-table size and memo probe/hit totals (compile telemetry).
+  CacheStats cache_stats() const;
 
   // GraphViz rendering of the reachable subgraph (for docs and debugging).
   std::string to_dot(NodeRef root, const spec::Schema* schema = nullptr) const;

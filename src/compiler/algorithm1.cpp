@@ -277,6 +277,7 @@ TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
     table::Table t(info.name, subj, kind, info.width_bits);
     t.set_symbol(info.symbol);
     for (const Entry& e : entries) t.add_entry(e);
+    result.stats.stage_entries.push_back({info.name, entries.size()});
     pipe.tables.push_back(std::move(t));
   }
 
@@ -292,7 +293,14 @@ TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
     pipe.leaf.add_entry(std::move(e));
   }
 
+  result.stats.leaf_entries = pipe.leaf.entries().size();
+
   pipe.finalize();
+  // Range entries for one state come from disjoint BDD branches; an
+  // overlap indicates a compiler bug. Surface it through the error path
+  // callers already handle rather than aborting the caller.
+  if (auto valid = pipe.validate(); !valid.ok())
+    throw std::runtime_error(valid.error().message);
   return result;
 }
 

@@ -27,6 +27,15 @@ struct TableGenStats {
   std::size_t components = 0;         // non-empty field components
   std::size_t in_nodes = 0;           // total In nodes across components
   std::size_t paths_enumerated = 0;   // DFS path segments walked
+
+  // Per-stage telemetry: entries emitted for each field table, in pipeline
+  // order, plus the leaf table (the CompileStats JSON "stages" array).
+  struct StageEntries {
+    std::string table;
+    std::size_t entries = 0;
+  };
+  std::vector<StageEntries> stage_entries;
+  std::size_t leaf_entries = 0;
 };
 
 struct TableGenResult {

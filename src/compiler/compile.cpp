@@ -4,8 +4,10 @@
 
 #include "compiler/compress.hpp"
 #include "compiler/field_order.hpp"
+#include "compiler/parallel.hpp"
 #include "lang/dnf.hpp"
 #include "lang/parser.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace camus::compiler {
@@ -24,6 +26,72 @@ std::string CompileStats::to_string() const {
      << " (flatten=" << t_flatten << " build=" << t_build
      << " union=" << t_union << " prune=" << t_prune
      << " tables=" << t_tables << ")";
+  if (threads_used > 1) {
+    os << " threads=" << threads_used << " shards=[";
+    for (std::size_t i = 0; i < shards.size(); ++i)
+      os << (i ? "," : "") << shards[i].rules;
+    os << "]";
+  }
+  const std::uint64_t probes = cache.unite_probes + cache.unite_res_probes;
+  if (probes > 0) os << " memo_hit_rate=" << cache.memo_hit_rate();
+  return os.str();
+}
+
+std::string CompileStats::to_json() const {
+  using util::json::format_double;
+  std::ostringstream os;
+  os << "{";
+  os << "\"rules\":" << rule_count << ",\"dnf_terms\":" << dnf_terms;
+  os << ",\"threads\":" << threads_used;
+  os << ",\"phases\":{"
+     << "\"flatten\":" << format_double(t_flatten)
+     << ",\"build\":" << format_double(t_build)
+     << ",\"union\":" << format_double(t_union)
+     << ",\"prune\":" << format_double(t_prune)
+     << ",\"tables\":" << format_double(t_tables)
+     << ",\"total\":" << format_double(t_total) << "}";
+  os << ",\"bdd\":{"
+     << "\"nodes_before_prune\":" << bdd_before_prune.node_count
+     << ",\"nodes_after_prune\":" << bdd_after_prune.node_count
+     << ",\"terminals\":" << bdd_after_prune.terminal_count
+     << ",\"vars\":" << bdd_after_prune.var_count << "}";
+  os << ",\"cache\":{"
+     << "\"unique_nodes\":" << cache.unique_nodes
+     << ",\"terminals\":" << cache.terminals
+     << ",\"vars\":" << cache.vars
+     << ",\"unite_probes\":" << cache.unite_probes
+     << ",\"unite_hits\":" << cache.unite_hits
+     << ",\"unite_res_probes\":" << cache.unite_res_probes
+     << ",\"unite_res_hits\":" << cache.unite_res_hits
+     << ",\"split_probes\":" << cache.split_probes
+     << ",\"split_hits\":" << cache.split_hits
+     << ",\"memo_hit_rate\":" << format_double(cache.memo_hit_rate()) << "}";
+  os << ",\"tablegen\":{"
+     << "\"components\":" << tablegen.components
+     << ",\"in_nodes\":" << tablegen.in_nodes
+     << ",\"paths_enumerated\":" << tablegen.paths_enumerated << "}";
+  os << ",\"stages\":[";
+  for (std::size_t i = 0; i < tablegen.stage_entries.size(); ++i) {
+    const auto& s = tablegen.stage_entries[i];
+    os << (i ? "," : "") << "{\"table\":\"" << util::json::escape(s.table)
+       << "\",\"entries\":" << s.entries << "}";
+  }
+  if (!tablegen.stage_entries.empty() || tablegen.leaf_entries > 0 ||
+      total_entries > 0) {
+    os << (tablegen.stage_entries.empty() ? "" : ",")
+       << "{\"table\":\"leaf\",\"entries\":" << tablegen.leaf_entries << "}";
+  }
+  os << "]";
+  os << ",\"entries\":" << total_entries
+     << ",\"multicast_groups\":" << multicast_groups;
+  os << ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& s = shards[i];
+    os << (i ? "," : "") << "{\"rules\":" << s.rules
+       << ",\"bdd_nodes\":" << s.bdd_nodes
+       << ",\"seconds\":" << format_double(s.t_seconds) << "}";
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -41,22 +109,41 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
   for (const auto& r : flat.value()) out.stats.dnf_terms += r.terms.size();
   out.stats.t_flatten = t.seconds();
 
-  // 2. Build one BDD per rule under the chosen variable order.
-  t.reset();
+  // 2+3. Build one BDD per rule under the chosen variable order and union
+  // them all (overlapping rules merge their ActionSets at the terminals).
+  // With opts.threads > 1 this runs as the sharded parallel pipeline:
+  // rules partitioned by the top partition field, per-thread BddManagers,
+  // shard roots merged into the master manager by pairwise union.
   bdd::VarOrder order = choose_order(schema, flat.value(), opts.order);
   out.manager = std::make_shared<bdd::BddManager>(std::move(order),
                                                   bdd::DomainMap(schema));
   bdd::BddManager& mgr = *out.manager;
-  std::vector<bdd::NodeRef> roots;
-  roots.reserve(flat.value().size());
-  for (const auto& r : flat.value()) roots.push_back(mgr.build_rule(r));
-  out.stats.t_build = t.seconds();
 
-  // 3. Union all rules (balanced tree; overlapping rules merge their
-  //    ActionSets at the terminals).
-  t.reset();
-  out.root = mgr.unite_all(std::move(roots), opts.semantic_prune);
-  out.stats.t_union = t.seconds();
+  ShardPlan plan;
+  if (const std::size_t threads = resolve_threads(opts.threads); threads > 1)
+    plan = plan_shards(flat.value(), mgr.order(), threads);
+
+  if (plan.shards.size() > 1) {
+    auto built =
+        build_sharded(mgr, flat.value(), plan, opts.semantic_prune);
+    if (!built.ok()) return built.error();
+    out.root = built.value().root;
+    out.stats.threads_used = plan.shards.size();
+    out.stats.shards = std::move(built.value().shards);
+    out.stats.cache = built.value().worker_cache;  // master added below
+    out.stats.t_build = built.value().t_build;
+    out.stats.t_union = built.value().t_merge;
+  } else {
+    t.reset();
+    std::vector<bdd::NodeRef> roots;
+    roots.reserve(flat.value().size());
+    for (const auto& r : flat.value()) roots.push_back(mgr.build_rule(r));
+    out.stats.t_build = t.seconds();
+
+    t.reset();
+    out.root = mgr.unite_all(std::move(roots), opts.semantic_prune);
+    out.stats.t_union = t.seconds();
+  }
   out.stats.bdd_before_prune = mgr.stats(out.root);
 
   // 4. Reduction (iii): remove predicates implied by ancestors.
@@ -79,6 +166,7 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
   if (opts.domain_compression) compress_domains(out.pipeline, opts);
   out.stats.t_tables = t.seconds();
 
+  out.stats.cache.accumulate(mgr.cache_stats());
   out.stats.total_entries = out.pipeline.total_entries();
   out.stats.multicast_groups = out.pipeline.mcast.size();
   out.stats.t_total = total.seconds();

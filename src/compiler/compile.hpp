@@ -17,18 +17,39 @@
 
 namespace camus::compiler {
 
+// Telemetry for one shard of the parallel compilation pipeline.
+struct ShardStats {
+  std::size_t rules = 0;      // flat rules assigned to this shard
+  std::size_t bdd_nodes = 0;  // shard-local manager node-table size
+  double t_seconds = 0;       // shard build+union wall time on its worker
+};
+
+// Compile-phase telemetry: per-phase wall time, BDD node counts,
+// unique-table/memo hit rates, per-stage table entries, and shard sizes.
+// Serialized as JSON (to_json) so benches and tools can emit
+// machine-readable profiles; the schema is documented in DESIGN.md.
 struct CompileStats {
   std::size_t rule_count = 0;
   std::size_t dnf_terms = 0;
 
   bdd::BddStats bdd_before_prune;
   bdd::BddStats bdd_after_prune;
+  // Unique-table sizes and memo probe/hit totals, summed over the master
+  // manager and (on the parallel path) every worker manager.
+  bdd::CacheStats cache;
   TableGenStats tablegen;
 
   std::uint64_t total_entries = 0;
   std::size_t multicast_groups = 0;
 
-  // Wall-clock breakdown in seconds.
+  // Parallel sharded path: number of workers actually used and per-shard
+  // telemetry. threads_used == 1 and shards empty on the serial path.
+  std::size_t threads_used = 1;
+  std::vector<ShardStats> shards;
+
+  // Wall-clock breakdown in seconds. On the parallel path t_build covers
+  // the concurrent shard phase and t_union the import + pairwise merge
+  // into the master manager.
   double t_flatten = 0;
   double t_build = 0;
   double t_union = 0;
@@ -37,6 +58,10 @@ struct CompileStats {
   double t_total = 0;
 
   std::string to_string() const;
+
+  // Machine-readable profile (parse with util::json). Stable key schema —
+  // see DESIGN.md "Parallel compilation & telemetry".
+  std::string to_json() const;
 };
 
 struct Compiled {

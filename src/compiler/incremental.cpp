@@ -97,29 +97,44 @@ std::size_t IncrementalCompiler::Delta::removes() const {
 
 Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   util::Timer timer;
+  Delta delta;
+  delta.stats.rule_count = rules_.size();
 
   // Build (or reuse) the per-subscription rule BDDs.
+  util::Timer phase;
+  double t_flatten = 0;
   std::vector<bdd::NodeRef> roots;
   roots.reserve(rules_.size());
   for (const auto& [id, rule] : rules_) {
     auto it = rule_roots_.find(id);
     if (it == rule_roots_.end()) {
+      phase.reset();
       auto flat = lang::flatten_rule(rule, schema_, opts_.max_dnf_terms);
+      t_flatten += phase.seconds();
       if (!flat.ok()) {
         Error e = flat.error();
         e.message = "subscription " + std::to_string(id) + ": " + e.message;
         return e;
       }
+      delta.stats.dnf_terms += flat.value().terms.size();
       it = rule_roots_.emplace(id, manager_->build_rule(flat.value())).first;
     }
     roots.push_back(it->second);
   }
+  delta.stats.t_flatten = t_flatten;
+  delta.stats.t_build = timer.seconds() - t_flatten;
 
   // Union (persistent memo caches make repeats cheap) and regenerate
   // tables with stable state ids.
+  phase.reset();
   bdd::NodeRef root = manager_->unite_all(std::move(roots),
                                           opts_.semantic_prune);
+  delta.stats.t_union = phase.seconds();
+  delta.stats.bdd_before_prune = manager_->stats(root);
+  phase.reset();
   if (opts_.semantic_prune) root = manager_->prune(root);
+  delta.stats.t_prune = phase.seconds();
+  delta.stats.bdd_after_prune = manager_->stats(root);
 
   // Pin the (non-terminal) root to the initial state id. The root node
   // changes on almost every commit, but its role — "pipeline entry" — does
@@ -133,6 +148,7 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
     pinned_root_raw_ = root.raw();
   }
 
+  phase.reset();
   TableGenResult gen;
   try {
     gen = bdd_to_tables(*manager_, root, schema_, opts_, &states_);
@@ -141,9 +157,13 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   }
   if (opts_.domain_compression)
     compress_domains(gen.pipeline, opts_);
+  delta.stats.t_tables = phase.seconds();
+  delta.stats.tablegen = gen.stats;
+  delta.stats.cache = manager_->cache_stats();
+  delta.stats.total_entries = gen.pipeline.total_entries();
+  delta.stats.multicast_groups = gen.pipeline.mcast.size();
 
   // Diff against the installed pipeline.
-  Delta delta;
   const std::set<FieldKey> new_field = field_keys(gen.pipeline);
   const std::set<LeafKey> new_leaf = leaf_keys(gen.pipeline);
   const std::set<FieldKey> old_field =
@@ -195,6 +215,7 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   delta.total_entries = new_field.size() + new_leaf.size();
   installed_ = std::move(gen.pipeline);
   delta.compile_seconds = timer.seconds();
+  delta.stats.t_total = delta.compile_seconds;
   return delta;
 }
 

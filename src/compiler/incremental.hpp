@@ -67,6 +67,11 @@ class IncrementalCompiler {
     std::size_t total_entries = 0;   // entries in the new pipeline
     double compile_seconds = 0;
 
+    // Compile-phase telemetry for this commit (same schema as the batch
+    // compiler; t_flatten covers only newly added subscriptions — cached
+    // rule BDDs skip flattening entirely).
+    CompileStats stats;
+
     std::size_t adds() const;
     std::size_t removes() const;
   };

@@ -1,0 +1,179 @@
+#include "compiler/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace camus::compiler {
+
+using bdd::NodeRef;
+using lang::FlatRule;
+using lang::Subject;
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+namespace {
+
+// The single value `s` is constrained to across every term of the rule, or
+// nullopt when any term leaves it unconstrained, non-point, or the terms
+// disagree.
+std::optional<std::uint64_t> point_value(const FlatRule& r, Subject s) {
+  if (r.terms.empty()) return std::nullopt;
+  std::optional<std::uint64_t> v;
+  for (const auto& term : r.terms) {
+    const auto it = term.constraints.find(s);
+    if (it == term.constraints.end()) return std::nullopt;
+    const auto& ivs = it->second.intervals();
+    if (ivs.size() != 1 || ivs[0].lo != ivs[0].hi) return std::nullopt;
+    if (v && *v != ivs[0].lo) return std::nullopt;
+    v = ivs[0].lo;
+  }
+  return v;
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const std::vector<FlatRule>& rules,
+                      const bdd::VarOrder& order, std::size_t n_shards) {
+  ShardPlan plan;
+  // Sharding overhead (manager setup, import) isn't worth it for tiny rule
+  // sets; the serial path also keeps single-shard plans trivial.
+  if (n_shards <= 1 || rules.size() < 2 * n_shards) return plan;
+
+  // The top partition field: the highest-ranked subject that most rules
+  // point-constrain. Ranked subjects are tried in order so the partition
+  // mirrors the pipeline's own top-level split.
+  std::optional<Subject> part;
+  for (Subject s : order.subjects()) {
+    std::size_t covered = 0;
+    for (const auto& r : rules)
+      if (point_value(r, s)) ++covered;
+    if (covered * 2 >= rules.size()) {
+      part = s;
+      break;
+    }
+  }
+
+  // Group rules by partition value; everything else is one catch-all
+  // group. With no usable partition field, deal rules round-robin — the
+  // union work no longer splits cleanly, but the build phase still
+  // parallelizes.
+  std::map<std::uint64_t, std::vector<std::size_t>> by_value;
+  std::vector<std::vector<std::size_t>> groups;
+  if (part) {
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (auto v = point_value(rules[i], *part))
+        by_value[*v].push_back(i);
+      else
+        rest.push_back(i);
+    }
+    for (auto& [value, idx] : by_value) groups.push_back(std::move(idx));
+    if (!rest.empty()) groups.push_back(std::move(rest));
+  } else {
+    groups.resize(n_shards);
+    for (std::size_t i = 0; i < rules.size(); ++i)
+      groups[i % n_shards].push_back(i);
+  }
+  plan.groups = groups.size();
+
+  // LPT bin packing: largest group first onto the lightest shard.
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  const std::size_t shard_count = std::min(n_shards, groups.size());
+  plan.shards.assign(shard_count, {});
+  std::vector<std::size_t> load(shard_count, 0);
+  for (auto& g : groups) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[lightest] += g.size();
+    auto& shard = plan.shards[lightest];
+    shard.insert(shard.end(), g.begin(), g.end());
+  }
+  return plan;
+}
+
+util::Result<ShardedBuild> build_sharded(bdd::BddManager& master,
+                                         const std::vector<FlatRule>& rules,
+                                         const ShardPlan& plan,
+                                         bool semantic_prune) {
+  ShardedBuild out;
+  const std::size_t n = plan.shards.size();
+  if (n == 0) return util::Error{"build_sharded: empty shard plan"};
+
+  struct WorkerResult {
+    std::unique_ptr<bdd::BddManager> mgr;
+    NodeRef root;
+    ShardStats stats;
+    std::string error;
+  };
+  std::vector<WorkerResult> results(n);
+  std::atomic<std::size_t> next{0};
+  util::Timer build_timer;
+
+  // Worker pool: shards are pulled from a shared counter, so uneven shard
+  // sizes never idle a worker while work remains. Each worker owns a
+  // private manager — BddManager is not thread-safe and, more importantly,
+  // private unique/memo tables mean zero synchronization on the hot path.
+  auto work = [&]() {
+    while (true) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= n) return;
+      WorkerResult& wr = results[s];
+      util::Timer t;
+      try {
+        wr.mgr = std::make_unique<bdd::BddManager>(master.order(),
+                                                   master.domains());
+        std::vector<NodeRef> roots;
+        roots.reserve(plan.shards[s].size());
+        for (std::size_t idx : plan.shards[s])
+          roots.push_back(wr.mgr->build_rule(rules[idx]));
+        wr.root = wr.mgr->unite_all(std::move(roots), semantic_prune);
+      } catch (const std::exception& e) {
+        wr.error = e.what();
+        continue;  // record and keep draining so the pool always finishes
+      }
+      wr.stats.rules = plan.shards[s].size();
+      wr.stats.bdd_nodes = wr.mgr->node_table_size();
+      wr.stats.t_seconds = t.seconds();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 1; i < n; ++i) pool.emplace_back(work);
+  work();  // the calling thread is worker 0
+  for (auto& th : pool) th.join();
+  out.t_build = build_timer.seconds();
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!results[s].error.empty())
+      return util::Error{"shard " + std::to_string(s) + ": " +
+                         results[s].error};
+  }
+
+  // Merge: re-intern each shard BDD into the master manager, then reduce
+  // the imported roots pairwise (unite_all's balanced tree).
+  util::Timer merge_timer;
+  std::vector<NodeRef> imported;
+  imported.reserve(n);
+  for (auto& wr : results) {
+    imported.push_back(master.import(*wr.mgr, wr.root));
+    out.worker_cache.accumulate(wr.mgr->cache_stats());
+    out.shards.push_back(wr.stats);
+  }
+  out.root = master.unite_all(std::move(imported), semantic_prune);
+  out.t_merge = merge_timer.seconds();
+  return out;
+}
+
+}  // namespace camus::compiler

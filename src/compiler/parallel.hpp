@@ -1,0 +1,63 @@
+// The sharded parallel compilation pipeline (the "dynamic step at scale"
+// extension): partition the flattened rule set by the top partition field,
+// build each shard's MTBDD on a worker pool with a per-thread BddManager,
+// then merge the shard roots into the master manager with a pairwise union
+// reduction. Semantically identical to the serial path — only state
+// numbering and wall time differ — which the differential switchsim test
+// asserts.
+//
+// Why shard by the top partition field: rules that agree on the first
+// subject of the variable order (message type in the paper's §3 pipeline
+// split; the stock symbol in the Figure 5c workload) produce BDDs that are
+// disjoint below a short shared prefix, so in-shard unions do almost all
+// of the union work and the final cross-shard merges stay cheap. Any
+// partition is *correct* (union is associative and commutative); this one
+// is merely fast. Rules that do not point-constrain the partition field
+// fall into a catch-all group.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "compiler/compile.hpp"
+#include "lang/dnf.hpp"
+#include "util/result.hpp"
+
+namespace camus::compiler {
+
+// Resolves CompileOptions::threads: 0 means "auto" ->
+// std::thread::hardware_concurrency() (1 if unknown).
+std::size_t resolve_threads(std::size_t requested);
+
+struct ShardPlan {
+  // Rule indices per shard. Partition groups are kept intact and packed
+  // into at most n_shards shards, largest group first onto the currently
+  // lightest shard (LPT).
+  std::vector<std::vector<std::size_t>> shards;
+  std::size_t groups = 0;  // distinct partition groups (incl. catch-all)
+};
+
+// Plans the sharding of `rules` under `order` for up to n_shards workers.
+// Returns a plan with <= 1 shards when sharding cannot help (few rules, no
+// usable partition field, n_shards <= 1) — callers then use the serial
+// path.
+ShardPlan plan_shards(const std::vector<lang::FlatRule>& rules,
+                      const bdd::VarOrder& order, std::size_t n_shards);
+
+struct ShardedBuild {
+  bdd::NodeRef root;             // merged root, owned by the master manager
+  std::vector<ShardStats> shards;
+  bdd::CacheStats worker_cache;  // accumulated over all shard managers
+  double t_build = 0;            // concurrent shard phase (wall time)
+  double t_merge = 0;            // import + pairwise union into master
+};
+
+// Executes the plan: one private BddManager per worker, shard roots merged
+// into `master`. Worker failures (e.g. path blowup guards) surface as an
+// Error naming the first failing shard.
+util::Result<ShardedBuild> build_sharded(
+    bdd::BddManager& master, const std::vector<lang::FlatRule>& rules,
+    const ShardPlan& plan, bool semantic_prune);
+
+}  // namespace camus::compiler

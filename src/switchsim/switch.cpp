@@ -11,7 +11,10 @@ Switch::Switch(spec::Schema schema, table::Pipeline pipeline)
     : schema_(std::make_shared<const spec::Schema>(std::move(schema))),
       pipeline_(std::move(pipeline)),
       extractor_(*schema_),
-      registers_(*schema_) {}
+      registers_(*schema_) {
+  // Build the lookup indexes now, not lazily under the first packet.
+  pipeline_.finalize();
+}
 
 Switch Switch::make_broadcast(spec::Schema schema,
                               std::vector<std::uint16_t> ports) {
@@ -50,21 +53,7 @@ std::vector<Switch::TxCopy> Switch::process(
     return {};
   }
   const auto fields = extractor_.extract(pkt->itch.add_orders.front());
-  const lang::ActionSet& actions = classify(fields, now_us);
-
-  if (actions.ports.empty()) {
-    ++counters_.dropped;
-    return {};
-  }
-  ++counters_.matched;
-  if (actions.ports.size() > 1) ++counters_.multicast_frames;
-  std::vector<TxCopy> out;
-  out.reserve(actions.ports.size());
-  for (std::uint16_t p : actions.ports) {
-    out.push_back({p});
-    ++counters_.tx_copies;
-  }
-  return out;
+  return forward(classify(fields, now_us));
 }
 
 std::vector<Switch::TxCopy> Switch::process_generic(
@@ -75,7 +64,10 @@ std::vector<Switch::TxCopy> Switch::process_generic(
     ++counters_.parse_errors;
     return {};
   }
-  const lang::ActionSet& actions = classify(*fields, now_us);
+  return forward(classify(*fields, now_us));
+}
+
+std::vector<Switch::TxCopy> Switch::forward(const lang::ActionSet& actions) {
   if (actions.ports.empty()) {
     ++counters_.dropped;
     return {};
@@ -102,20 +94,19 @@ std::vector<Switch::TxPacket> Switch::process_messages(
 
   // Classify each message and bucket by egress port.
   std::map<std::uint16_t, std::vector<proto::ItchAddOrder>> per_port;
-  bool any_matched = false;
   for (const auto& msg : pkt->itch.add_orders) {
     const auto fields = extractor_.extract(msg);
     const lang::ActionSet& actions = classify(fields, now_us);
-    if (actions.ports.empty()) continue;
-    any_matched = true;
-    if (actions.ports.size() > 1) ++counters_.multicast_frames;
     for (std::uint16_t p : actions.ports) per_port[p].push_back(msg);
   }
-  if (!any_matched) {
+  if (per_port.empty()) {
     ++counters_.dropped;
     return {};
   }
   ++counters_.matched;
+  // Per frame, like process(): the frame is replicated when its messages
+  // collectively reach more than one distinct egress port.
+  if (per_port.size() > 1) ++counters_.multicast_frames;
 
   std::vector<TxPacket> out;
   out.reserve(per_port.size());

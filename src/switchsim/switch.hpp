@@ -21,21 +21,38 @@
 
 namespace camus::switchsim {
 
+// Per-switch counters. All frame-granularity counters count ingress
+// frames, uniformly across process(), process_generic(), and
+// process_messages(): every received frame increments rx_frames and then
+// exactly one of parse_errors, dropped, or matched. tx_copies and
+// state_updates are event counters, not frame counters.
 struct SwitchCounters {
+  // Ingress frames offered to the switch (parseable or not).
   std::uint64_t rx_frames = 0;
+  // Frames the parser rejected (malformed, or no classifiable message).
   std::uint64_t parse_errors = 0;
-  std::uint64_t dropped = 0;           // parsed but matched no subscription
-  std::uint64_t matched = 0;           // frames forwarded to >= 1 port
-  std::uint64_t tx_copies = 0;         // total egress copies
-  std::uint64_t multicast_frames = 0;  // frames replicated to > 1 port
+  // Parsed frames that matched no subscription: nothing was forwarded.
+  // For process_messages() this means every message in the frame missed.
+  std::uint64_t dropped = 0;
+  // Parsed frames forwarded to >= 1 egress port. For process_messages(),
+  // a frame counts once if any of its messages matched.
+  std::uint64_t matched = 0;
+  // Total egress copies emitted. One per (frame, port) pair; for
+  // process_messages() one per re-framed per-port packet.
+  std::uint64_t tx_copies = 0;
+  // Ingress frames replicated to > 1 distinct egress port. Always
+  // <= matched; counted per frame, never per message.
+  std::uint64_t multicast_frames = 0;
+  // Register write-backs performed by matched messages' state updates.
   std::uint64_t state_updates = 0;
 };
 
 class Switch {
  public:
-  // Takes ownership of the pipeline (must be finalized by the compiler)
-  // and a copy of the schema: the switch is self-contained and safe to
-  // move or outlive its controller.
+  // Takes ownership of the pipeline and a copy of the schema: the switch
+  // is self-contained and safe to move or outlive its controller. The
+  // pipeline is finalized here (idempotent) so the per-packet lookup path
+  // never hits the lazy index build.
   Switch(spec::Schema schema, table::Pipeline pipeline);
 
   // Builds a broadcast "switch" that forwards every parseable frame to the
@@ -87,14 +104,23 @@ class Switch {
 
   // Installs a recompiled pipeline (e.g. from the incremental compiler)
   // without disturbing registers or counters — the runtime analogue of a
-  // control-plane table update.
-  void reprogram(table::Pipeline pipeline) { pipeline_ = std::move(pipeline); }
+  // control-plane table update. Finalizes the new pipeline up front, like
+  // the constructor.
+  void reprogram(table::Pipeline pipeline) {
+    pipeline_ = std::move(pipeline);
+    pipeline_.finalize();
+  }
 
   // Resource audit: whether the compiled pipeline fits the budget.
   bool fits(const table::ResourceBudget& budget = {}) const;
   table::ResourceUsage resources() const { return pipeline_.resources(); }
 
  private:
+  // Shared forwarding tail of process()/process_generic(): bumps
+  // dropped/matched/multicast_frames/tx_copies and emits one TxCopy per
+  // egress port.
+  std::vector<TxCopy> forward(const lang::ActionSet& actions);
+
   // shared_ptr gives the schema a stable address across Switch moves (the
   // extractor and register file hold references into it).
   std::shared_ptr<const spec::Schema> schema_;

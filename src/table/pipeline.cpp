@@ -41,6 +41,20 @@ void Pipeline::finalize() {
   for (auto& t : tables) t.finalize();
 }
 
+util::Result<bool> Pipeline::validate() const {
+  for (const auto& t : value_maps)
+    if (auto r = t.validate(); !r.ok()) return r;
+  for (const auto& t : tables)
+    if (auto r = t.validate(); !r.ok()) return r;
+  for (const auto& e : leaf.entries()) {
+    if (e.mcast_group && *e.mcast_group >= mcast.size())
+      return util::Error{"leaf entry for state " + std::to_string(e.state) +
+                         " references unknown multicast group " +
+                         std::to_string(*e.mcast_group)};
+  }
+  return true;
+}
+
 const LeafEntry* Pipeline::evaluate(const lang::Env& env) const {
   if (value_maps.empty()) return evaluate_mapped(env);
   lang::Env mapped = env;

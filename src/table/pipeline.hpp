@@ -23,9 +23,16 @@ class Pipeline {
   MulticastGroups mcast;
   StateId initial_state = kInitialState;
 
-  // Builds lookup indices for every table. Must be called after the
-  // compiler populates entries and before evaluate().
+  // Builds lookup indices for every table. Idempotent and never throws;
+  // evaluate() also triggers it lazily per table, so a pipeline that was
+  // never explicitly finalized still evaluates instead of aborting.
   void finalize();
+
+  // Structural soundness of every stage (disjoint range entries). The
+  // compiler runs this after table generation and the deserializer after
+  // loading, so malformed pipelines are rejected at install time, not
+  // mid-simulation.
+  util::Result<bool> validate() const;
 
   // Runs the state machine over the given field/state values. Returns the
   // matched leaf entry, or nullptr for drop.

@@ -270,16 +270,11 @@ Result<Pipeline> deserialize_pipeline(std::string_view text) {
   }
   if (!done) return lp.err("missing 'end'");
 
-  // Referential integrity: leaf multicast ids must exist.
-  for (const auto& e : pipe.leaf.entries()) {
-    if (e.mcast_group && *e.mcast_group >= pipe.mcast.size())
-      return Error{"leaf entry references unknown multicast group"};
-  }
-  try {
-    pipe.finalize();
-  } catch (const std::logic_error& e) {
-    return Error{std::string("invalid pipeline: ") + e.what()};
-  }
+  // Structural soundness (disjoint ranges, multicast referential
+  // integrity) is checked before the pipeline is handed out.
+  if (auto valid = pipe.validate(); !valid.ok())
+    return Error{"invalid pipeline: " + valid.error().message};
+  pipe.finalize();
   return pipe;
 }
 

@@ -27,7 +27,8 @@ std::string ValueMatch::to_string() const {
   return "?";
 }
 
-void Table::finalize() {
+void Table::finalize() const {
+  if (indexed_) return;
   index_.clear();
   for (const Entry& e : entries_) {
     StateIndex& si = index_[e.state];
@@ -48,22 +49,36 @@ void Table::finalize() {
               [](const Entry& a, const Entry& b) {
                 return a.match.lo < b.match.lo;
               });
-    // Entries for one state come from disjoint BDD branches; overlapping
-    // ranges indicate a compiler bug.
-    for (std::size_t i = 1; i < si.ranges.size(); ++i) {
-      if (si.ranges[i].match.lo <= si.ranges[i - 1].match.hi)
-        throw std::logic_error("overlapping range entries in table '" +
-                               name_ + "'");
-    }
   }
   indexed_ = true;
 }
 
+util::Result<bool> Table::validate() const {
+  // Sort a private copy of the ranges per state: validation must not
+  // depend on (or disturb) the lookup index.
+  std::unordered_map<StateId, std::vector<ValueMatch>> ranges;
+  for (const Entry& e : entries_)
+    if (e.match.kind == ValueMatch::Kind::kRange)
+      ranges[e.state].push_back(e.match);
+  for (auto& [state, rs] : ranges) {
+    std::sort(rs.begin(), rs.end(),
+              [](const ValueMatch& a, const ValueMatch& b) {
+                return a.lo < b.lo;
+              });
+    for (std::size_t i = 1; i < rs.size(); ++i) {
+      if (rs[i].lo <= rs[i - 1].hi)
+        return util::Error{"overlapping range entries in table '" + name_ +
+                           "' state " + std::to_string(state) + ": " +
+                           rs[i - 1].to_string() + " vs " +
+                           rs[i].to_string()};
+    }
+  }
+  return true;
+}
+
 std::optional<StateId> Table::lookup(StateId state,
                                      std::uint64_t value) const {
-  if (!indexed_)
-    throw std::logic_error("Table::lookup before finalize() on '" + name_ +
-                           "'");
+  if (!indexed_) finalize();
   auto it = index_.find(state);
   if (it == index_.end()) return std::nullopt;
   const StateIndex& si = it->second;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "lang/bound.hpp"
+#include "util/result.hpp"
 
 namespace camus::table {
 
@@ -87,8 +88,17 @@ class Table {
 
   // Builds per-state indices: hash lookup for exact entries, binary search
   // over sorted disjoint ranges, wildcard fallback. Specific entries win
-  // over the per-state wildcard.
-  void finalize();
+  // over the per-state wildcard. Idempotent; never throws. lookup() calls
+  // it lazily, so an un-finalized table degrades to a slower first lookup
+  // rather than aborting a simulation. (Lazy indexing is not synchronized:
+  // finalize eagerly before sharing a table across threads.)
+  void finalize() const;
+  bool finalized() const noexcept { return indexed_; }
+
+  // Structural soundness check: range entries for one state must be
+  // disjoint (overlaps indicate a compiler bug or a corrupt serialized
+  // pipeline). Expected-failure path, so util::Result rather than a throw.
+  util::Result<bool> validate() const;
 
   // Returns the next state, or nullopt on miss (caller keeps the state).
   std::optional<StateId> lookup(StateId state, std::uint64_t value) const;
@@ -106,8 +116,9 @@ class Table {
   std::uint32_t width_bits_ = 64;
   bool symbol_ = false;
   std::vector<Entry> entries_;
-  std::unordered_map<StateId, StateIndex> index_;
-  bool indexed_ = false;
+  // Mutable: the index is a cache of entries_, (re)built on demand.
+  mutable std::unordered_map<StateId, StateIndex> index_;
+  mutable bool indexed_ = false;
 };
 
 // Multicast group table: one group per distinct multi-port set. Unicast

@@ -23,9 +23,13 @@ class FlatMap {
   // Returns the value for key, or nullptr. The pointer is invalidated by
   // the next insert.
   const V* find(const K& key) const {
+    ++probes_;
     std::size_t i = Hash{}(key)&mask_;
     while (used_[i]) {
-      if (slots_[i].first == key) return &slots_[i].second;
+      if (slots_[i].first == key) {
+        ++hits_;
+        return &slots_[i].second;
+      }
       i = (i + 1) & mask_;
     }
     return nullptr;
@@ -42,6 +46,10 @@ class FlatMap {
   }
 
   std::size_t size() const noexcept { return size_; }
+
+  // Lifetime totals across clear()s — the compile-telemetry memo hit rate.
+  std::uint64_t probes() const noexcept { return probes_; }
+  std::uint64_t hits() const noexcept { return hits_; }
 
   void clear() {
     std::fill(used_.begin(), used_.end(), 0);
@@ -69,6 +77,8 @@ class FlatMap {
   std::vector<std::pair<K, V>> slots_;
   std::vector<std::uint8_t> used_;
   std::size_t size_ = 0;
+  mutable std::uint64_t probes_ = 0;
+  mutable std::uint64_t hits_ = 0;
 };
 
 // 64-bit mixer (splitmix64 finalizer) for composite integer keys.

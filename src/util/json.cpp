@@ -1,0 +1,251 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace camus::util::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::num_or(double fallback) const {
+  return kind == Kind::kNumber ? number : fallback;
+}
+
+std::uint64_t Value::u64_or(std::uint64_t fallback) const {
+  if (kind != Kind::kNumber || number < 0) return fallback;
+  return static_cast<std::uint64_t>(number);
+}
+
+double Value::member_num(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v ? v->num_or(fallback) : fallback;
+}
+
+std::uint64_t Value::member_u64(std::string_view key,
+                                std::uint64_t fallback) const {
+  const Value* v = find(key);
+  return v ? v->u64_or(fallback) : fallback;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  util::Error err(const std::string& msg) const {
+    return util::Error{msg, 1, static_cast<int>(pos) + 1};
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  util::Result<Value> parse_value() {
+    skip_ws();
+    if (pos >= text.size()) return err("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return s.error();
+      Value v;
+      v.kind = Value::Kind::kString;
+      v.string = std::move(s).take();
+      return v;
+    }
+    if (literal("true")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (literal("null")) return Value{};
+    return parse_number();
+  }
+
+  util::Result<Value> parse_number() {
+    const std::size_t start = pos;
+    if (eat('-')) {
+    }
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    if (pos == start) return err("invalid number");
+    const std::string tok(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return err("invalid number");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  util::Result<std::string> parse_string() {
+    if (!eat('"')) return err("expected '\"'");
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return err("bad \\u escape");
+          }
+          // Telemetry strings are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: return err("bad escape");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  util::Result<Value> parse_array() {
+    eat('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    while (true) {
+      auto item = parse_value();
+      if (!item.ok()) return item.error();
+      v.array.push_back(std::move(item).take());
+      skip_ws();
+      if (eat(']')) return v;
+      if (!eat(',')) return err("expected ',' or ']'");
+    }
+  }
+
+  util::Result<Value> parse_object() {
+    eat('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!eat(':')) return err("expected ':'");
+      auto item = parse_value();
+      if (!item.ok()) return item.error();
+      v.object.emplace_back(std::move(key).take(), std::move(item).take());
+      skip_ws();
+      if (eat('}')) return v;
+      if (!eat(',')) return err("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+util::Result<Value> parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.parse_value();
+  if (!v.ok()) return v;
+  p.skip_ws();
+  if (p.pos != text.size()) return p.err("trailing characters");
+  return v;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  // %.17g always round-trips; try shorter forms first for readability.
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace camus::util::json

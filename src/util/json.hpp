@@ -1,0 +1,67 @@
+// Minimal JSON reader/writer used by the compile-telemetry machinery.
+//
+// The writer side is a handful of formatting helpers (escaping, doubles
+// that round-trip); producers assemble documents with an ostream. The
+// reader is a small recursive-descent parser over the JSON subset the
+// telemetry emits (objects, arrays, strings, numbers, booleans, null) —
+// enough for tests and tools to load a CompileStats profile back without
+// an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace camus::util::json {
+
+struct Value {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  // Insertion order preserved: telemetry diffs compare profiles textually.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  // Typed accessors with defaults (missing/mistyped -> fallback).
+  double num_or(double fallback = 0) const;
+  std::uint64_t u64_or(std::uint64_t fallback = 0) const;
+
+  // Member shorthand: object()["a"]["b"] style chains via find().
+  double member_num(std::string_view key, double fallback = 0) const;
+  std::uint64_t member_u64(std::string_view key,
+                           std::uint64_t fallback = 0) const;
+};
+
+// Parses one JSON document (surrounding whitespace allowed). Errors carry
+// the byte offset in Error::column.
+util::Result<Value> parse(std::string_view text);
+
+// String escaping for emitters ("\"" framing not included).
+std::string escape(std::string_view s);
+
+// Shortest representation that round-trips a double (printf %.17g trimmed).
+std::string format_double(double v);
+
+}  // namespace camus::util::json

@@ -1,0 +1,157 @@
+// SwitchCounters semantics, uniform across the three processing paths:
+// every ingress frame increments rx_frames and exactly one of
+// parse_errors/dropped/matched; multicast_frames counts frames (never
+// messages) replicated to more than one distinct egress port.
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hpp"
+#include "proto/generic.hpp"
+#include "proto/packet.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "util/intern.hpp"
+
+namespace {
+
+using namespace camus;
+
+// GOOGL -> ports {1, 2} (multicast), MSFT -> port 1 (unicast), rest drop.
+constexpr std::string_view kRules = R"(
+  stock == GOOGL : fwd(1)
+  stock == GOOGL : fwd(2)
+  stock == MSFT : fwd(1)
+)";
+
+proto::ItchAddOrder order(std::string stock) {
+  proto::ItchAddOrder m;
+  m.stock = std::move(stock);
+  m.shares = 1;
+  m.price = 100;
+  return m;
+}
+
+std::vector<std::uint8_t> batch_frame(
+    const std::vector<proto::ItchAddOrder>& msgs) {
+  proto::EthernetHeader eth;
+  proto::MoldUdp64Header mold;
+  return proto::encode_market_data_packet(eth, 1, 2, mold, msgs);
+}
+
+switchsim::Switch make_switch(const spec::Schema& schema) {
+  auto c = compiler::compile_source(schema, kRules);
+  EXPECT_TRUE(c.ok()) << (c.ok() ? "" : c.error().to_string());
+  return switchsim::Switch(schema, c.value().pipeline);
+}
+
+void expect_frame_invariant(const switchsim::SwitchCounters& c) {
+  EXPECT_EQ(c.rx_frames, c.parse_errors + c.dropped + c.matched);
+  EXPECT_LE(c.multicast_frames, c.matched);
+}
+
+TEST(Counters, ProcessPath) {
+  auto schema = spec::make_itch_schema();
+  auto sw = make_switch(schema);
+
+  EXPECT_EQ(sw.process(batch_frame({order("GOOGL")}), 0).size(), 2u);
+  EXPECT_EQ(sw.process(batch_frame({order("MSFT")}), 0).size(), 1u);
+  EXPECT_TRUE(sw.process(batch_frame({order("IBM")}), 0).empty());
+  std::vector<std::uint8_t> junk(16, 0xee);
+  EXPECT_TRUE(sw.process(junk, 0).empty());
+
+  const auto& c = sw.counters();
+  EXPECT_EQ(c.rx_frames, 4u);
+  EXPECT_EQ(c.parse_errors, 1u);
+  EXPECT_EQ(c.matched, 2u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.tx_copies, 3u);
+  EXPECT_EQ(c.multicast_frames, 1u);  // only the GOOGL frame fanned out
+  expect_frame_invariant(c);
+}
+
+TEST(Counters, ProcessGenericPath) {
+  auto schema = spec::make_itch_schema();
+  auto sw = make_switch(schema);
+
+  auto fields_for = [&](const std::string& stock) {
+    std::vector<std::uint64_t> fields(schema.fields().size(), 0);
+    fields[*schema.resolve_field("stock")] = util::encode_symbol(stock);
+    return fields;
+  };
+  auto frame_for = [&](const std::string& stock) {
+    return proto::encode_generic_packet(schema, fields_for(stock));
+  };
+
+  EXPECT_EQ(sw.process_generic(frame_for("GOOGL"), 0).size(), 2u);
+  EXPECT_EQ(sw.process_generic(frame_for("MSFT"), 0).size(), 1u);
+  EXPECT_TRUE(sw.process_generic(frame_for("IBM"), 0).empty());
+  std::vector<std::uint8_t> junk(8, 0x11);
+  EXPECT_TRUE(sw.process_generic(junk, 0).empty());
+
+  const auto& c = sw.counters();
+  EXPECT_EQ(c.rx_frames, 4u);
+  EXPECT_EQ(c.parse_errors, 1u);
+  EXPECT_EQ(c.matched, 2u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.tx_copies, 3u);
+  EXPECT_EQ(c.multicast_frames, 1u);
+  expect_frame_invariant(c);
+}
+
+TEST(Counters, ProcessMessagesCountsFramesNotMessages) {
+  auto schema = spec::make_itch_schema();
+  auto sw = make_switch(schema);
+
+  // Two multicast-matching messages in ONE frame: multicast_frames must
+  // advance once (the old per-message accounting counted 2 here).
+  auto out = sw.process_messages(batch_frame({order("GOOGL"),
+                                              order("GOOGL")}), 0);
+  EXPECT_EQ(out.size(), 2u);  // ports 1 and 2
+  EXPECT_EQ(sw.counters().multicast_frames, 1u);
+  EXPECT_EQ(sw.counters().tx_copies, 2u);  // one re-framed packet per port
+
+  // Unicast messages reaching a single port: not multicast.
+  out = sw.process_messages(batch_frame({order("MSFT"), order("IBM")}), 0);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(sw.counters().multicast_frames, 1u);
+
+  // A frame is multicast when its messages COLLECTIVELY reach > 1 port,
+  // even if each message is unicast.
+  out = sw.process_messages(batch_frame({order("GOOGL"), order("MSFT")}), 0);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(sw.counters().multicast_frames, 2u);
+
+  EXPECT_TRUE(sw.process_messages(batch_frame({order("IBM")}), 0).empty());
+  std::vector<std::uint8_t> junk(16, 0x77);
+  EXPECT_TRUE(sw.process_messages(junk, 0).empty());
+
+  const auto& c = sw.counters();
+  EXPECT_EQ(c.rx_frames, 5u);
+  EXPECT_EQ(c.parse_errors, 1u);
+  EXPECT_EQ(c.matched, 3u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.tx_copies, 5u);
+  expect_frame_invariant(c);
+}
+
+TEST(Counters, PathsAgreeOnSingleMessageFrames) {
+  // For single-message frames the three paths must report identical
+  // frame-granularity counters.
+  auto schema = spec::make_itch_schema();
+  auto sw_frame = make_switch(schema);
+  auto sw_msgs = make_switch(schema);
+
+  for (const char* stock : {"GOOGL", "MSFT", "IBM", "GOOGL"}) {
+    const auto frame = batch_frame({order(stock)});
+    sw_frame.process(frame, 0);
+    sw_msgs.process_messages(frame, 0);
+  }
+  const auto& a = sw_frame.counters();
+  const auto& b = sw_msgs.counters();
+  EXPECT_EQ(a.rx_frames, b.rx_frames);
+  EXPECT_EQ(a.parse_errors, b.parse_errors);
+  EXPECT_EQ(a.matched, b.matched);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.multicast_frames, b.multicast_frames);
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+// Parallel sharded compilation: the threads>1 path must be semantically
+// identical to the serial path (same forwarding decision for every packet),
+// and the compile-phase telemetry must be populated and survive a JSON
+// round-trip.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/compile.hpp"
+#include "compiler/field_order.hpp"
+#include "compiler/incremental.hpp"
+#include "compiler/parallel.hpp"
+#include "proto/packet.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "util/json.hpp"
+#include "workload/feed.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+
+workload::ItchSubscriptions make_subs(std::size_t n) {
+  workload::ItchSubsParams p;
+  p.seed = 42;
+  p.n_subscriptions = n;
+  p.n_symbols = 20;
+  p.n_hosts = 8;
+  p.price_max = 1000;
+  return workload::generate_itch_subscriptions(spec::make_itch_schema(), p);
+}
+
+std::vector<std::uint8_t> frame_for(const proto::ItchAddOrder& m) {
+  proto::EthernetHeader eth;
+  proto::MoldUdp64Header mold;
+  return proto::encode_market_data_packet(eth, 1, 2, mold, {m});
+}
+
+TEST(ShardPlan, PartitionsByPointConstrainedField) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(200);
+  auto flat = lang::flatten_rules(subs.rules, schema);
+  ASSERT_TRUE(flat.ok());
+  bdd::VarOrder order =
+      compiler::choose_order(schema, flat.value(), bdd::OrderHeuristic{});
+
+  const auto plan = compiler::plan_shards(flat.value(), order, 4);
+  ASSERT_EQ(plan.shards.size(), 4u);
+  // Every rule appears in exactly one shard.
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& shard : plan.shards) {
+    EXPECT_FALSE(shard.empty());
+    total += shard.size();
+    seen.insert(shard.begin(), shard.end());
+  }
+  EXPECT_EQ(total, flat.value().size());
+  EXPECT_EQ(seen.size(), flat.value().size());
+  // The workload point-constrains the stock symbol, so grouping found
+  // more groups than shards (20 symbols into 4 bins).
+  EXPECT_GT(plan.groups, 4u);
+}
+
+TEST(ShardPlan, DegeneratesGracefully) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(40);
+  auto flat = lang::flatten_rules(subs.rules, schema);
+  ASSERT_TRUE(flat.ok());
+  bdd::VarOrder order =
+      compiler::choose_order(schema, flat.value(), bdd::OrderHeuristic{});
+  // Too few rules to be worth sharding.
+  EXPECT_TRUE(compiler::plan_shards(flat.value(), order, 64).shards.empty());
+  EXPECT_TRUE(compiler::plan_shards(flat.value(), order, 1).shards.empty());
+  EXPECT_TRUE(compiler::plan_shards({}, order, 4).shards.empty());
+}
+
+TEST(ParallelCompile, DifferentialAgainstSerial) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(300);
+
+  compiler::CompileOptions serial_opts;
+  serial_opts.threads = 1;
+  auto serial = compiler::compile_rules(schema, subs.rules, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.error().to_string();
+  EXPECT_EQ(serial.value().stats.threads_used, 1u);
+  EXPECT_TRUE(serial.value().stats.shards.empty());
+
+  compiler::CompileOptions par_opts;
+  par_opts.threads = 4;
+  auto par = compiler::compile_rules(schema, subs.rules, par_opts);
+  ASSERT_TRUE(par.ok()) << par.error().to_string();
+  EXPECT_EQ(par.value().stats.threads_used, 4u);
+  EXPECT_EQ(par.value().stats.shards.size(), 4u);
+
+  // Identical aggregate artifacts...
+  EXPECT_EQ(par.value().stats.total_entries,
+            serial.value().stats.total_entries);
+  EXPECT_EQ(par.value().stats.multicast_groups,
+            serial.value().stats.multicast_groups);
+  EXPECT_EQ(par.value().stats.bdd_after_prune.node_count,
+            serial.value().stats.bdd_after_prune.node_count);
+
+  // ...and, decisively, the same forwarding decision for every packet of a
+  // generated feed, via the switch simulator.
+  switchsim::Switch sw_serial(schema, serial.value().pipeline);
+  switchsim::Switch sw_par(schema, par.value().pipeline);
+
+  workload::FeedParams fp;
+  fp.seed = 7;
+  fp.n_messages = 2000;
+  fp.symbols = subs.symbols;
+  fp.price_min = 0;
+  fp.price_max = 1200;
+  const auto feed = workload::generate_feed(fp);
+
+  for (const auto& fm : feed.messages) {
+    const auto frame = frame_for(fm.msg);
+    const auto a = sw_serial.process(frame, fm.t_us);
+    const auto b = sw_par.process(frame, fm.t_us);
+    ASSERT_EQ(a.size(), b.size()) << "stock=" << fm.msg.stock;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_EQ(a[i].port, b[i].port) << "stock=" << fm.msg.stock;
+  }
+  const auto& cs = sw_serial.counters();
+  const auto& cp = sw_par.counters();
+  EXPECT_EQ(cs.rx_frames, cp.rx_frames);
+  EXPECT_EQ(cs.matched, cp.matched);
+  EXPECT_EQ(cs.dropped, cp.dropped);
+  EXPECT_EQ(cs.tx_copies, cp.tx_copies);
+  EXPECT_EQ(cs.multicast_frames, cp.multicast_frames);
+}
+
+TEST(ParallelCompile, AutoThreadsCompiles) {
+  // threads = 0 resolves to hardware concurrency; whatever that is here,
+  // the compile must succeed and produce a working pipeline.
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(100);
+  compiler::CompileOptions opts;
+  opts.threads = 0;
+  auto c = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  EXPECT_GE(compiler::resolve_threads(0), 1u);
+  EXPECT_GT(c.value().stats.total_entries, 0u);
+}
+
+TEST(CompileStats, PhaseTimesPopulated) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(150);
+  auto c = compiler::compile_rules(schema, subs.rules);
+  ASSERT_TRUE(c.ok());
+  const auto& s = c.value().stats;
+  EXPECT_EQ(s.rule_count, 150u);
+  EXPECT_GT(s.dnf_terms, 0u);
+  EXPECT_GT(s.t_total, 0.0);
+  EXPECT_GT(s.t_build, 0.0);
+  EXPECT_GT(s.t_tables, 0.0);
+  EXPECT_GE(s.t_total,
+            s.t_flatten + s.t_build + s.t_union + s.t_prune);
+  EXPECT_GT(s.cache.unique_nodes, 0u);
+  EXPECT_GT(s.cache.unite_res_probes, 0u);
+  EXPECT_GT(s.cache.memo_hit_rate(), 0.0);
+  // One stage entry per field table plus the leaf count.
+  EXPECT_FALSE(s.tablegen.stage_entries.empty());
+  EXPECT_GT(s.tablegen.leaf_entries, 0u);
+}
+
+TEST(CompileStats, JsonRoundTrips) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(150);
+  compiler::CompileOptions opts;
+  opts.threads = 3;
+  auto c = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(c.ok());
+  const auto& s = c.value().stats;
+
+  auto parsed = util::json::parse(s.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+
+  EXPECT_EQ(v.member_u64("rules"), s.rule_count);
+  EXPECT_EQ(v.member_u64("threads"), s.threads_used);
+  EXPECT_EQ(v.member_u64("entries"), s.total_entries);
+  EXPECT_EQ(v.member_u64("multicast_groups"), s.multicast_groups);
+
+  const auto* phases = v.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->member_num("total"), s.t_total);
+  EXPECT_DOUBLE_EQ(phases->member_num("build"), s.t_build);
+  EXPECT_DOUBLE_EQ(phases->member_num("union"), s.t_union);
+
+  const auto* bdd = v.find("bdd");
+  ASSERT_NE(bdd, nullptr);
+  EXPECT_EQ(bdd->member_u64("nodes_after_prune"),
+            s.bdd_after_prune.node_count);
+
+  const auto* cache = v.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->member_u64("unite_probes"), s.cache.unite_probes);
+  EXPECT_EQ(cache->member_u64("unique_nodes"), s.cache.unique_nodes);
+  EXPECT_DOUBLE_EQ(cache->member_num("memo_hit_rate"),
+                   s.cache.memo_hit_rate());
+
+  const auto* stages = v.find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->is_array());
+  // Field tables plus the trailing leaf row.
+  ASSERT_EQ(stages->array.size(), s.tablegen.stage_entries.size() + 1);
+  for (std::size_t i = 0; i < s.tablegen.stage_entries.size(); ++i) {
+    EXPECT_EQ(stages->array[i].find("table")->string,
+              s.tablegen.stage_entries[i].table);
+    EXPECT_EQ(stages->array[i].member_u64("entries"),
+              s.tablegen.stage_entries[i].entries);
+  }
+  EXPECT_EQ(stages->array.back().find("table")->string, "leaf");
+  EXPECT_EQ(stages->array.back().member_u64("entries"),
+            s.tablegen.leaf_entries);
+
+  const auto* shards = v.find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->array.size(), s.shards.size());
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    EXPECT_EQ(shards->array[i].member_u64("rules"), s.shards[i].rules);
+    EXPECT_EQ(shards->array[i].member_u64("bdd_nodes"),
+              s.shards[i].bdd_nodes);
+  }
+}
+
+TEST(CompileStats, IncrementalCommitPopulatesStats) {
+  compiler::IncrementalCompiler inc(spec::make_itch_schema());
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  ASSERT_TRUE(inc.add_source("stock == MSFT and price > 100 : fwd(2)").ok());
+  auto delta = inc.commit();
+  ASSERT_TRUE(delta.ok()) << delta.error().to_string();
+  const auto& s = delta.value().stats;
+  EXPECT_EQ(s.rule_count, 2u);
+  EXPECT_EQ(s.dnf_terms, 2u);
+  EXPECT_GT(s.t_total, 0.0);
+  EXPECT_GT(s.total_entries, 0u);
+  EXPECT_GT(s.cache.unique_nodes, 0u);
+  EXPECT_FALSE(s.tablegen.stage_entries.empty());
+  auto parsed = util::json::parse(s.to_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().member_u64("rules"), 2u);
+}
+
+}  // namespace

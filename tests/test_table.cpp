@@ -51,17 +51,31 @@ TEST(TableTest, RangeBinarySearch) {
   EXPECT_EQ(t.lookup(0, 40), std::nullopt);
 }
 
-TEST(TableTest, OverlappingRangesRejected) {
+TEST(TableTest, OverlappingRangesRejectedByValidate) {
   Table t("t", Subject::field(0), MatchKind::kRange, 16);
   t.add_entry({0, ValueMatch::range(10, 20), 1});
   t.add_entry({0, ValueMatch::range(15, 25), 2});
-  EXPECT_THROW(t.finalize(), std::logic_error);
+  auto r = t.validate();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("overlapping"), std::string::npos);
+
+  Table ok("t", Subject::field(0), MatchKind::kRange, 16);
+  ok.add_entry({0, ValueMatch::range(10, 20), 1});
+  ok.add_entry({0, ValueMatch::range(21, 25), 2});
+  ok.add_entry({1, ValueMatch::range(15, 25), 2});  // other state: disjoint
+  EXPECT_TRUE(ok.validate().ok());
 }
 
-TEST(TableTest, LookupBeforeFinalizeThrows) {
+TEST(TableTest, LookupBeforeFinalizeIndexesLazily) {
   Table t("t", Subject::field(0), MatchKind::kExact, 16);
   t.add_entry({0, ValueMatch::exact(1), 1});
-  EXPECT_THROW((void)t.lookup(0, 1), std::logic_error);
+  EXPECT_FALSE(t.finalized());
+  EXPECT_EQ(t.lookup(0, 1), std::optional<StateId>(1));
+  EXPECT_TRUE(t.finalized());
+  // Adding an entry invalidates the index; lookup rebuilds it.
+  t.add_entry({0, ValueMatch::exact(2), 7});
+  EXPECT_FALSE(t.finalized());
+  EXPECT_EQ(t.lookup(0, 2), std::optional<StateId>(7));
 }
 
 TEST(MulticastGroupsTest, InternDeduplicates) {

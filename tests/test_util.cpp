@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "util/flat_map.hpp"
 #include "util/intern.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -183,6 +185,62 @@ TEST(TextTable, AlignsColumns) {
   EXPECT_NE(s.find("----"), std::string::npos);
   EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::fmt(std::uint64_t{42}), "42");
+}
+
+TEST(FlatMapCounters, ProbesAndHits) {
+  struct Hash {
+    std::size_t operator()(int k) const noexcept {
+      return static_cast<std::size_t>(k) * 0x9e3779b97f4a7c15ULL;
+    }
+  };
+  FlatMap<int, int, Hash> m(4);
+  m.insert(1, 10);
+  EXPECT_EQ(m.probes(), 0u);
+  EXPECT_NE(m.find(1), nullptr);   // hit
+  EXPECT_EQ(m.find(2), nullptr);   // miss
+  EXPECT_EQ(m.probes(), 2u);
+  EXPECT_EQ(m.hits(), 1u);
+  m.clear();
+  // Lifetime totals: clear() keeps the counters.
+  EXPECT_EQ(m.probes(), 2u);
+  EXPECT_EQ(m.hits(), 1u);
+}
+
+TEST(Json, ParsesTelemetryShapes) {
+  const auto r = json::parse(
+      R"({"a":1,"b":-2.5e2,"s":"x\ny A","arr":[1,2,3],)"
+      R"("nested":{"t":true,"f":false,"n":null}})");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& v = r.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.member_u64("a"), 1u);
+  EXPECT_DOUBLE_EQ(v.member_num("b"), -250.0);
+  EXPECT_EQ(v.find("s")->string, "x\ny A");
+  ASSERT_TRUE(v.find("arr")->is_array());
+  EXPECT_EQ(v.find("arr")->array.size(), 3u);
+  const auto* nested = v.find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_TRUE(nested->find("t")->boolean);
+  EXPECT_FALSE(nested->find("f")->boolean);
+  EXPECT_EQ(nested->find("n")->kind, json::Value::Kind::kNull);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(json::parse("{").ok());
+  EXPECT_FALSE(json::parse("[1,]").ok());
+  EXPECT_FALSE(json::parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::parse("\"unterminated").ok());
+  EXPECT_FALSE(json::parse("{} trailing").ok());
+  EXPECT_FALSE(json::parse("").ok());
+}
+
+TEST(Json, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, 0.1, 1e-9, 123456.789, 1.0 / 3.0}) {
+    const std::string s = json::format_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
 }
 
 }  // namespace
