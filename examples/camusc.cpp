@@ -19,6 +19,11 @@
 //   --stats            print compile statistics
 //   --stats-json FILE  write the compile-stats JSON profile ("-" = stdout)
 //   --threads N        parallel sharded compilation (0 = hardware threads)
+//   --lint             run the static verifier (camus::verify) on the rules
+//                      and the compiled pipeline; exit 1 on error-severity
+//                      findings
+//   --lint-json FILE   write the lint diagnostics as JSON ("-" = stdout);
+//                      implies --lint
 //   --explain ASSIGN   trace one message through the pipeline, e.g.
 //                      --explain "stock=GOOGL,price=120,shares=5"
 // With no --spec, uses the built-in ITCH schema; with no --rules, reads
@@ -37,6 +42,7 @@
 #include "spec/spec_parser.hpp"
 #include "table/table.hpp"
 #include "util/intern.hpp"
+#include "verify/verify.hpp"
 
 using namespace camus;
 
@@ -47,7 +53,8 @@ int usage() {
                "[--p4-14 FILE]\n              [--rules-out FILE] [--dot "
                "FILE] [--tables] [--analyze]\n              [--order H] "
                "[--no-prune] [--compress] [--emit-drop] [--stats]\n"
-               "              [--stats-json FILE|-] [--threads N]\n";
+               "              [--stats-json FILE|-] [--threads N] [--lint] "
+               "[--lint-json FILE|-]\n";
   return 2;
 }
 
@@ -70,8 +77,10 @@ bool spill(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   std::map<std::string, std::string> files;
   bool want_tables = false, want_analyze = false, want_stats = false;
+  bool want_lint = false;
   std::string explain_assign;
   std::string stats_json_path;
+  std::string lint_json_path;
   compiler::CompileOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +108,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       stats_json_path = v;
+    } else if (arg == "--lint") {
+      want_lint = true;
+    } else if (arg == "--lint-json") {
+      const char* v = next();
+      if (!v) return usage();
+      lint_json_path = v;
+      want_lint = true;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return usage();
@@ -186,6 +202,35 @@ int main(int argc, char** argv) {
   }
   const auto& c = compiled.value();
 
+  // Static verification: both layers of camus::verify over the input rules
+  // and the artifact just produced. Error-severity findings fail the run
+  // (after the requested artifacts are still written, so they can be
+  // inspected).
+  int lint_exit = 0;
+  if (want_lint) {
+    verify::Report report;
+    auto verified =
+        verify::verify_compiled(schema, bound.value(), c, report);
+    if (!verified.ok()) {
+      std::cerr << "camusc: lint: " << verified.error().to_string() << "\n";
+      return 1;
+    }
+    if (!report.empty() || lint_json_path.empty()) {
+      // With --lint-json -, stdout is the machine-readable channel: the
+      // human-readable report moves to stderr.
+      (lint_json_path == "-" ? std::cerr : std::cout) << report.to_text();
+    }
+    if (!lint_json_path.empty()) {
+      if (lint_json_path == "-") {
+        std::cout << report.to_json() << "\n";
+      } else if (!spill(lint_json_path, report.to_json() + "\n")) {
+        std::cerr << "camusc: cannot write " << lint_json_path << "\n";
+        return 1;
+      }
+    }
+    lint_exit = report.exit_code();
+  }
+
   if (files.count("--p4") &&
       !spill(files["--p4"], compiler::generate_p4(schema, &c.pipeline))) {
     std::cerr << "camusc: cannot write " << files["--p4"] << "\n";
@@ -259,8 +304,8 @@ int main(int argc, char** argv) {
     }
   }
   if (want_tables) std::cout << c.pipeline.to_string();
-  if (want_stats ||
-      (!want_tables && files.empty() && stats_json_path.empty())) {
+  if (want_stats || (!want_tables && !want_lint && files.empty() &&
+                     stats_json_path.empty())) {
     std::cout << c.stats.to_string() << "\n"
               << "resources: " << c.pipeline.resources().to_string() << "\n"
               << "fits Tofino-like budget: "
@@ -269,5 +314,5 @@ int main(int argc, char** argv) {
                       : "NO")
               << "\n";
   }
-  return 0;
+  return lint_exit;
 }

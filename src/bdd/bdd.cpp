@@ -346,6 +346,129 @@ const ActionSet& BddManager::evaluate(NodeRef root,
   return terminal_actions(cur);
 }
 
+std::optional<lang::Env> BddManager::find_witness(
+    NodeRef a, NodeRef b,
+    const std::function<bool(const ActionSet&, const ActionSet&)>& pred,
+    const lang::Env& env_template) const {
+  constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
+
+  // Local residual-set interning: this is a const query, so the manager's
+  // own interning tables are left untouched (and the method stays safe to
+  // call from concurrent readers).
+  std::vector<IntervalSet> sets;
+  std::unordered_map<IntervalSet, std::uint32_t, SetHash> set_ids;
+  auto intern = [&](const IntervalSet& s) -> std::uint32_t {
+    auto it = set_ids.find(s);
+    if (it != set_ids.end()) return it->second;
+    const std::uint32_t id = static_cast<std::uint32_t>(sets.size());
+    sets.push_back(s);
+    set_ids.emplace(s, id);
+    return id;
+  };
+
+  // Visited (a, b, residual) triples: a subtree's outcome depends only on
+  // this triple, so an unsuccessful subtree never needs re-exploration.
+  struct TripleHash {
+    std::size_t operator()(const Key96& k) const noexcept {
+      return Key96Hash{}(k);
+    }
+  };
+  std::unordered_set<Key96, TripleHash> visited;
+
+  // Residual constraints of completed subjects along the current path.
+  std::vector<std::pair<std::size_t, std::uint32_t>> path;
+  std::optional<lang::Env> witness;
+
+  std::function<bool(NodeRef, NodeRef, std::size_t, std::uint32_t)> walk =
+      [&](NodeRef x, NodeRef y, std::size_t rank,
+          std::uint32_t res) -> bool {
+    if (x.is_terminal() && y.is_terminal()) {
+      if (!pred(terminal_actions(x), terminal_actions(y))) return false;
+      lang::Env env = env_template;
+      auto set_value = [&](std::size_t r, std::uint32_t rid) {
+        const Subject s = order_.subjects()[r];
+        auto& slot =
+            s.kind == Subject::Kind::kField ? env.fields : env.states;
+        if (slot.size() <= s.id) slot.resize(s.id + 1, 0);
+        slot[s.id] = sets[rid].min();
+      };
+      for (const auto& [r, rid] : path) set_value(r, rid);
+      if (rank != kNoRank) set_value(rank, res);
+      witness = std::move(env);
+      return true;
+    }
+
+    const bool xn = !x.is_terminal();
+    const bool yn = !y.is_terminal();
+    const Node nx = xn ? node(x) : Node{};
+    const Node ny = yn ? node(y) : Node{};
+    std::uint32_t v;
+    if (xn && yn) {
+      v = order_.less(vars_[nx.var], vars_[ny.var]) ? nx.var : ny.var;
+    } else {
+      v = xn ? nx.var : ny.var;
+    }
+    const std::size_t vrank = order_.rank(vars_[v].subject);
+    if (vrank != rank) {
+      // Crossing into a new field: the finished subject's residual joins
+      // the path; the new subject starts from its full domain.
+      if (rank != kNoRank) path.emplace_back(rank, res);
+      const std::uint32_t full = intern(
+          IntervalSet::all(domains_.umax(order_.subjects()[vrank])));
+      const bool hit = walk(x, y, vrank, full);
+      if (rank != kNoRank) path.pop_back();
+      return hit;
+    }
+
+    const Key96 key{
+        (static_cast<std::uint64_t>(x.raw()) << 32) | y.raw(), res};
+    if (!visited.insert(key).second) return false;
+
+    const IntervalSet tv = true_values(v);
+    const IntervalSet hi_set = sets[res].intersect(tv);
+    const IntervalSet lo_set = sets[res].subtract(tv);
+    auto cof = [&](NodeRef r, bool is_node, const Node& n, bool hi) {
+      return (is_node && n.var == v) ? (hi ? n.hi : n.lo) : r;
+    };
+    if (!hi_set.is_empty() &&
+        walk(cof(x, xn, nx, true), cof(y, yn, ny, true), rank,
+             intern(hi_set)))
+      return true;
+    if (!lo_set.is_empty() &&
+        walk(cof(x, xn, nx, false), cof(y, yn, ny, false), rank,
+             intern(lo_set)))
+      return true;
+    return false;
+  };
+
+  walk(a, b, kNoRank, 0);
+  return witness;
+}
+
+bool BddManager::implies(NodeRef a, NodeRef b) const {
+  return !find_witness(a, b,
+                       [](const ActionSet& x, const ActionSet& y) {
+                         return !x.is_drop() && y.is_drop();
+                       })
+              .has_value();
+}
+
+bool BddManager::intersects(NodeRef a, NodeRef b) const {
+  return find_witness(a, b,
+                      [](const ActionSet& x, const ActionSet& y) {
+                        return !x.is_drop() && !y.is_drop();
+                      })
+      .has_value();
+}
+
+bool BddManager::equivalent(NodeRef a, NodeRef b) const {
+  return !find_witness(a, b,
+                       [](const ActionSet& x, const ActionSet& y) {
+                         return x != y;
+                       })
+              .has_value();
+}
+
 BddStats BddManager::stats(NodeRef root) const {
   BddStats s;
   std::unordered_set<std::uint32_t> seen_nodes;

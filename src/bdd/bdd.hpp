@@ -19,7 +19,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -160,6 +162,29 @@ class BddManager {
 
   // --- queries ---------------------------------------------------------
   const ActionSet& evaluate(NodeRef root, const lang::Env& env) const;
+
+  // Domain-exact co-traversal of two roots (the verifier's workhorse):
+  // searches for a packet environment on which pred(actions(a), actions(b))
+  // holds and returns the first one found, or nullopt when no packet
+  // satisfies the predicate. Exact with respect to field-domain semantics:
+  // a combined path never assumes "price > 80" true while "price > 50" is
+  // false, even across the two operands — the traversal carries the
+  // residual value domain of the current field exactly like the semantic
+  // union does. Unconstrained subjects are left at their env_template
+  // value (missing slots are grown and zero-filled).
+  std::optional<lang::Env> find_witness(
+      NodeRef a, NodeRef b,
+      const std::function<bool(const ActionSet&, const ActionSet&)>& pred,
+      const lang::Env& env_template = {}) const;
+
+  // Every packet matched (non-drop) under a is also matched under b.
+  bool implies(NodeRef a, NodeRef b) const;
+
+  // Some packet is matched (non-drop) under both a and b.
+  bool intersects(NodeRef a, NodeRef b) const;
+
+  // a and b compute the same ActionSet for every packet.
+  bool equivalent(NodeRef a, NodeRef b) const;
 
   BddStats stats(NodeRef root) const;
 

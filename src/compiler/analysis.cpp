@@ -3,26 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 namespace camus::compiler {
 
 using util::Result;
 
 namespace {
-
-// Canonical text of a flattened condition, used for duplicate detection.
-std::string condition_key(const lang::FlatRule& r) {
-  std::vector<std::string> terms;
-  terms.reserve(r.terms.size());
-  for (const auto& t : r.terms) terms.push_back(t.to_string());
-  std::sort(terms.begin(), terms.end());
-  std::string key;
-  for (const auto& t : terms) {
-    key += t;
-    key += '|';
-  }
-  return key;
-}
 
 double term_selectivity(const lang::Conjunction& term,
                         const spec::Schema& schema) {
@@ -35,16 +22,68 @@ double term_selectivity(const lang::Conjunction& term,
   return sel;
 }
 
+// Hashed canonical-key index: hash -> rule indices whose key hashed there.
+// Collisions are resolved by comparing the stored canonical strings, so
+// detection stays exact while the common case is one hash probe instead of
+// an ordered-map walk with full string comparisons at every level.
+struct KeyIndex {
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+
+  // Returns the first rule whose key matches, or nullopt; then registers
+  // `index` under the key.
+  std::optional<std::size_t> find_or_insert(
+      std::uint64_t hash, const std::string& key, std::size_t index,
+      const std::vector<std::string>& keys) {
+    auto& bucket = buckets[hash];
+    for (std::size_t cand : bucket)
+      if (keys[cand] == key) return cand;
+    bucket.push_back(index);
+    return std::nullopt;
+  }
+};
+
 }  // namespace
+
+std::string condition_key(const lang::FlatRule& r) {
+  std::vector<std::string> terms;
+  terms.reserve(r.terms.size());
+  for (const auto& t : r.terms) terms.push_back(t.to_string());
+  // Bytewise sort: locale-independent, so the canonical ordering (and any
+  // report text derived from it) is identical across platforms.
+  std::sort(terms.begin(), terms.end());
+  std::size_t len = 0;
+  for (const auto& t : terms) len += t.size() + 1;
+  std::string key;
+  key.reserve(len);
+  for (const auto& t : terms) {
+    key += t;
+    key += '|';
+  }
+  return key;
+}
+
+std::uint64_t canonical_hash(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : key) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
 
 Result<RuleSetReport> analyze_rules(const spec::Schema& schema,
                                     const std::vector<lang::BoundRule>& rules,
-                                    std::size_t max_dnf_terms) {
+                                    std::size_t max_dnf_terms,
+                                    bool keep_flat) {
   RuleSetReport report;
   report.rules.reserve(rules.size());
+  if (keep_flat) report.flat.reserve(rules.size());
 
-  std::map<std::string, std::size_t> first_with_condition;
-  std::map<std::string, std::size_t> first_with_rule;
+  // Canonical condition keys per rule (kept so hash collisions can be
+  // verified against the real strings) and the two hashed indices.
+  std::vector<std::string> cond_keys;
+  std::vector<std::string> rule_keys;
+  cond_keys.reserve(rules.size());
+  rule_keys.reserve(rules.size());
+  KeyIndex by_condition;
+  KeyIndex by_rule;
 
   for (std::size_t i = 0; i < rules.size(); ++i) {
     auto flat = lang::flatten_rule(rules[i], schema, max_dnf_terms);
@@ -75,24 +114,27 @@ Result<RuleSetReport> analyze_rules(const spec::Schema& schema,
     }
     r.selectivity = std::min(sel, 1.0);
 
-    // Duplicate / same-condition detection.
-    const std::string cond_key = condition_key(flat.value());
-    const std::string rule_key =
-        cond_key + "=>" + rules[i].actions.to_string();
-    if (auto it = first_with_rule.find(rule_key);
-        it != first_with_rule.end()) {
-      r.duplicate_of = it->second;
+    // Duplicate / same-condition detection over hashed canonical keys.
+    cond_keys.push_back(condition_key(flat.value()));
+    const std::string& cond_key = cond_keys.back();
+    rule_keys.push_back(cond_key + "=>" + rules[i].actions.to_string());
+    const std::string& rule_key = rule_keys.back();
+
+    if (auto dup = by_rule.find_or_insert(canonical_hash(rule_key), rule_key,
+                                          i, rule_keys)) {
+      r.duplicate_of = *dup;
       ++report.duplicate_count;
-    } else {
-      first_with_rule.emplace(rule_key, i);
-      if (auto it2 = first_with_condition.find(cond_key);
-          it2 != first_with_condition.end()) {
-        r.same_condition_as = it2->second;
-      }
+      // Register the condition too so later rules point at the earliest
+      // occurrence of this condition.
+      by_condition.find_or_insert(canonical_hash(cond_key), cond_key, i,
+                                  cond_keys);
+    } else if (auto same = by_condition.find_or_insert(
+                   canonical_hash(cond_key), cond_key, i, cond_keys)) {
+      r.same_condition_as = *same;
     }
-    first_with_condition.emplace(cond_key, i);
 
     report.rules.push_back(std::move(r));
+    if (keep_flat) report.flat.push_back(std::move(flat).take());
   }
   return report;
 }

@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lang/bound.hpp"
@@ -38,11 +39,27 @@ struct RuleSetReport {
   std::size_t duplicate_count = 0;
   std::size_t total_dnf_terms = 0;
 
+  // The flattened (DNF) form of every rule, index-aligned with `rules`.
+  // Populated only when analyze_rules is called with keep_flat=true — the
+  // verifier's BDD-exact passes reuse it instead of re-flattening.
+  std::vector<lang::FlatRule> flat;
+
+  // Output is ordered by rule index and built from canonical DNF text, so
+  // it is identical across platforms and standard libraries.
   std::string to_string(const spec::Schema& schema) const;
 };
 
+// Canonical text of a flattened condition: per-term canonical constraint
+// strings, sorted bytewise. Two rules have equal keys iff their DNF forms
+// are identical up to term order — the basis for duplicate detection and
+// for the verifier's fingerprint cache.
+std::string condition_key(const lang::FlatRule& r);
+
+// FNV-1a over a canonical key (the hashed duplicate-detection index).
+std::uint64_t canonical_hash(std::string_view key);
+
 util::Result<RuleSetReport> analyze_rules(
     const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
-    std::size_t max_dnf_terms = 1 << 16);
+    std::size_t max_dnf_terms = 1 << 16, bool keep_flat = false);
 
 }  // namespace camus::compiler

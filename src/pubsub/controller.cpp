@@ -44,6 +44,20 @@ Result<bool> Controller::compile() {
   if (compiled_ && !dirty_) return true;
   auto c = compiler::compile_rules(schema_, rules_, opts_);
   if (!c.ok()) return c.error();
+
+  if (lint_policy_ != LintPolicy::kOff) {
+    lint_report_ = verify::Report{};
+    auto verified = verify::verify_compiled(schema_, rules_, c.value(),
+                                            lint_report_, lint_opts_);
+    if (!verified.ok()) return verified.error();
+    if (lint_policy_ == LintPolicy::kReject && lint_report_.has_errors()) {
+      // Keep the previous good pipeline installed; the rejected artifact
+      // is discarded.
+      return Error{"verifier rejected the compiled pipeline:\n" +
+                   lint_report_.to_text()};
+    }
+  }
+
   compiled_ = std::move(c).take();
   dirty_ = false;
   return true;

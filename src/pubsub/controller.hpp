@@ -20,8 +20,18 @@
 #include "spec/schema.hpp"
 #include "switchsim/switch.hpp"
 #include "util/result.hpp"
+#include "verify/verify.hpp"
 
 namespace camus::pubsub {
+
+// How much static verification compile() runs before accepting a new
+// pipeline (paper Figure 6: the controller gates what reaches the switch).
+enum class LintPolicy : std::uint8_t {
+  kOff,     // no verification (default; matches previous behaviour)
+  kWarn,    // verify, keep diagnostics in last_lint(), never reject
+  kReject,  // verify; error-severity findings fail compile() and the
+            // previous compiled pipeline stays installed
+};
 
 class Controller {
  public:
@@ -48,6 +58,22 @@ class Controller {
   std::size_t subscription_count() const noexcept { return rules_.size(); }
   void clear() { rules_.clear(); compiled_.reset(); }
 
+  // Static-verification gate for compile(). With kReject, a compilation
+  // whose verifier report contains error-severity diagnostics (shadowed
+  // entries, budget violations, non-equivalence, ...) is rejected: the
+  // error lists the findings and compiled() keeps serving the previous
+  // good pipeline.
+  void set_lint_policy(LintPolicy policy,
+                       verify::VerifyOptions opts = {}) {
+    lint_policy_ = policy;
+    lint_opts_ = std::move(opts);
+  }
+  LintPolicy lint_policy() const noexcept { return lint_policy_; }
+
+  // Diagnostics from the most recent verified compile() (empty when the
+  // policy is kOff or nothing was compiled since it was set).
+  const verify::Report& last_lint() const noexcept { return lint_report_; }
+
   // Dynamic compilation step. Recompiles if subscriptions changed.
   util::Result<bool> compile();
 
@@ -68,6 +94,10 @@ class Controller {
   std::vector<lang::BoundRule> rules_;
   std::optional<compiler::Compiled> compiled_;
   bool dirty_ = false;
+
+  LintPolicy lint_policy_ = LintPolicy::kOff;
+  verify::VerifyOptions lint_opts_;
+  verify::Report lint_report_;
 };
 
 }  // namespace camus::pubsub

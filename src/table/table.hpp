@@ -86,6 +86,14 @@ class Table {
   void add_entry(Entry e) { entries_.push_back(e); indexed_ = false; }
   const std::vector<Entry>& entries() const noexcept { return entries_; }
 
+  // Replaces entry i in place, invalidating the lookup index (rebuilt
+  // lazily). Used by fault-injection tests and the lint mutation check to
+  // corrupt a compiled pipeline deliberately.
+  void set_entry(std::size_t i, Entry e) {
+    entries_.at(i) = e;
+    indexed_ = false;
+  }
+
   // Builds per-state indices: hash lookup for exact entries, binary search
   // over sorted disjoint ranges, wildcard fallback. Specific entries win
   // over the per-state wildcard. Idempotent; never throws. lookup() calls

@@ -1,0 +1,145 @@
+#include "verify/diagnostics.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace camus::verify {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view code_string(LintCode c) {
+  switch (c) {
+    case LintCode::kRuleUnsatisfiable: return "S001";
+    case LintCode::kRuleDuplicate: return "S002";
+    case LintCode::kRuleSameCondition: return "S003";
+    case LintCode::kRuleSubsumed: return "S004";
+    case LintCode::kRuleOverlap: return "S005";
+    case LintCode::kCoverageHole: return "S006";
+    case LintCode::kRuleNegligible: return "S007";
+    case LintCode::kAnalysisTruncated: return "S008";
+    case LintCode::kShadowedEntry: return "P001";
+    case LintCode::kUnreachableState: return "P002";
+    case LintCode::kDeadDefault: return "P003";
+    case LintCode::kDanglingTransition: return "P004";
+    case LintCode::kStageOverBudget: return "P005";
+    case LintCode::kPipelineOverBudget: return "P006";
+    case LintCode::kNotEquivalent: return "P007";
+    case LintCode::kStructureInvalid: return "P008";
+    case LintCode::kVerifierBudget: return "P009";
+  }
+  return "????";
+}
+
+Severity default_severity(LintCode c) {
+  switch (c) {
+    case LintCode::kRuleUnsatisfiable:
+    case LintCode::kShadowedEntry:
+    case LintCode::kStageOverBudget:
+    case LintCode::kPipelineOverBudget:
+    case LintCode::kNotEquivalent:
+    case LintCode::kStructureInvalid:
+      return Severity::kError;
+    case LintCode::kRuleDuplicate:
+    case LintCode::kRuleSameCondition:
+    case LintCode::kRuleSubsumed:
+    case LintCode::kRuleNegligible:
+    case LintCode::kUnreachableState:
+    case LintCode::kDeadDefault:
+    case LintCode::kDanglingTransition:
+    case LintCode::kVerifierBudget:
+      return Severity::kWarning;
+    case LintCode::kRuleOverlap:
+    case LintCode::kCoverageHole:
+    case LintCode::kAnalysisTruncated:
+      return Severity::kNote;
+  }
+  return Severity::kNote;
+}
+
+Diagnostic& Report::add(LintCode code, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = default_severity(code);
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+  return diags_.back();
+}
+
+std::size_t Report::count(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::size_t Report::count(LintCode c) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.code == c) ++n;
+  return n;
+}
+
+int Report::exit_code(bool warnings_as_errors) const noexcept {
+  if (has_errors()) return 1;
+  if (warnings_as_errors && count(Severity::kWarning) > 0) return 1;
+  return 0;
+}
+
+namespace {
+
+std::string provenance(const Diagnostic& d) {
+  std::ostringstream os;
+  if (d.rule) os << " [rule " << (*d.rule + 1) << "]";
+  if (!d.table.empty()) {
+    os << " [" << d.table;
+    if (d.state) os << " state " << *d.state;
+    if (d.entry) os << " entry " << *d.entry;
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Report::to_text() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << code_string(d.code) << " " << to_string(d.severity) << ": "
+       << d.message << provenance(d) << "\n";
+  }
+  os << count(Severity::kError) << " error(s), " << count(Severity::kWarning)
+     << " warning(s), " << count(Severity::kNote) << " note(s)\n";
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    os << (i ? "," : "") << "{\"code\":\"" << code_string(d.code)
+       << "\",\"severity\":\"" << to_string(d.severity) << "\",\"message\":\""
+       << util::json::escape(d.message) << "\"";
+    if (d.rule) os << ",\"rule\":" << *d.rule;
+    if (d.other_rule) os << ",\"other_rule\":" << *d.other_rule;
+    if (!d.table.empty())
+      os << ",\"table\":\"" << util::json::escape(d.table) << "\"";
+    if (d.state) os << ",\"state\":" << *d.state;
+    if (d.entry) os << ",\"entry\":" << *d.entry;
+    os << "}";
+  }
+  os << "],\"summary\":{\"errors\":" << count(Severity::kError)
+     << ",\"warnings\":" << count(Severity::kWarning)
+     << ",\"notes\":" << count(Severity::kNote) << "}}";
+  return os.str();
+}
+
+}  // namespace camus::verify

@@ -1,0 +1,100 @@
+// Diagnostics engine for the static verifier (camus::verify): a flat list
+// of findings with stable lint codes, severities, and source provenance,
+// renderable as human-readable text or machine-readable JSON. Exit codes
+// are CI-friendly: errors fail the build, warnings fail only when the
+// caller opts in.
+//
+// Lint code catalogue (stable; documented in DESIGN.md "Static
+// verification"):
+//   S0xx — subscription-set analysis (layer 1, rules before compilation)
+//   P0xx — compiled-pipeline verification (layer 2, Algorithm 1 output)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/table.hpp"
+
+namespace camus::verify {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+std::string_view to_string(Severity s);
+
+enum class LintCode : std::uint8_t {
+  // Layer 1 — subscription set.
+  kRuleUnsatisfiable,   // S001 error: condition can never match any packet
+  kRuleDuplicate,       // S002 warning: identical condition and actions
+  kRuleSameCondition,   // S003 warning: identical condition, new actions
+  kRuleSubsumed,        // S004 warning: another rule always fires instead
+  kRuleOverlap,         // S005 note: same-action rules overlap (mergeable)
+  kCoverageHole,        // S006 note: some packet matches no rule at all
+  kRuleNegligible,      // S007 warning: negligible match fraction
+  kAnalysisTruncated,   // S008 note: pair budget exhausted, results partial
+  // Layer 2 — compiled pipeline.
+  kShadowedEntry,       // P001 error: entry can never be the match result
+  kUnreachableState,    // P002 warning: entry state unreachable from root
+  kDeadDefault,         // P003 warning: wildcard fully covered by entries
+  kDanglingTransition,  // P004 warning/note: target state never defined
+  kStageOverBudget,     // P005 error: per-stage SRAM/TCAM model exceeded
+  kPipelineOverBudget,  // P006 error: stage count / multicast groups
+  kNotEquivalent,       // P007 error: pipeline diverges from the MTBDD
+  kStructureInvalid,    // P008 error: structural validation failed
+  kVerifierBudget,      // P009 warning: equivalence check truncated
+};
+
+// The stable textual code ("S001", "P007", ...).
+std::string_view code_string(LintCode c);
+
+Severity default_severity(LintCode c);
+
+struct Diagnostic {
+  LintCode code = LintCode::kAnalysisTruncated;
+  Severity severity = Severity::kNote;
+  std::string message;
+
+  // Provenance: which artifact the finding refers to. All optional; rule
+  // indices are 0-based positions in the subscription set (rendered
+  // 1-based, matching compiler error messages).
+  std::optional<std::size_t> rule;
+  std::optional<std::size_t> other_rule;
+  std::string table;  // pipeline stage name, empty when not applicable
+  std::optional<table::StateId> state;
+  std::optional<std::size_t> entry;  // entry index within the table
+};
+
+class Report {
+ public:
+  // Appends a diagnostic with the code's default severity; returns it for
+  // provenance chaining (report.add(...).rule = i).
+  Diagnostic& add(LintCode code, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  bool empty() const noexcept { return diags_.empty(); }
+
+  std::size_t count(Severity s) const noexcept;
+  std::size_t count(LintCode c) const noexcept;
+  bool has_errors() const noexcept { return count(Severity::kError) > 0; }
+
+  // 0 = acceptable, 1 = findings fail the build. Usage errors in the CLIs
+  // use exit code 2, so lint failures stay distinguishable.
+  int exit_code(bool warnings_as_errors = false) const noexcept;
+
+  // "S004 warning: rule 7 subsumed by rule 3: ..." one line per finding,
+  // in insertion order (deterministic), plus a summary line.
+  std::string to_text() const;
+
+  // {"diagnostics":[{...}],"summary":{"errors":N,...}} — parseable with
+  // util::json; absent provenance fields are omitted.
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace camus::verify

@@ -1,0 +1,65 @@
+// Symbolic equivalence: proves that a compiled pipeline computes the same
+// packet -> ActionSet function as the reference MTBDD it was generated
+// from (or fails with the first diverging packet).
+//
+// Method: region-partition co-traversal. Fields are walked in the BDD
+// variable order; at each field the verifier carries a (pipeline state,
+// BDD node) pair and splits the field's raw value domain at every
+// boundary either side distinguishes — the pair's table entries (or, for
+// compressed subjects, the value-map entries, since the main table then
+// matches codes that are constant within a map region) united with the
+// interval boundaries of every predicate reachable from the BDD node
+// within the field's component. Both sides are piecewise constant inside
+// a region, so checking one representative value per region is EXACT, not
+// sampled. Visited (state, node, field) triples are memoized, which keeps
+// the walk polynomial in the artifact size; a pair budget caps adversarial
+// blowups (P009) without ever reporting a false "equivalent".
+//
+// A found divergence is re-validated concretely — the witness environment
+// is run through Pipeline::evaluate_actions and BddManager::evaluate —
+// before it is reported (P007), so a checker bug cannot produce a bogus
+// counterexample.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "spec/schema.hpp"
+#include "table/pipeline.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace camus::verify {
+
+struct EquivalenceOptions {
+  // Budget of (state, node, field) triples; exhausting it yields
+  // completed=false (and P009), never a wrong verdict.
+  std::size_t max_pairs = 10'000'000;
+};
+
+struct EquivalenceResult {
+  bool equivalent = true;  // meaningful only when completed
+  bool completed = true;
+  std::size_t pairs_visited = 0;
+  std::size_t regions_checked = 0;
+  // First diverging packet (raw field/state values), when !equivalent.
+  std::optional<lang::Env> counterexample;
+  std::string detail;  // human-readable divergence / incompleteness cause
+
+  bool proven_equivalent() const noexcept { return completed && equivalent; }
+};
+
+EquivalenceResult check_equivalence(const bdd::BddManager& mgr,
+                                    bdd::NodeRef root,
+                                    const table::Pipeline& pipe,
+                                    const spec::Schema& schema,
+                                    const EquivalenceOptions& opts = {});
+
+// check_equivalence + P007/P009 diagnostics appended to `report`.
+EquivalenceResult verify_equivalence(const bdd::BddManager& mgr,
+                                     bdd::NodeRef root,
+                                     const table::Pipeline& pipe,
+                                     const spec::Schema& schema, Report& report,
+                                     const EquivalenceOptions& opts = {});
+
+}  // namespace camus::verify

@@ -1,0 +1,47 @@
+// Layer 2 of the static verifier: checks over the compiled match-action
+// artifact (table::Pipeline), independent of how it was produced — the
+// same checks run on a freshly compiled pipeline and on one deserialized
+// from disk.
+//
+//   P001  entry shadowed by lookup priority (exact > range > any,
+//         duplicates last-write-wins) — the entry can never match.
+//   P002  entry keyed on a state no packet can be in when its stage runs.
+//   P003  wildcard default that never fires: the state's specific entries
+//         already cover the whole value domain.
+//   P004  transition into an undefined state: no later stage keys on it
+//         and the leaf table has no entry for it. This is exactly how
+//         Algorithm 1 encodes the drop sink, so severity is a heuristic:
+//         warning when the state has a single inbound reference (likely a
+//         corrupted entry), note otherwise (normal drop encoding).
+//   P005  one stage exceeds the per-stage SRAM or TCAM budget.
+//   P006  the pipeline exceeds whole-device budgets (stages, multicast
+//         groups).
+//   P008  structurally invalid (overlapping ranges, bad multicast refs) —
+//         wraps Pipeline::validate().
+#pragma once
+
+#include "table/pipeline.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace camus::verify {
+
+struct PipelineLintOptions {
+  // The device model the resource checks compare against (Tofino-like
+  // defaults; see table::ResourceBudget).
+  table::ResourceBudget budget;
+  bool check_resources = true;
+};
+
+struct PipelineLintStats {
+  std::size_t entries_checked = 0;
+  std::size_t shadowed_entries = 0;
+  std::size_t unreachable_states = 0;
+  std::size_t dead_defaults = 0;
+  std::size_t dangling_transitions = 0;
+  std::size_t stages_over_budget = 0;
+};
+
+PipelineLintStats lint_pipeline(const table::Pipeline& pipe, Report& report,
+                                const PipelineLintOptions& opts = {});
+
+}  // namespace camus::verify

@@ -1,0 +1,372 @@
+#include "verify/subscriptions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "compiler/field_order.hpp"
+#include "util/intern.hpp"
+
+namespace camus::verify {
+
+using lang::ActionSet;
+using lang::Conjunction;
+using lang::FlatRule;
+using util::Result;
+
+bool term_implies(const Conjunction& a, const Conjunction& b) {
+  for (const auto& [subj, set_b] : b.constraints) {
+    auto it = a.constraints.find(subj);
+    // Canonical constraints are strict subsets of the domain, so an
+    // unconstrained subject in a can never be contained in set_b.
+    if (it == a.constraints.end()) return false;
+    if (!it->second.is_subset_of(set_b)) return false;
+  }
+  return true;
+}
+
+bool term_intersects(const Conjunction& a, const Conjunction& b) {
+  // Subjects are independent: the joint constraint is satisfiable iff every
+  // shared subject's value sets intersect.
+  for (const auto& [subj, set_a] : a.constraints) {
+    auto it = b.constraints.find(subj);
+    if (it == b.constraints.end()) continue;
+    if (set_a.intersect(it->second).is_empty()) return false;
+  }
+  return true;
+}
+
+PreVerdict dnf_implies(const FlatRule& a, const FlatRule& b) {
+  bool all_covered = true;
+  for (const auto& ta : a.terms) {
+    bool covered = false;
+    for (const auto& tb : b.terms) {
+      if (term_implies(ta, tb)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      all_covered = false;
+      break;
+    }
+  }
+  if (all_covered) return PreVerdict::kProven;
+  if (a.terms.size() == 1 && b.terms.size() == 1) return PreVerdict::kRefuted;
+  return PreVerdict::kUnknown;
+}
+
+bool dnf_intersects(const FlatRule& a, const FlatRule& b) {
+  for (const auto& ta : a.terms)
+    for (const auto& tb : b.terms)
+      if (term_intersects(ta, tb)) return true;
+  return false;
+}
+
+std::string render_env(const lang::Env& env, const spec::Schema& schema) {
+  std::ostringstream os;
+  bool first = true;
+  auto emit = [&](const std::string& name, std::uint64_t v, bool symbol) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=";
+    if (symbol) {
+      const std::string sym = util::decode_symbol(v);
+      const bool printable =
+          !sym.empty() && std::all_of(sym.begin(), sym.end(), [](char c) {
+            return c > 0x20 && c < 0x7f;
+          });
+      if (printable) {
+        os << sym;
+        return;
+      }
+    }
+    os << v;
+  };
+  for (const auto& f : schema.fields()) {
+    if (!f.queryable) continue;
+    const std::uint64_t v = f.id < env.fields.size() ? env.fields[f.id] : 0;
+    emit(f.name, v, f.kind == spec::FieldKind::kSymbol);
+  }
+  for (const auto& sv : schema.state_vars()) {
+    const std::uint64_t v =
+        sv.id < env.states.size() ? env.states[sv.id] : 0;
+    emit(sv.name, v, false);
+  }
+  return os.str();
+}
+
+namespace {
+
+// S007's selectivity: like RuleReport::selectivity but with point
+// constraints (one exact value, e.g. a ticker match) counted as 1 — a
+// single-symbol subscription is deliberate, not "negligible". What's left
+// measures how much of each *range* constraint survives, which is where
+// accidentally-empty windows (price > 10 and price < 12 on a 64-bit
+// field) show up.
+double range_selectivity(const lang::FlatRule& r,
+                         const spec::Schema& schema) {
+  double sel = 0;
+  for (const auto& t : r.terms) {
+    double term = 1.0;
+    for (const auto& [subj, set] : t.constraints) {
+      const std::uint64_t card = set.cardinality();
+      if (card <= 1) continue;  // point constraint: deliberate
+      const double domain =
+          static_cast<double>(lang::subject_umax(subj, schema)) + 1.0;
+      term *= static_cast<double>(card) / domain;
+    }
+    sel += term;
+  }
+  return sel < 1.0 ? sel : 1.0;
+}
+
+// a's actions are a subset of b's: every port and state update of a is
+// also produced by b (both vectors are sorted unique).
+bool actions_subset(const ActionSet& a, const ActionSet& b) {
+  return std::includes(b.ports.begin(), b.ports.end(), a.ports.begin(),
+                       a.ports.end()) &&
+         std::includes(b.state_updates.begin(), b.state_updates.end(),
+                       a.state_updates.begin(), a.state_updates.end());
+}
+
+// Lazily-built boolean BDDs (one shared manager; terminals replaced by a
+// uniform marker so implication compares match/no-match, not actions).
+class RuleBdds {
+ public:
+  RuleBdds(const spec::Schema& schema, const std::vector<FlatRule>& flat)
+      : flat_(flat),
+        mgr_(compiler::choose_order(schema, flat,
+                                    bdd::OrderHeuristic::kDeclared),
+             bdd::DomainMap(schema)),
+        roots_(flat.size()) {
+    marker_.add_port(1);
+  }
+
+  bdd::NodeRef root(std::size_t i) {
+    if (!roots_[i]) {
+      FlatRule boolean;
+      boolean.terms = flat_[i].terms;
+      boolean.actions = marker_;
+      roots_[i] = mgr_.build_rule(boolean);
+    }
+    return *roots_[i];
+  }
+
+  bool implies(std::size_t i, std::size_t j) {
+    return mgr_.implies(root(i), root(j));
+  }
+
+ private:
+  const std::vector<FlatRule>& flat_;
+  bdd::BddManager mgr_;
+  ActionSet marker_;
+  std::vector<std::optional<bdd::NodeRef>> roots_;
+};
+
+}  // namespace
+
+Result<SubscriptionLint> lint_subscriptions(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    Report& report, const SubscriptionLintOptions& opts) {
+  auto analyzed =
+      compiler::analyze_rules(schema, rules, opts.max_dnf_terms,
+                              /*keep_flat=*/true);
+  if (!analyzed.ok()) return analyzed.error();
+
+  SubscriptionLint out;
+  out.analysis = std::move(analyzed).take();
+  const auto& flat = out.analysis.flat;
+
+  // --- findings the DNF pass already settles ----------------------------
+  for (const auto& r : out.analysis.rules) {
+    if (!r.satisfiable) {
+      report
+          .add(LintCode::kRuleUnsatisfiable,
+               "rule " + std::to_string(r.index + 1) +
+                   " can never match any packet")
+          .rule = r.index;
+    }
+    if (r.duplicate_of) {
+      auto& d = report.add(
+          LintCode::kRuleDuplicate,
+          "rule " + std::to_string(r.index + 1) + " duplicates rule " +
+              std::to_string(*r.duplicate_of + 1) +
+              " (identical condition and actions)");
+      d.rule = r.index;
+      d.other_rule = *r.duplicate_of;
+    } else if (r.same_condition_as) {
+      auto& d = report.add(
+          LintCode::kRuleSameCondition,
+          "rule " + std::to_string(r.index + 1) +
+              " repeats the condition of rule " +
+              std::to_string(*r.same_condition_as + 1) +
+              " with different actions");
+      d.rule = r.index;
+      d.other_rule = *r.same_condition_as;
+    }
+    if (r.satisfiable && !r.duplicate_of &&
+        range_selectivity(flat[r.index], schema) <=
+            opts.negligible_selectivity) {
+      report
+          .add(LintCode::kRuleNegligible,
+               "rule " + std::to_string(r.index + 1) +
+                   " matches a negligible fraction of packets")
+          .rule = r.index;
+    }
+  }
+
+  if (!opts.check_subsumption && !opts.check_overlaps) return out;
+
+  // --- candidate grouping ----------------------------------------------
+  // Rule i can only be subsumed by a rule whose actions are a superset of
+  // i's (otherwise i still contributes actions even when covered), so
+  // rules are grouped by exact action set; strict-superset group pairs are
+  // scanned separately.
+  std::map<ActionSet, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const auto& r = out.analysis.rules[i];
+    if (!r.satisfiable || r.duplicate_of) continue;  // already reported
+    groups[rules[i].actions].push_back(i);
+  }
+
+  std::optional<RuleBdds> bdds;
+  auto bdd_implies = [&](std::size_t i, std::size_t j) {
+    if (!bdds) bdds.emplace(schema, flat);
+    ++out.stats.bdd_checks;
+    return bdds->implies(i, j);
+  };
+
+  std::vector<bool> subsumed(rules.size(), false);
+  auto budget_left = [&] {
+    if (out.stats.pairs_considered < opts.max_pairs) return true;
+    if (!out.stats.truncated) {
+      out.stats.truncated = true;
+      report.add(LintCode::kAnalysisTruncated,
+                 "pair budget (" + std::to_string(opts.max_pairs) +
+                     ") exhausted; subsumption/overlap results are partial");
+    }
+    return false;
+  };
+
+  // cond(i) => cond(j), DNF pre-filter first, BDD-exact on escalation.
+  auto implies_exact = [&](std::size_t i, std::size_t j) {
+    ++out.stats.pairs_considered;
+    switch (dnf_implies(flat[i], flat[j])) {
+      case PreVerdict::kProven:
+        ++out.stats.dnf_proven;
+        return true;
+      case PreVerdict::kRefuted:
+        ++out.stats.dnf_refuted;
+        return false;
+      case PreVerdict::kUnknown:
+        break;
+    }
+    if (!opts.bdd_exact) return false;
+    return bdd_implies(i, j);
+  };
+
+  auto flag_subsumed = [&](std::size_t i, std::size_t j) {
+    subsumed[i] = true;
+    ++out.stats.subsumed_rules;
+    auto& d = report.add(
+        LintCode::kRuleSubsumed,
+        "rule " + std::to_string(i + 1) + " never fires on its own: rule " +
+            std::to_string(j + 1) +
+            " matches every packet it matches and carries its actions");
+    d.rule = i;
+    d.other_rule = j;
+  };
+
+  if (opts.check_subsumption) {
+    // Within equal-action groups, both directions are candidates; prefer
+    // flagging the later rule.
+    for (const auto& [actions, members] : groups) {
+      for (std::size_t x = 0; x < members.size(); ++x) {
+        for (std::size_t y = x + 1; y < members.size(); ++y) {
+          const std::size_t lo = members[x], hi = members[y];
+          if (!budget_left()) goto subsumption_done;
+          if (!subsumed[hi] && implies_exact(hi, lo)) {
+            flag_subsumed(hi, lo);
+          } else if (!subsumed[lo] && implies_exact(lo, hi)) {
+            flag_subsumed(lo, hi);
+          }
+        }
+      }
+    }
+    // Strict-superset group pairs: i in A subsumed by j in B when A ⊂ B.
+    for (const auto& [a_act, a_members] : groups) {
+      for (const auto& [b_act, b_members] : groups) {
+        if (a_act == b_act || !actions_subset(a_act, b_act)) continue;
+        for (std::size_t i : a_members) {
+          if (subsumed[i]) continue;
+          for (std::size_t j : b_members) {
+            if (!budget_left()) goto subsumption_done;
+            if (implies_exact(i, j)) {
+              flag_subsumed(i, j);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+subsumption_done:
+
+  if (opts.check_overlaps) {
+    std::size_t notes = 0;
+    for (const auto& [actions, members] : groups) {
+      for (std::size_t x = 0; x < members.size(); ++x) {
+        for (std::size_t y = x + 1; y < members.size(); ++y) {
+          const std::size_t lo = members[x], hi = members[y];
+          if (subsumed[lo] || subsumed[hi]) continue;
+          if (!budget_left()) goto overlaps_done;
+          ++out.stats.pairs_considered;
+          if (!dnf_intersects(flat[lo], flat[hi])) continue;
+          ++out.stats.overlap_pairs;
+          if (notes < opts.max_overlap_notes) {
+            ++notes;
+            auto& d = report.add(
+                LintCode::kRuleOverlap,
+                "rules " + std::to_string(lo + 1) + " and " +
+                    std::to_string(hi + 1) +
+                    " overlap with identical actions; consider merging");
+            d.rule = lo;
+            d.other_rule = hi;
+          }
+        }
+      }
+    }
+  overlaps_done:
+    if (out.stats.overlap_pairs > notes) {
+      report.add(LintCode::kRuleOverlap,
+                 std::to_string(out.stats.overlap_pairs - notes) +
+                     " further overlapping same-action rule pairs");
+    }
+  }
+
+  return out;
+}
+
+std::optional<lang::Env> check_coverage(const bdd::BddManager& mgr,
+                                        bdd::NodeRef root,
+                                        const spec::Schema& schema,
+                                        Report& report) {
+  lang::Env tmpl;
+  tmpl.fields.assign(schema.fields().size(), 0);
+  tmpl.states.assign(schema.state_vars().size(), 0);
+  auto hole = mgr.find_witness(
+      root, root,
+      [](const lang::ActionSet& a, const lang::ActionSet&) {
+        return a.is_drop();
+      },
+      tmpl);
+  if (hole) {
+    report.add(LintCode::kCoverageHole,
+               "packets can match no rule at all, e.g. " +
+                   render_env(*hole, schema));
+  }
+  return hole;
+}
+
+}  // namespace camus::verify

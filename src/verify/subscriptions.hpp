@@ -1,0 +1,105 @@
+// Layer 1 of the static verifier: BDD-exact subscription-set analysis.
+//
+// The cheap DNF pass (compiler::analyze_rules) runs first and already
+// settles satisfiability, duplicates, and same-condition findings exactly.
+// On top of it this linter proves:
+//   - pairwise subsumption (S004): rule i never fires on its own because
+//     rule j matches every packet i matches and already carries all of
+//     i's actions. The DNF pre-filter proves the common cases (term-wise
+//     interval containment; exact for single-term pairs); only multi-term
+//     candidates escalate to the domain-exact BDD implication check.
+//   - overlap sets (S005): same-action rules whose conditions intersect —
+//     legal, but usually a sign the subscription could be one rule. Exact
+//     via DNF alone: two conjunctions intersect iff every shared subject's
+//     value sets intersect, and two DNF unions intersect iff some term
+//     pair does.
+//   - coverage holes (S006): a concrete packet matching no rule at all,
+//     found by walking the compiled union MTBDD to the drop terminal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "compiler/analysis.hpp"
+#include "spec/schema.hpp"
+#include "util/result.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace camus::verify {
+
+struct SubscriptionLintOptions {
+  std::size_t max_dnf_terms = 1 << 16;
+  // Escalate undecided subsumption candidates to the BDD-exact check.
+  // With false, only DNF-provable verdicts are reported (never wrong,
+  // possibly incomplete for multi-term rules).
+  bool bdd_exact = true;
+  bool check_subsumption = true;
+  bool check_overlaps = true;
+  // Total budget of elementary pair checks across subsumption + overlap;
+  // exhausting it emits S008 and stops (never silently truncates).
+  std::size_t max_pairs = 4'000'000;
+  // At most this many S005 notes are emitted individually; the rest are
+  // summarized in one note.
+  std::size_t max_overlap_notes = 16;
+  // S007 threshold, applied to the rule's *range* selectivity: point
+  // constraints (exact symbol/value matches) count as 1, so only
+  // accidentally-narrow range windows trigger the warning.
+  double negligible_selectivity = 1e-12;
+};
+
+struct SubscriptionLintStats {
+  std::size_t pairs_considered = 0;
+  std::size_t dnf_proven = 0;   // subsumptions settled by the pre-filter
+  std::size_t dnf_refuted = 0;  // pairs exactly refuted by the pre-filter
+  std::size_t bdd_checks = 0;   // pairs escalated to the BDD-exact check
+  std::size_t subsumed_rules = 0;
+  std::size_t overlap_pairs = 0;
+  bool truncated = false;
+};
+
+struct SubscriptionLint {
+  compiler::RuleSetReport analysis;  // the DNF pre-filter pass (with flat)
+  SubscriptionLintStats stats;
+};
+
+// Appends S001..S008 diagnostics to `report`. Fails only on DNF expansion
+// overflow (propagating the analyze_rules error).
+util::Result<SubscriptionLint> lint_subscriptions(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    Report& report, const SubscriptionLintOptions& opts = {});
+
+// Whole-set coverage: walks the compiled union MTBDD for a packet that
+// reaches the drop terminal. Emits S006 with a witness and returns it, or
+// nullopt when every packet matches some rule.
+std::optional<lang::Env> check_coverage(const bdd::BddManager& mgr,
+                                        bdd::NodeRef root,
+                                        const spec::Schema& schema,
+                                        Report& report);
+
+// --- pre-filter primitives (exposed for tests) -------------------------
+
+// Every packet satisfying conjunction `a` satisfies conjunction `b`.
+// Exact: conjunction containment decomposes per subject.
+bool term_implies(const lang::Conjunction& a, const lang::Conjunction& b);
+
+// Some packet satisfies both conjunctions. Exact for the same reason.
+bool term_intersects(const lang::Conjunction& a, const lang::Conjunction& b);
+
+enum class PreVerdict : std::uint8_t { kProven, kRefuted, kUnknown };
+
+// DNF pre-filter for cond(a) => cond(b): kProven when every term of a is
+// contained in some single term of b; kRefuted when both rules are
+// single-term (the term-wise check is then exact); kUnknown otherwise
+// (b's terms might jointly cover a term none covers alone).
+PreVerdict dnf_implies(const lang::FlatRule& a, const lang::FlatRule& b);
+
+// Exact rule-level overlap via DNF: some term pair intersects.
+bool dnf_intersects(const lang::FlatRule& a, const lang::FlatRule& b);
+
+// Renders a witness environment as "field=value, ..." over the schema's
+// queryable fields and state variables (symbol fields decoded).
+std::string render_env(const lang::Env& env, const spec::Schema& schema);
+
+}  // namespace camus::verify

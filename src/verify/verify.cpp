@@ -1,0 +1,29 @@
+#include "verify/verify.hpp"
+
+namespace camus::verify {
+
+util::Result<VerifyResult> verify_compiled(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    const compiler::Compiled& compiled, Report& report,
+    const VerifyOptions& opts) {
+  VerifyResult out;
+
+  auto subs = lint_subscriptions(schema, rules, report, opts.subscriptions);
+  if (!subs.ok()) return subs.error();
+  out.subscription_stats = subs.value().stats;
+
+  if (opts.coverage && compiled.manager)
+    check_coverage(*compiled.manager, compiled.root, schema, report);
+
+  out.pipeline_stats = lint_pipeline(compiled.pipeline, report, opts.pipeline);
+
+  if (opts.equivalence_check && compiled.manager) {
+    out.equivalence =
+        verify_equivalence(*compiled.manager, compiled.root,
+                           compiled.pipeline, schema, report,
+                           opts.equivalence);
+  }
+  return out;
+}
+
+}  // namespace camus::verify

@@ -1,0 +1,37 @@
+// Umbrella entry point for the static verifier: runs both layers over a
+// compilation result — the subscription-set linter on the input rules and
+// the artifact checks (pipeline lint + symbolic equivalence against the
+// compiled MTBDD) on the output. The camus-lint CLI, camusc --lint, and
+// the controller's reject-on-error policy all go through this.
+#pragma once
+
+#include "compiler/compile.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/equivalence.hpp"
+#include "verify/pipeline_lint.hpp"
+#include "verify/subscriptions.hpp"
+
+namespace camus::verify {
+
+struct VerifyOptions {
+  SubscriptionLintOptions subscriptions;
+  PipelineLintOptions pipeline;
+  EquivalenceOptions equivalence;
+  bool coverage = true;     // S006: whole-set coverage holes
+  bool equivalence_check = true;  // P007/P009: pipeline ≡ reference MTBDD
+};
+
+struct VerifyResult {
+  SubscriptionLintStats subscription_stats;
+  PipelineLintStats pipeline_stats;
+  EquivalenceResult equivalence;
+};
+
+// Appends all diagnostics to `report`. Fails only when the subscription
+// analysis itself cannot run (DNF expansion overflow).
+util::Result<VerifyResult> verify_compiled(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    const compiler::Compiled& compiled, Report& report,
+    const VerifyOptions& opts = {});
+
+}  // namespace camus::verify
