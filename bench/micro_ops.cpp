@@ -11,6 +11,7 @@
 #include "compiler/compile.hpp"
 #include "proto/packet.hpp"
 #include "spec/itch_spec.hpp"
+#include "table/compiled.hpp"
 #include "switchsim/switch.hpp"
 #include "util/intern.hpp"
 #include "util/rng.hpp"
@@ -73,6 +74,35 @@ void BM_PipelineClassify(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PipelineClassify)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CompiledTraverse(benchmark::State& state) {
+  auto& wb = bench_state(static_cast<std::size_t>(state.range(0)));
+  table::CompiledPipeline cp(wb.pipeline);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& env = wb.envs[i++ & 4095];
+    benchmark::DoNotOptimize(cp.traverse(env.fields, env.states));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompiledTraverse)->Arg(100)->Arg(1000)->Arg(10000);
+
+// The memo-hit path of the batched switch: prefix key extraction plus
+// finish() from a memoized prefix state (run_prefix is skipped).
+void BM_CompiledMemoHit(benchmark::State& state) {
+  auto& wb = bench_state(1000);
+  table::CompiledPipeline cp(wb.pipeline);
+  const auto& env = wb.envs[0];
+  const std::uint32_t memoized = cp.run_prefix(env.fields, env.states);
+  std::uint64_t key[table::CompiledPipeline::kMaxPrefix];
+  for (auto _ : state) {
+    cp.prefix_key(env.fields, env.states, key);
+    benchmark::DoNotOptimize(key[0]);
+    benchmark::DoNotOptimize(cp.finish(memoized, env.fields, env.states));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompiledMemoHit);
 
 void BM_NaiveMatch(benchmark::State& state) {
   auto& wb = bench_state(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,199 @@
+// Throughput-regression harness for the data-plane fast path: replays a
+// nasdaq-style feed through the per-frame reference path
+// (process_messages) and the batched fast path (process_batch), asserts
+// the outputs are identical, and reports machine-readable throughput
+// numbers. CI runs this with --quick --json and fails the build when the
+// batched path regresses versus the committed BENCH_throughput.json.
+//
+// Allocation audit baked into this harness's hot loops (before -> after):
+//  - workload::generate_feed reserved the "others" symbol index;
+//  - extractor gained extract_into/extract_wire (no per-message vector);
+//  - the batch path caches register snapshots (no per-message snapshot
+//    vector) and reuses frame/offset/bucket scratch across batches.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "netsim/replay.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "workload/feed.hpp"
+#include "workload/itch_subs.hpp"
+
+using namespace camus;
+
+namespace {
+
+constexpr std::size_t kMsgsPerFrame = 4;
+constexpr std::size_t kBatchFrames = 64;
+constexpr std::size_t kRules = 1000;
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct PathReport {
+  double msgs_per_sec = 0;
+  double ns_per_msg_p50 = 0;
+  double ns_per_msg_p99 = 0;
+};
+
+// msgs_per_call[i] = messages covered by call_ns[i].
+PathReport summarize(const netsim::ReplayStats& st,
+                     const std::vector<std::size_t>& msgs_per_call,
+                     std::size_t n_msgs) {
+  PathReport r;
+  if (st.wall_ns > 0)
+    r.msgs_per_sec = static_cast<double>(n_msgs) * 1e9 /
+                     static_cast<double>(st.wall_ns);
+  std::vector<double> per_msg;
+  per_msg.reserve(st.call_ns.size());
+  for (std::size_t i = 0; i < st.call_ns.size(); ++i) {
+    const double m = static_cast<double>(
+        i < msgs_per_call.size() ? msgs_per_call[i] : 1);
+    per_msg.push_back(static_cast<double>(st.call_ns[i]) / std::max(m, 1.0));
+  }
+  r.ns_per_msg_p50 = quantile(per_msg, 0.50);
+  r.ns_per_msg_p99 = quantile(per_msg, 0.99);
+  return r;
+}
+
+bool counters_equal(const switchsim::SwitchCounters& a,
+                    const switchsim::SwitchCounters& b) {
+  return a.rx_frames == b.rx_frames && a.parse_errors == b.parse_errors &&
+         a.dropped == b.dropped && a.matched == b.matched &&
+         a.tx_copies == b.tx_copies &&
+         a.multicast_frames == b.multicast_frames &&
+         a.state_updates == b.state_updates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--quick") quick = true;
+    else if (a == "--json") json = true;
+    else if (a == "--out" && i + 1 < argc) json_path = argv[++i];
+  }
+  const std::size_t n = quick ? 40000 : 400000;
+
+  // Workload and pipeline: the Figure-7 nasdaq-replay shape (bursty
+  // arrivals, Zipf symbol skew) against a 1000-subscription program.
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams sp;
+  sp.seed = 1;
+  sp.n_subscriptions = kRules;
+  sp.n_symbols = 1000;
+  sp.n_hosts = 200;
+  auto subs = workload::generate_itch_subscriptions(schema, sp);
+  // Exact-first ordering puts the symbol table ahead of the price ranges —
+  // the layout the hot-key memo prefixes over.
+  compiler::CompileOptions co;
+  co.order = bdd::OrderHeuristic::kExactFirst;
+  auto pipeline =
+      compiler::compile_rules(schema, subs.rules, co).take().pipeline;
+
+  workload::FeedParams fp;
+  fp.seed = 20170830;
+  fp.mode = workload::FeedMode::kNasdaqReplay;
+  fp.n_messages = n;
+  fp.symbols = subs.symbols;
+  fp.watched_fraction = 0.005;
+  fp.rate_msgs_per_sec = 150000;
+  fp.zipf_s = 0.5;
+  // Prices sit below most subscription thresholds, so the switch filters
+  // most of the feed — the paper's selective-delivery regime. Matched
+  // messages still fan out to every host whose threshold clears.
+  fp.price_min = 1;
+  fp.price_max = 300;
+  auto feed = workload::generate_feed(fp);
+  auto frames = pack_feed_frames(feed, kMsgsPerFrame);
+
+  std::vector<std::size_t> msgs_per_frame(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    msgs_per_frame[i] =
+        std::min(kMsgsPerFrame, n - i * kMsgsPerFrame);
+  std::vector<std::size_t> msgs_per_batch;
+  for (std::size_t i = 0; i < frames.size(); i += kBatchFrames) {
+    std::size_t m = 0;
+    for (std::size_t j = i; j < std::min(i + kBatchFrames, frames.size());
+         ++j)
+      m += msgs_per_frame[j];
+    msgs_per_batch.push_back(m);
+  }
+
+  switchsim::Switch sw_ref(schema, pipeline);
+  switchsim::Switch sw_fast(schema, pipeline);
+
+  const auto ref = netsim::replay_per_frame(sw_ref, frames);
+  const auto fast = netsim::replay_batched(sw_fast, frames, kBatchFrames);
+
+  const bool outputs_match =
+      ref.output_digest == fast.output_digest &&
+      ref.tx_packets == fast.tx_packets && ref.tx_bytes == fast.tx_bytes &&
+      counters_equal(sw_ref.counters(), sw_fast.counters());
+
+  const auto rr = summarize(ref, msgs_per_frame, n);
+  const auto fr = summarize(fast, msgs_per_batch, n);
+  const double speedup =
+      rr.msgs_per_sec > 0 ? fr.msgs_per_sec / rr.msgs_per_sec : 0;
+  const auto& bs = sw_fast.batch_stats();
+  const double hit_rate =
+      bs.memo_probes > 0
+          ? static_cast<double>(bs.memo_hits) /
+                static_cast<double>(bs.memo_probes)
+          : 0;
+
+  std::printf("throughput_pipeline: %zu msgs, %zu frames, %zu rules, "
+              "batch=%zu frames\n",
+              n, frames.size(), kRules, kBatchFrames);
+  std::printf("  per-frame: %12.0f msgs/s   ns/msg p50=%.0f p99=%.0f\n",
+              rr.msgs_per_sec, rr.ns_per_msg_p50, rr.ns_per_msg_p99);
+  std::printf("  batched:   %12.0f msgs/s   ns/msg p50=%.0f p99=%.0f\n",
+              fr.msgs_per_sec, fr.ns_per_msg_p50, fr.ns_per_msg_p99);
+  std::printf("  speedup: %.2fx   memo hit rate: %.1f%%   arena: %zu B   "
+              "outputs %s\n",
+              speedup, 100 * hit_rate, sw_fast.compiled().arena_bytes(),
+              outputs_match ? "IDENTICAL" : "MISMATCH");
+
+  if (json) {
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"workload\": \"nasdaq-replay\",\n"
+        "  \"messages\": %zu,\n"
+        "  \"frames\": %zu,\n"
+        "  \"rules\": %zu,\n"
+        "  \"msgs_per_frame\": %zu,\n"
+        "  \"batch_frames\": %zu,\n"
+        "  \"per_frame\": {\"msgs_per_sec\": %.0f, \"ns_per_msg_p50\": "
+        "%.1f, \"ns_per_msg_p99\": %.1f},\n"
+        "  \"batched\": {\"msgs_per_sec\": %.0f, \"ns_per_msg_p50\": %.1f, "
+        "\"ns_per_msg_p99\": %.1f},\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"memo_hit_rate\": %.4f,\n"
+        "  \"arena_bytes\": %zu,\n"
+        "  \"outputs_match\": %s\n"
+        "}\n",
+        n, frames.size(), kRules, kMsgsPerFrame, kBatchFrames,
+        rr.msgs_per_sec, rr.ns_per_msg_p50, rr.ns_per_msg_p99,
+        fr.msgs_per_sec, fr.ns_per_msg_p50, fr.ns_per_msg_p99, speedup,
+        hit_rate, sw_fast.compiled().arena_bytes(),
+        outputs_match ? "true" : "false");
+    std::ofstream(json_path) << buf;
+    std::printf("%s", buf);
+  }
+  return outputs_match ? 0 : 1;
+}

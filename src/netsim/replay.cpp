@@ -1,0 +1,85 @@
+#include "netsim/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace camus::netsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p,
+                           std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void fold_output(ReplayStats& st,
+                 const std::vector<switchsim::Switch::TxPacket>& out) {
+  for (const auto& tx : out) {
+    ++st.tx_packets;
+    st.tx_bytes += tx.frame.size();
+    const std::uint8_t port_bytes[2] = {
+        static_cast<std::uint8_t>(tx.port >> 8),
+        static_cast<std::uint8_t>(tx.port & 0xff)};
+    st.output_digest = fnv1a(st.output_digest, port_bytes, 2);
+    st.output_digest = fnv1a(st.output_digest, tx.frame.data(),
+                             tx.frame.size());
+  }
+}
+
+}  // namespace
+
+ReplayStats replay_per_frame(switchsim::Switch& sw,
+                             std::span<const workload::PackedFrame> frames) {
+  ReplayStats st;
+  st.output_digest = 0xcbf29ce484222325ULL;
+  st.frames = frames.size();
+  st.call_ns.reserve(frames.size());
+  for (const auto& pf : frames) {
+    const auto t0 = Clock::now();
+    auto out = sw.process_messages(pf.bytes, pf.t_us);
+    const auto t1 = Clock::now();
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    st.wall_ns += ns;
+    st.call_ns.push_back(ns);
+    fold_output(st, out);
+  }
+  return st;
+}
+
+ReplayStats replay_batched(switchsim::Switch& sw,
+                           std::span<const workload::PackedFrame> frames,
+                           std::size_t batch_size) {
+  ReplayStats st;
+  st.output_digest = 0xcbf29ce484222325ULL;
+  st.frames = frames.size();
+  const std::size_t bs = std::max<std::size_t>(batch_size, 1);
+  st.call_ns.reserve(frames.size() / bs + 1);
+  std::vector<switchsim::Switch::Frame> batch;
+  batch.reserve(bs);
+  for (std::size_t i = 0; i < frames.size(); i += bs) {
+    const std::size_t end = std::min(i + bs, frames.size());
+    batch.clear();
+    for (std::size_t j = i; j < end; ++j)
+      batch.push_back({frames[j].bytes, frames[j].t_us});
+    const auto t0 = Clock::now();
+    auto out = sw.process_batch(batch);
+    const auto t1 = Clock::now();
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    st.wall_ns += ns;
+    st.call_ns.push_back(ns);
+    fold_output(st, out);
+  }
+  return st;
+}
+
+}  // namespace camus::netsim

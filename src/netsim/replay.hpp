@@ -1,0 +1,39 @@
+// Trace-replay harness for the data-plane fast path: drives packed
+// market-data frames through a switch via either the per-frame reference
+// path (process_messages) or the batched path (process_batch), timing
+// only the switch work. Both paths fold their outputs into an
+// order-sensitive digest so bench harnesses can assert output equivalence
+// without keeping every egress frame alive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "switchsim/switch.hpp"
+#include "workload/feed.hpp"
+
+namespace camus::netsim {
+
+struct ReplayStats {
+  std::size_t frames = 0;      // ingress frames offered
+  std::size_t tx_packets = 0;  // egress packets produced
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t wall_ns = 0;  // sum of the timed process calls
+  // Elapsed ns of each process call (one per frame for the per-frame
+  // path, one per batch for the batched path) for tail percentiles.
+  std::vector<std::uint64_t> call_ns;
+  // FNV-1a over every egress (port, frame bytes) in emission order.
+  std::uint64_t output_digest = 0;
+};
+
+// Reference path: one process_messages call per frame.
+ReplayStats replay_per_frame(switchsim::Switch& sw,
+                             std::span<const workload::PackedFrame> frames);
+
+// Fast path: process_batch over batch_size-frame slices.
+ReplayStats replay_batched(switchsim::Switch& sw,
+                           std::span<const workload::PackedFrame> frames,
+                           std::size_t batch_size);
+
+}  // namespace camus::netsim

@@ -1,5 +1,8 @@
 #include "proto/packet.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace camus::proto {
 
 std::vector<std::uint8_t> encode_market_data_packet(
@@ -48,6 +51,149 @@ std::optional<MarketDataPacket> decode_market_data_packet(
   if (!itch) return std::nullopt;
   pkt.itch = std::move(*itch);
   return pkt;
+}
+
+namespace {
+
+inline std::uint64_t read_be(const std::uint8_t* p, unsigned n) noexcept {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < n; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+bool scan_market_data_packet(std::span<const std::uint8_t> frame,
+                             MarketDataView& view,
+                             std::vector<std::uint32_t>& add_order_offsets) {
+  // Layer headers: the accept/reject rules below mirror
+  // decode_market_data_packet step for step (differential-tested), minus
+  // the payload copy and per-message struct construction.
+  const std::uint8_t* p = frame.data();
+  std::size_t len = frame.size();
+  if (len < EthernetHeader::kSize) return false;
+  view.eth.dst = read_be(p, 6);
+  view.eth.src = read_be(p + 6, 6);
+  view.eth.ether_type = static_cast<std::uint16_t>(read_be(p + 12, 2));
+  if (view.eth.ether_type != kEtherTypeIpv4) return false;
+  std::size_t off = EthernetHeader::kSize;
+
+  if (len - off < Ipv4Header::kSize) return false;
+  const std::uint8_t ver_ihl = p[off];
+  if ((ver_ihl >> 4) != 4) return false;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+  if (ihl_bytes < Ipv4Header::kSize) return false;
+  if (len - off < ihl_bytes) return false;
+  // Checksum mismatches are not rejected, matching Ipv4Header::decode.
+  if (p[off + 9] != kIpProtoUdp) return false;
+  view.ip_src = static_cast<std::uint32_t>(read_be(p + off + 12, 4));
+  view.ip_dst = static_cast<std::uint32_t>(read_be(p + off + 16, 4));
+  off += ihl_bytes;
+
+  if (len - off < UdpHeader::kSize) return false;
+  view.udp_dst_port = static_cast<std::uint16_t>(read_be(p + off + 2, 2));
+  const auto udp_len = static_cast<std::uint16_t>(read_be(p + off + 4, 2));
+  off += UdpHeader::kSize;
+  if (udp_len < UdpHeader::kSize) return false;
+  const std::size_t payload_len = udp_len - UdpHeader::kSize;
+  if (len - off < payload_len) return false;
+  const std::size_t payload_end = off + payload_len;  // trailing bytes ignored
+
+  // MoldUDP64 header.
+  if (payload_end - off < MoldUdp64Header::kSize) return false;
+  view.mold.session.assign(reinterpret_cast<const char*>(p + off), 10);
+  while (!view.mold.session.empty() && view.mold.session.back() == ' ')
+    view.mold.session.pop_back();
+  view.mold.sequence = read_be(p + off + 10, 8);
+  view.mold.message_count = static_cast<std::uint16_t>(read_be(p + off + 18, 2));
+  off += MoldUdp64Header::kSize;
+
+  for (std::uint16_t i = 0; i < view.mold.message_count; ++i) {
+    if (payload_end - off < 2) return false;
+    const auto msg_len = static_cast<std::uint16_t>(read_be(p + off, 2));
+    off += 2;
+    if (payload_end - off < msg_len) return false;
+    // A well-formed add-order is exactly kSize bytes of type 'A' with a
+    // valid side byte; anything else (including an 'A' block with a bad
+    // side) is skipped, as in decode_itch_payload.
+    if (msg_len == ItchAddOrder::kSize &&
+        p[off] == static_cast<std::uint8_t>(kItchAddOrder)) {
+      const std::uint8_t side = p[off + 19];
+      if (side == 'B' || side == 'S')
+        add_order_offsets.push_back(static_cast<std::uint32_t>(off));
+    }
+    off += msg_len;
+  }
+  return true;
+}
+
+ItchAddOrder decode_add_order_at(std::span<const std::uint8_t> frame,
+                                 std::uint32_t offset) {
+  Reader r(frame.subspan(offset, ItchAddOrder::kSize));
+  ItchAddOrder msg;
+  const bool ok = msg.decode(r);
+  (void)ok;  // the scan validated the block
+  return msg;
+}
+
+namespace {
+
+inline void write_be(std::uint8_t* p, std::uint64_t v, unsigned n) noexcept {
+  for (unsigned i = 0; i < n; ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (8 * (n - 1 - i)));
+}
+
+}  // namespace
+
+void build_market_frame_raw(const MarketDataView& view,
+                            std::span<const std::uint8_t> src_frame,
+                            std::span<const std::uint32_t> msg_offsets,
+                            std::vector<std::uint8_t>& out) {
+  const std::size_t payload =
+      MoldUdp64Header::kSize +
+      msg_offsets.size() * (2 + ItchAddOrder::kSize);
+  out.resize(EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize +
+             payload);
+  std::uint8_t* p = out.data();
+
+  write_be(p, view.eth.dst, 6);
+  write_be(p + 6, view.eth.src, 6);
+  write_be(p + 12, view.eth.ether_type, 2);
+
+  // Canonical IPv4 header, field for field what Ipv4Header::encode emits
+  // from a default-constructed header with src/dst/total_len set.
+  std::uint8_t* ip = p + EthernetHeader::kSize;
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0;     // diffserv
+  write_be(ip + 2, Ipv4Header::kSize + UdpHeader::kSize + payload, 2);
+  write_be(ip + 4, 0, 2);       // identification
+  write_be(ip + 6, 0x4000, 2);  // flags: don't fragment
+  ip[8] = 64;                   // default ttl
+  ip[9] = kIpProtoUdp;
+  write_be(ip + 10, 0, 2);  // checksum placeholder
+  write_be(ip + 12, view.ip_src, 4);
+  write_be(ip + 16, view.ip_dst, 4);
+  write_be(ip + 10, internet_checksum({ip, Ipv4Header::kSize}), 2);
+
+  std::uint8_t* udp = ip + Ipv4Header::kSize;
+  write_be(udp, kItchUdpPort, 2);
+  write_be(udp + 2, view.udp_dst_port, 2);
+  write_be(udp + 4, UdpHeader::kSize + payload, 2);
+  write_be(udp + 6, 0, 2);  // checksum not computed over IPv4
+
+  std::uint8_t* mold = udp + UdpHeader::kSize;
+  std::memset(mold, ' ', 10);
+  std::memcpy(mold, view.mold.session.data(),
+              std::min<std::size_t>(view.mold.session.size(), 10));
+  write_be(mold + 10, view.mold.sequence, 8);
+  write_be(mold + 18, msg_offsets.size(), 2);
+
+  std::uint8_t* q = mold + MoldUdp64Header::kSize;
+  for (std::uint32_t off : msg_offsets) {
+    write_be(q, ItchAddOrder::kSize, 2);
+    std::memcpy(q + 2, src_frame.data() + off, ItchAddOrder::kSize);
+    q += 2 + ItchAddOrder::kSize;
+  }
 }
 
 }  // namespace camus::proto

@@ -34,4 +34,45 @@ std::vector<std::uint8_t> encode_market_data_packet(
 std::optional<MarketDataPacket> decode_market_data_packet(
     std::span<const std::uint8_t> frame);
 
+// Zero-copy parse for the batched fast path: header fields needed to
+// re-frame per-port output, without materializing the payload or the
+// per-message structs.
+struct MarketDataView {
+  EthernetHeader eth;
+  std::uint32_t ip_src = 0;
+  std::uint32_t ip_dst = 0;
+  std::uint16_t udp_dst_port = 0;
+  MoldUdp64Header mold;
+};
+
+// Scans a frame in place. Returns true exactly when
+// decode_market_data_packet would return a packet, filling `view` and
+// appending the frame-relative offset of every well-formed 36-byte
+// add-order message (type byte included) to `add_order_offsets` — the same
+// messages, in the same order, as MarketDataPacket::itch.add_orders.
+// `add_order_offsets` is not cleared (callers batch offsets across
+// frames).
+bool scan_market_data_packet(std::span<const std::uint8_t> frame,
+                             MarketDataView& view,
+                             std::vector<std::uint32_t>& add_order_offsets);
+
+// Decodes one add-order message from a frame offset previously produced by
+// scan_market_data_packet (bounds already validated by the scan).
+ItchAddOrder decode_add_order_at(std::span<const std::uint8_t> frame,
+                                 std::uint32_t offset);
+
+// Batched-path re-framing: writes into `out` the exact bytes
+// encode_market_data_packet(view.eth, view.ip_src, view.ip_dst, view.mold,
+// <decoded messages at msg_offsets>, view.udp_dst_port) would produce, but
+// copies the scanned add-order wire blocks straight out of the source
+// frame. Decode->encode round-trips every scanned block byte-identically —
+// all fields are full-width big-endian, and the trailing-space strip /
+// re-pad of the stock and session strings restores the original bytes —
+// so no per-message decode or Writer is needed. One exact-size resize of
+// `out` is the only allocation.
+void build_market_frame_raw(const MarketDataView& view,
+                            std::span<const std::uint8_t> src_frame,
+                            std::span<const std::uint32_t> msg_offsets,
+                            std::vector<std::uint8_t>& out);
+
 }  // namespace camus::proto

@@ -59,6 +59,12 @@ Result<bool> Controller::compile() {
   }
 
   compiled_ = std::move(c).take();
+  // Finalize eagerly at install time. Table::finalize is lazily invoked
+  // from lookup otherwise, and that lazy build mutates shared state under
+  // a const API — a data race the moment two threads evaluate the same
+  // freshly-installed pipeline concurrently (tsan-exercised in
+  // tests/test_concurrent_lookup.cpp).
+  compiled_->pipeline.finalize();
   dirty_ = false;
   return true;
 }

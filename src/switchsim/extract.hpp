@@ -4,6 +4,7 @@
 // configuration, mirroring the paper's static compilation step).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "lang/bound.hpp"
@@ -21,6 +22,23 @@ class ItchFieldExtractor {
   // side ('B'/'S' byte), timestamp, order_ref, locate. Names with no
   // add-order counterpart read 0.
   std::vector<std::uint64_t> extract(const proto::ItchAddOrder& msg) const;
+
+  // Allocation-free variant for hot loops: resizes `out` to the field
+  // count and overwrites it. Bit-identical to extract().
+  void extract_into(const proto::ItchAddOrder& msg,
+                    std::vector<std::uint64_t>& out) const;
+
+  // Zero-copy variant for the batched fast path: reads straight from a
+  // well-formed 36-byte add-order wire block (type byte included) as
+  // validated by proto::scan_market_data_packet. Bit-identical to
+  // decoding the block and calling extract() on it — in particular the
+  // raw 8 stock bytes big-endian equal ItchAddOrder::stock_key(), because
+  // the wire symbol field is space-padded exactly like
+  // util::encode_symbol's padding.
+  void extract_wire(const std::uint8_t* msg,
+                    std::vector<std::uint64_t>& out) const;
+
+  std::size_t field_count() const noexcept { return sources_.size(); }
 
  private:
   enum class Source : std::uint8_t {

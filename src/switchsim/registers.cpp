@@ -16,6 +16,7 @@ void StateRegisters::roll(std::uint32_t var, std::uint64_t now_us) {
     c.window_index = idx;
     c.sum = 0;
     c.count = 0;
+    ++version_;
   }
 }
 
@@ -40,9 +41,15 @@ std::uint64_t StateRegisters::read(std::uint32_t var, std::uint64_t now_us) {
 }
 
 std::vector<std::uint64_t> StateRegisters::snapshot(std::uint64_t now_us) {
-  std::vector<std::uint64_t> out(cells_.size());
-  for (std::uint32_t v = 0; v < cells_.size(); ++v) out[v] = read(v, now_us);
+  std::vector<std::uint64_t> out;
+  snapshot_into(out, now_us);
   return out;
+}
+
+void StateRegisters::snapshot_into(std::vector<std::uint64_t>& out,
+                                   std::uint64_t now_us) {
+  out.resize(cells_.size());
+  for (std::uint32_t v = 0; v < cells_.size(); ++v) out[v] = read(v, now_us);
 }
 
 void StateRegisters::apply_update(std::uint32_t var,
@@ -72,6 +79,7 @@ void StateRegisters::apply_update(std::uint32_t var,
       break;
   }
   ++c.count;
+  ++version_;
 }
 
 }  // namespace camus::switchsim

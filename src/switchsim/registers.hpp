@@ -21,6 +21,9 @@ class StateRegisters {
   // sum/count over the in-progress window (0 when empty).
   std::vector<std::uint64_t> snapshot(std::uint64_t now_us);
 
+  // Allocation-free variant for hot loops; resizes and overwrites `out`.
+  void snapshot_into(std::vector<std::uint64_t>& out, std::uint64_t now_us);
+
   // Applies one update action (leaf ActionSet::state_updates entry).
   // field_values supplies the aggregated source field for kSum/kAvg.
   void apply_update(std::uint32_t var,
@@ -28,6 +31,12 @@ class StateRegisters {
                     std::uint64_t now_us);
 
   std::uint64_t read(std::uint32_t var, std::uint64_t now_us);
+
+  // Bumped on every cell mutation (updates and window rollovers). Two
+  // reads at the same version and now_us are guaranteed to snapshot the
+  // same values, which lets the batched fast path cache one snapshot
+  // across messages instead of re-reading the register file per message.
+  std::uint64_t version() const noexcept { return version_; }
 
  private:
   struct Cell {
@@ -40,6 +49,7 @@ class StateRegisters {
 
   const spec::Schema* schema_;
   std::vector<Cell> cells_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace camus::switchsim

@@ -1,9 +1,11 @@
 #include "switchsim/switch.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "proto/generic.hpp"
 #include "proto/packet.hpp"
+#include "util/flat_map.hpp"
 
 namespace camus::switchsim {
 
@@ -14,6 +16,15 @@ Switch::Switch(spec::Schema schema, table::Pipeline pipeline)
       registers_(*schema_) {
   // Build the lookup indexes now, not lazily under the first packet.
   pipeline_.finalize();
+  compiled_ = table::CompiledPipeline(pipeline_);
+}
+
+void Switch::reprogram(table::Pipeline pipeline) {
+  pipeline_ = std::move(pipeline);
+  pipeline_.finalize();
+  compiled_ = table::CompiledPipeline(pipeline_);
+  // Cached prefix outcomes describe the old tables; drop them wholesale.
+  for (MemoSlot& s : memo_) s.used = false;
 }
 
 Switch Switch::make_broadcast(spec::Schema schema,
@@ -118,6 +129,149 @@ std::vector<Switch::TxPacket> Switch::process_messages(
         pkt->udp.dst_port);
     out.push_back(std::move(tx));
     ++counters_.tx_copies;
+  }
+  return out;
+}
+
+void Switch::refresh_snapshot(std::uint64_t now_us) {
+  if (snap_valid_ && snap_now_us_ == now_us &&
+      snap_version_ == registers_.version())
+    return;
+  registers_.snapshot_into(snap_, now_us);
+  snap_valid_ = true;
+  snap_now_us_ = now_us;
+  // Read the version after the snapshot: reading can roll windows over,
+  // and the cache must key on the post-roll state.
+  snap_version_ = registers_.version();
+}
+
+const lang::ActionSet* Switch::classify_fast(
+    const std::vector<std::uint64_t>& fields, std::uint64_t now_us) {
+  refresh_snapshot(now_us);
+  const lang::ActionSet* actions = nullptr;
+  if (compiled_.valid()) {
+    std::uint32_t leaf;
+    const std::size_t np = compiled_.prefix_stages();
+    if (np > 0 && !memo_.empty()) {
+      std::array<std::uint64_t, table::CompiledPipeline::kMaxPrefix> key{};
+      compiled_.prefix_key(fields, snap_, key.data());
+      std::uint64_t h = 0;
+      for (std::size_t i = 0; i < np; ++i) h = util::mix64(h ^ key[i]);
+      MemoSlot& slot = memo_[h & (kMemoSlots - 1)];
+      ++batch_stats_.memo_probes;
+      std::uint32_t state;
+      if (slot.used && slot.key == key) {
+        state = slot.state;
+        ++batch_stats_.memo_hits;
+      } else {
+        state = compiled_.run_prefix(fields, snap_);
+        slot.key = key;
+        slot.state = state;
+        slot.used = true;
+      }
+      leaf = compiled_.finish(state, fields, snap_);
+    } else {
+      leaf = compiled_.traverse(fields, snap_);
+    }
+    actions = compiled_.actions(leaf);
+  } else {
+    // The pipeline could not be flattened (degenerate shape); fall back to
+    // the reference evaluator, still with the cached snapshot.
+    env_scratch_.fields = fields;
+    env_scratch_.states = snap_;
+    const table::LeafEntry* l = pipeline_.evaluate(env_scratch_);
+    actions = l ? &l->actions : nullptr;
+  }
+  if (actions) {
+    for (std::uint32_t var : actions->state_updates) {
+      registers_.apply_update(var, fields, now_us);
+      ++counters_.state_updates;
+    }
+  }
+  return actions;
+}
+
+std::vector<Switch::TxPacket> Switch::process_batch(
+    std::span<const Frame> frames) {
+  if (memo_.empty() && compiled_.valid() && compiled_.prefix_stages() > 0)
+    memo_.resize(kMemoSlots);
+
+  // Pass 1: zero-copy scan. Collects per-frame header views and one shared
+  // add-order offset array; malformed frames are settled here so the later
+  // passes touch only classifiable traffic.
+  views_.resize(frames.size());
+  offsets_.clear();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges(frames.size());
+  std::vector<unsigned char> parsed(frames.size(), 0);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ++counters_.rx_frames;
+    const auto begin = static_cast<std::uint32_t>(offsets_.size());
+    const bool ok =
+        proto::scan_market_data_packet(frames[f].data, views_[f], offsets_);
+    const auto end = static_cast<std::uint32_t>(offsets_.size());
+    if (!ok || begin == end) {
+      // Parse error, or no add-order to classify on — same outcome as
+      // decode_market_data_packet failing / add_orders.empty().
+      ++counters_.parse_errors;
+      offsets_.resize(begin);  // drop offsets from a partially-scanned frame
+      ranges[f] = {begin, begin};
+    } else {
+      parsed[f] = 1;
+      ranges[f] = {begin, end};
+    }
+  }
+
+  // Pass 2: classify every message in arrival order (state updates are
+  // order-sensitive). Fields come straight off the wire.
+  msg_actions_.resize(offsets_.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (!parsed[f]) continue;
+    for (std::uint32_t i = ranges[f].first; i < ranges[f].second; ++i) {
+      extractor_.extract_wire(frames[f].data.data() + offsets_[i],
+                              fields_scratch_);
+      msg_actions_[i] = classify_fast(fields_scratch_, frames[f].now_us);
+    }
+  }
+
+  // Pass 3: re-frame per egress port. Only matched messages are decoded;
+  // buckets_ stays sorted by port so the output order matches the
+  // reference path's std::map iteration.
+  std::vector<TxPacket> out;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (!parsed[f]) continue;
+    for (auto& [port, v] : buckets_) v.clear();
+    for (std::uint32_t i = ranges[f].first; i < ranges[f].second; ++i) {
+      const lang::ActionSet* a = msg_actions_[i];
+      if (!a) continue;
+      for (std::uint16_t p : a->ports) {
+        auto it = std::lower_bound(
+            buckets_.begin(), buckets_.end(), p,
+            [](const auto& b, std::uint16_t port) { return b.first < port; });
+        if (it == buckets_.end() || it->first != p)
+          it = buckets_.emplace(it, p, std::vector<std::uint32_t>{});
+        it->second.push_back(i);
+      }
+    }
+    std::size_t nonempty = 0;
+    for (const auto& [port, v] : buckets_) nonempty += !v.empty();
+    if (nonempty == 0) {
+      ++counters_.dropped;
+      continue;
+    }
+    ++counters_.matched;
+    if (nonempty > 1) ++counters_.multicast_frames;
+    for (const auto& [port, v] : buckets_) {
+      if (v.empty()) continue;
+      msg_offsets_scratch_.resize(v.size());
+      for (std::size_t k = 0; k < v.size(); ++k)
+        msg_offsets_scratch_[k] = offsets_[v[k]];
+      TxPacket tx;
+      tx.port = port;
+      proto::build_market_frame_raw(views_[f], frames[f].data,
+                                    msg_offsets_scratch_, tx.frame);
+      out.push_back(std::move(tx));
+      ++counters_.tx_copies;
+    }
   }
   return out;
 }

@@ -9,14 +9,17 @@
 // latency instead, which is how a real ASIC behaves at line rate.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "proto/packet.hpp"
 #include "spec/schema.hpp"
 #include "switchsim/extract.hpp"
 #include "switchsim/registers.hpp"
+#include "table/compiled.hpp"
 #include "table/pipeline.hpp"
 
 namespace camus::switchsim {
@@ -45,6 +48,14 @@ struct SwitchCounters {
   std::uint64_t multicast_frames = 0;
   // Register write-backs performed by matched messages' state updates.
   std::uint64_t state_updates = 0;
+};
+
+// Fast-path-only telemetry for process_batch(). Kept separate from
+// SwitchCounters so the batched path's counters stay bit-identical to the
+// per-frame reference path.
+struct BatchStats {
+  std::uint64_t memo_probes = 0;  // hot-key memo lookups attempted
+  std::uint64_t memo_hits = 0;    // lookups answered from the memo
 };
 
 class Switch {
@@ -98,18 +109,38 @@ class Switch {
   std::vector<TxPacket> process_messages(std::span<const std::uint8_t> frame,
                                          std::uint64_t now_us);
 
+  // One ingress frame in a batch. `data` must stay alive for the duration
+  // of the process_batch() call.
+  struct Frame {
+    std::span<const std::uint8_t> data;
+    std::uint64_t now_us = 0;
+  };
+
+  // Batched equivalent of calling process_messages() on every frame in
+  // order and concatenating the results. Bit-identical output and
+  // SwitchCounters (differential-tested), but amortized: frames are
+  // scanned zero-copy (no payload vector, no per-message structs for
+  // dropped traffic), classification runs through the flattened
+  // CompiledPipeline with a hot-key memo over the leading exact stages,
+  // register snapshots are cached across messages, and only matched
+  // messages are decoded for re-framing.
+  std::vector<TxPacket> process_batch(std::span<const Frame> frames);
+
   const SwitchCounters& counters() const noexcept { return counters_; }
+  const BatchStats& batch_stats() const noexcept { return batch_stats_; }
+  const table::CompiledPipeline& compiled() const noexcept {
+    return compiled_;
+  }
   const table::Pipeline& pipeline() const noexcept { return pipeline_; }
   StateRegisters& registers() noexcept { return registers_; }
 
   // Installs a recompiled pipeline (e.g. from the incremental compiler)
   // without disturbing registers or counters — the runtime analogue of a
   // control-plane table update. Finalizes the new pipeline up front, like
-  // the constructor.
-  void reprogram(table::Pipeline pipeline) {
-    pipeline_ = std::move(pipeline);
-    pipeline_.finalize();
-  }
+  // the constructor, rebuilds the flattened fast-path structure, and
+  // invalidates the hot-key memo (its cached prefix outcomes belong to the
+  // old tables).
+  void reprogram(table::Pipeline pipeline);
 
   // Resource audit: whether the compiled pipeline fits the budget.
   bool fits(const table::ResourceBudget& budget = {}) const;
@@ -121,13 +152,50 @@ class Switch {
   // egress port.
   std::vector<TxCopy> forward(const lang::ActionSet& actions);
 
+  // Batch-path classification: returns the matched ActionSet (nullptr on
+  // drop) and applies state updates, bit-identical to classify() but
+  // allocation-free — cached register snapshot, flattened traversal with
+  // hot-key memo, Pipeline::evaluate fallback when the pipeline could not
+  // be flattened.
+  const lang::ActionSet* classify_fast(const std::vector<std::uint64_t>& fields,
+                                       std::uint64_t now_us);
+  // Refreshes snap_ if the register file or timestamp moved.
+  void refresh_snapshot(std::uint64_t now_us);
+
+  // Direct-mapped hot-key memo: (prefix key values) -> state after the
+  // leading exact stages. Purely a function of the key, so a stale entry
+  // cannot exist — only reprogram() must clear it.
+  struct MemoSlot {
+    std::array<std::uint64_t, table::CompiledPipeline::kMaxPrefix> key{};
+    std::uint32_t state = 0;
+    bool used = false;
+  };
+  static constexpr std::size_t kMemoSlots = 4096;  // power of two
+
   // shared_ptr gives the schema a stable address across Switch moves (the
   // extractor and register file hold references into it).
   std::shared_ptr<const spec::Schema> schema_;
   table::Pipeline pipeline_;
+  table::CompiledPipeline compiled_;
   ItchFieldExtractor extractor_;
   StateRegisters registers_;
   SwitchCounters counters_;
+  BatchStats batch_stats_;
+
+  std::vector<MemoSlot> memo_;
+
+  // Scratch state reused across process_batch() calls (capacity persists).
+  bool snap_valid_ = false;
+  std::uint64_t snap_version_ = 0;
+  std::uint64_t snap_now_us_ = 0;
+  std::vector<std::uint64_t> snap_;
+  std::vector<std::uint64_t> fields_scratch_;
+  std::vector<std::uint32_t> offsets_;  // add-order offsets, all frames
+  std::vector<const lang::ActionSet*> msg_actions_;  // parallel to offsets_
+  std::vector<proto::MarketDataView> views_;
+  std::vector<std::pair<std::uint16_t, std::vector<std::uint32_t>>> buckets_;
+  std::vector<std::uint32_t> msg_offsets_scratch_;
+  lang::Env env_scratch_;  // fallback path only
 };
 
 }  // namespace camus::switchsim

@@ -1,0 +1,55 @@
+// Single-allocation arena for flattened lookup structures. The compiled
+// fast-path pipeline packs every per-table array (exact slots, sorted
+// ranges, per-state offsets) into one contiguous block so a traversal
+// touches a handful of cache lines instead of chasing node pointers.
+//
+// Two-phase protocol: reserve<T>(n) for every array, then commit(), then
+// take<T>(n) in the same order with the same sizes. Element types must be
+// trivially destructible (the arena releases raw bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+namespace camus::util {
+
+class Arena {
+ public:
+  template <typename T>
+  void reserve(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    total_ = aligned(total_, alignof(T)) + n * sizeof(T);
+  }
+
+  // Allocates the block (zero-filled) and switches to the take phase.
+  void commit() {
+    buf_ = std::make_unique<std::byte[]>(total_);
+    std::memset(buf_.get(), 0, total_);
+    offset_ = 0;
+  }
+
+  // Carves the next array. Must mirror the reserve calls exactly.
+  template <typename T>
+  std::span<T> take(std::size_t n) {
+    offset_ = aligned(offset_, alignof(T));
+    T* p = reinterpret_cast<T*>(buf_.get() + offset_);
+    offset_ += n * sizeof(T);
+    return {p, n};
+  }
+
+  std::size_t bytes() const noexcept { return total_; }
+
+ private:
+  static std::size_t aligned(std::size_t off, std::size_t align) {
+    return (off + align - 1) & ~(align - 1);
+  }
+
+  std::size_t total_ = 0;
+  std::size_t offset_ = 0;
+  std::unique_ptr<std::byte[]> buf_;
+};
+
+}  // namespace camus::util

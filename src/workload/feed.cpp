@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "proto/packet.hpp"
 #include "util/rng.hpp"
 #include "workload/itch_subs.hpp"
 
@@ -16,6 +17,7 @@ Feed generate_feed(const FeedParams& p) {
       p.symbols.empty() ? itch_symbols(100) : p.symbols;
   // Ensure the watched symbol exists and find the "others" universe.
   std::vector<std::size_t> others;
+  others.reserve(symbols.size());
   std::size_t watched_idx = symbols.size();
   for (std::size_t i = 0; i < symbols.size(); ++i) {
     if (symbols[i] == p.watched_symbol)
@@ -86,6 +88,40 @@ Feed generate_feed(const FeedParams& p) {
     feed.messages.push_back(std::move(fm));
   }
   return feed;
+}
+
+std::vector<PackedFrame> pack_feed_frames(const Feed& feed,
+                                          std::size_t msgs_per_frame,
+                                          const std::string& session) {
+  proto::EthernetHeader eth;
+  eth.dst = 0x01005e000001ULL;  // IP multicast group MAC
+  eth.src = 0x0200c0ffee01ULL;
+  constexpr std::uint32_t kPublisherIp = 0x0a000001;  // 10.0.0.1
+  constexpr std::uint32_t kFeedGroupIp = 0xe8010101;  // 232.1.1.1
+
+  proto::MoldUdp64Header mold;
+  mold.session = session;
+  std::uint64_t sequence = 1;
+
+  const std::size_t per = std::max<std::size_t>(msgs_per_frame, 1);
+  std::vector<PackedFrame> out;
+  out.reserve((feed.messages.size() + per - 1) / per);
+  std::vector<proto::ItchAddOrder> msgs;
+  msgs.reserve(per);
+  for (std::size_t i = 0; i < feed.messages.size(); i += per) {
+    const std::size_t end = std::min(i + per, feed.messages.size());
+    msgs.clear();
+    for (std::size_t j = i; j < end; ++j)
+      msgs.push_back(feed.messages[j].msg);
+    mold.sequence = sequence;
+    sequence += msgs.size();
+    PackedFrame pf;
+    pf.t_us = feed.messages[end - 1].t_us;
+    pf.bytes = proto::encode_market_data_packet(eth, kPublisherIp,
+                                                kFeedGroupIp, mold, msgs);
+    out.push_back(std::move(pf));
+  }
+  return out;
 }
 
 }  // namespace camus::workload

@@ -57,4 +57,20 @@ struct Feed {
 
 Feed generate_feed(const FeedParams& params);
 
+// A fully-encoded ingress frame plus the arrival time of its last packed
+// message — the input unit for switchsim::Switch::process_batch and the
+// replay harness.
+struct PackedFrame {
+  std::uint64_t t_us = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+// Packs the feed into MoldUDP64 market-data frames, msgs_per_frame
+// messages per packet (trailing frame may be short), with contiguous
+// sequence numbers starting at 1 — the same framing a Publisher produces.
+std::vector<PackedFrame> pack_feed_frames(const Feed& feed,
+                                          std::size_t msgs_per_frame = 4,
+                                          const std::string& session =
+                                              "CAMUS00001");
+
 }  // namespace camus::workload

@@ -1,0 +1,143 @@
+// Concurrent read-only lookups (run under ThreadSanitizer in CI): the
+// controller finalizes a pipeline eagerly at install time, so
+// Pipeline::evaluate and CompiledPipeline::traverse are const and safe to
+// call from many threads at once. Before the eager finalize, the first
+// evaluate would lazily build table indexes and race.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "pubsub/controller.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/extract.hpp"
+#include "table/compiled.hpp"
+#include "workload/feed.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+
+constexpr int kThreads = 8;
+constexpr int kRoundsPerThread = 4;
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 0x100000001b3ULL;
+}
+
+TEST(ConcurrentLookup, EvaluateAndTraverseAfterControllerCompile) {
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams sp;
+  sp.seed = 17;
+  sp.n_subscriptions = 300;
+  sp.n_symbols = 100;
+  sp.n_hosts = 16;
+  auto subs = workload::generate_itch_subscriptions(schema, sp);
+
+  pubsub::Controller ctl(schema);
+  for (const auto& r : subs.rules) ctl.subscribe(r);
+  auto compiled = ctl.compile();
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+
+  // Deliberately no finalize() here: the controller must have finalized
+  // the installed pipeline, or the first concurrent evaluate below races
+  // on the lazy index build.
+  const table::Pipeline& pipe = ctl.compiled().pipeline;
+  const table::CompiledPipeline cp(pipe);
+  ASSERT_TRUE(cp.valid());
+
+  workload::FeedParams fp;
+  fp.seed = 23;
+  fp.n_messages = 2000;
+  fp.symbols = subs.symbols;
+  auto feed = workload::generate_feed(fp);
+
+  switchsim::ItchFieldExtractor ex(schema);
+  std::vector<std::vector<std::uint64_t>> inputs;
+  inputs.reserve(feed.messages.size());
+  for (const auto& fm : feed.messages) inputs.push_back(ex.extract(fm.msg));
+  const std::vector<std::uint64_t> states(schema.state_vars().size(), 0);
+
+  // Single-threaded reference digest over (evaluate, traverse) outcomes.
+  std::uint64_t want = 0xcbf29ce484222325ULL;
+  {
+    lang::Env env;
+    env.states = states;
+    for (const auto& fields : inputs) {
+      env.fields = fields;
+      const table::LeafEntry* leaf = pipe.evaluate(env);
+      want = fnv_step(want, leaf ? leaf->state : ~0ULL);
+      want = fnv_step(want, cp.traverse(fields, states));
+    }
+  }
+
+  std::vector<std::uint64_t> got(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t h = 0;
+      lang::Env env;
+      env.states = states;
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        h = 0xcbf29ce484222325ULL;
+        for (const auto& fields : inputs) {
+          env.fields = fields;
+          const table::LeafEntry* leaf = pipe.evaluate(env);
+          h = fnv_step(h, leaf ? leaf->state : ~0ULL);
+          h = fnv_step(h, cp.traverse(fields, states));
+        }
+      }
+      got[t] = h;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(got[t], want) << "thread " << t;
+}
+
+// The memo decomposition is equally const: concurrent prefix_key /
+// run_prefix / finish calls over one shared CompiledPipeline.
+TEST(ConcurrentLookup, PrefixDecompositionIsConst) {
+  auto schema = spec::make_itch_schema();
+  workload::ItchSubsParams sp;
+  sp.seed = 29;
+  sp.n_subscriptions = 200;
+  sp.n_symbols = 64;
+  sp.n_hosts = 8;
+  auto subs = workload::generate_itch_subscriptions(schema, sp);
+  compiler::CompileOptions co;
+  co.order = bdd::OrderHeuristic::kExactFirst;
+  auto pipeline = compiler::compile_rules(schema, subs.rules, co).take().pipeline;
+  pipeline.finalize();
+  const table::CompiledPipeline cp(pipeline);
+  ASSERT_TRUE(cp.valid());
+  ASSERT_GT(cp.prefix_stages(), 0u);
+
+  workload::FeedParams fp;
+  fp.seed = 31;
+  fp.n_messages = 1000;
+  fp.symbols = subs.symbols;
+  auto feed = workload::generate_feed(fp);
+  switchsim::ItchFieldExtractor ex(schema);
+  std::vector<std::vector<std::uint64_t>> inputs;
+  for (const auto& fm : feed.messages) inputs.push_back(ex.extract(fm.msg));
+  const std::vector<std::uint64_t> states(schema.state_vars().size(), 0);
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const auto& fields : inputs) {
+        const std::uint32_t mid = cp.run_prefix(fields, states);
+        if (cp.finish(mid, fields, states) != cp.traverse(fields, states))
+          ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+}
+
+}  // namespace
