@@ -173,6 +173,7 @@ int main(int argc, char** argv) {
         buf, sizeof(buf),
         "{\n"
         "  \"workload\": \"nasdaq-replay\",\n"
+        "  \"seeds\": {\"subscriptions\": 1, \"feed\": 20170830},\n"
         "  \"messages\": %zu,\n"
         "  \"frames\": %zu,\n"
         "  \"rules\": %zu,\n"

@@ -1,0 +1,93 @@
+#include "fault/injector.hpp"
+
+#include "util/rng.hpp"
+
+namespace camus::fault {
+
+std::string Injection::to_string() const {
+  switch (kind) {
+    case Kind::kRegisterBitFlip:
+      return "register r" + std::to_string(register_var) + " bit " +
+             std::to_string(bit);
+    case Kind::kEntryBitFlip:
+      return "table " + table + " entry " + std::to_string(entry) +
+             " next_state bit " + std::to_string(bit);
+    case Kind::kEntryEviction:
+      return "table " + table + " entry " + std::to_string(entry) +
+             " evicted";
+  }
+  return {};
+}
+
+std::uint64_t Injector::next_draw() noexcept {
+  // Stream position = number of draws so far; a fresh SplitMix64 per draw
+  // keeps the sequence independent of which experiment kinds interleave.
+  util::SplitMix64 sm(seed_ ^ (0xc2b2ae3d27d4eb4fULL * ++count_));
+  return sm.next();
+}
+
+std::optional<Injection> Injector::flip_register_bit(switchsim::Switch& sw) {
+  auto& regs = sw.registers();
+  if (regs.size() == 0) return std::nullopt;
+  const std::uint64_t r = next_draw();
+  Injection inj;
+  inj.kind = Injection::Kind::kRegisterBitFlip;
+  inj.register_var = static_cast<std::uint32_t>((r >> 8) % regs.size());
+  inj.bit = static_cast<unsigned>(r & 63);
+  regs.inject_bit_flip(inj.register_var, inj.bit);
+  return inj;
+}
+
+namespace {
+
+// Picks a (table, entry) uniformly over all field-table entries.
+std::optional<std::pair<std::size_t, std::size_t>> pick_entry(
+    const table::Pipeline& p, std::uint64_t r) {
+  std::size_t total = 0;
+  for (const auto& t : p.tables) total += t.entries().size();
+  if (total == 0) return std::nullopt;
+  std::size_t k = static_cast<std::size_t>(r % total);
+  for (std::size_t ti = 0; ti < p.tables.size(); ++ti) {
+    const std::size_t n = p.tables[ti].entries().size();
+    if (k < n) return std::make_pair(ti, k);
+    k -= n;
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace
+
+std::optional<Injection> Injector::flip_entry_bit(switchsim::Switch& sw) {
+  table::Pipeline mutated = sw.pipeline();
+  const std::uint64_t r = next_draw();
+  auto picked = pick_entry(mutated, r);
+  if (!picked) return std::nullopt;
+  auto& tbl = mutated.tables[picked->first];
+  table::Entry e = tbl.entries()[picked->second];
+  Injection inj;
+  inj.kind = Injection::Kind::kEntryBitFlip;
+  inj.table = tbl.name();
+  inj.entry = picked->second;
+  inj.bit = static_cast<unsigned>((r >> 32) & 31);
+  e.next_state ^= 1u << inj.bit;
+  tbl.set_entry(picked->second, e);
+  sw.reprogram(std::move(mutated));
+  return inj;
+}
+
+std::optional<Injection> Injector::evict_entry(switchsim::Switch& sw) {
+  table::Pipeline mutated = sw.pipeline();
+  const std::uint64_t r = next_draw();
+  auto picked = pick_entry(mutated, r);
+  if (!picked) return std::nullopt;
+  auto& tbl = mutated.tables[picked->first];
+  Injection inj;
+  inj.kind = Injection::Kind::kEntryEviction;
+  inj.table = tbl.name();
+  inj.entry = picked->second;
+  tbl.remove_entry(picked->second);
+  sw.reprogram(std::move(mutated));
+  return inj;
+}
+
+}  // namespace camus::fault

@@ -1,0 +1,64 @@
+// Switch-state fault injection: deterministic register bit-flips, table
+// entry bit-flips, and entry evictions against a running
+// switchsim::Switch. Each experiment mutates real switch state through the
+// same public surfaces the control plane uses (StateRegisters, Table entry
+// editing + reprogram), so the blast radius of an SRAM soft error or a
+// lost control-plane entry can be measured with the static verifier and
+// the differential harnesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "switchsim/switch.hpp"
+
+namespace camus::fault {
+
+// What one injection touched, for logs and assertions.
+struct Injection {
+  enum class Kind : std::uint8_t {
+    kRegisterBitFlip,
+    kEntryBitFlip,
+    kEntryEviction,
+  };
+  Kind kind = Kind::kRegisterBitFlip;
+  std::string table;           // stage name (entry faults)
+  std::size_t entry = 0;       // entry index within the stage
+  std::uint32_t register_var = 0;
+  unsigned bit = 0;
+
+  std::string to_string() const;
+};
+
+// Seeded injector: the k-th call of each experiment kind is a pure
+// function of (seed, k), so a fault campaign replays identically.
+class Injector {
+ public:
+  explicit Injector(std::uint64_t seed) : seed_(seed) {}
+
+  // Flips one pseudo-random bit in one pseudo-random state-register cell.
+  // Returns nullopt when the switch has no state variables.
+  std::optional<Injection> flip_register_bit(switchsim::Switch& sw);
+
+  // Flips one bit of the next_state of a pseudo-random field-table entry
+  // and reprograms the switch with the mutated pipeline. Returns nullopt
+  // when the pipeline has no field-table entries.
+  std::optional<Injection> flip_entry_bit(switchsim::Switch& sw);
+
+  // Evicts a pseudo-random field-table entry (control-plane entry lost)
+  // and reprograms. Returns nullopt when the pipeline has no entries.
+  std::optional<Injection> evict_entry(switchsim::Switch& sw);
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t injections() const noexcept { return count_; }
+
+ private:
+  std::uint64_t next_draw() noexcept;
+
+  std::uint64_t seed_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace camus::fault

@@ -1,0 +1,99 @@
+#include "fault/plan.hpp"
+
+#include "util/rng.hpp"
+
+namespace camus::fault {
+
+namespace {
+
+// Independent per-(seed, index, salt) streams. SplitMix64 over a mixed key
+// gives every frame its own short high-quality sequence; the salts keep the
+// decision draws and the corruption positions decoupled, so e.g. raising
+// the drop rate does not shift which bits a corrupted frame flips.
+constexpr std::uint64_t kDecisionSalt = 0xd5a61a94f7c0d9e3ULL;
+constexpr std::uint64_t kCorruptSalt = 0x9e2b6f1ac83d571bULL;
+
+util::SplitMix64 stream(std::uint64_t seed, std::uint64_t index,
+                        std::uint64_t salt) noexcept {
+  util::SplitMix64 mixer(seed ^ salt);
+  const std::uint64_t a = mixer.next();
+  util::SplitMix64 keyed(a ^ (index * 0x9e3779b97f4a7c15ULL + salt));
+  return keyed;
+}
+
+double u01(util::SplitMix64& sm) noexcept {
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Decision Plan::decision(std::uint64_t index) const noexcept {
+  Decision d;
+  if (!spec_.enabled()) return d;
+  auto sm = stream(seed_, index, kDecisionSalt);
+  // Draw every variate unconditionally so one rate never perturbs the
+  // stream positions of the others.
+  const double r_drop = u01(sm);
+  const double r_dup = u01(sm);
+  const double r_reorder = u01(sm);
+  const double r_corrupt = u01(sm);
+  const double r_delay = u01(sm);
+  const double r_bits = u01(sm);
+
+  if (r_drop < spec_.drop) {
+    d.drop = true;
+    return d;
+  }
+  d.duplicate = r_dup < spec_.duplicate;
+  if (r_reorder < spec_.reorder)
+    d.delay_us = spec_.reorder_delay_us * (1.0 + r_delay);
+  if (r_corrupt < spec_.corrupt && spec_.corrupt_max_bits > 0)
+    d.corrupt_bits =
+        1 + static_cast<std::uint32_t>(
+                r_bits * static_cast<double>(spec_.corrupt_max_bits - 1) +
+                0.5);
+  return d;
+}
+
+void Plan::corrupt(std::uint64_t index, std::span<std::uint8_t> frame) const
+    noexcept {
+  const Decision d = decision(index);
+  if (d.corrupt_bits == 0 || frame.empty()) return;
+  auto sm = stream(seed_, index, kCorruptSalt);
+  for (std::uint32_t i = 0; i < d.corrupt_bits; ++i) {
+    const std::uint64_t r = sm.next();
+    const std::size_t byte = static_cast<std::size_t>(
+        (r >> 3) % static_cast<std::uint64_t>(frame.size()));
+    frame[byte] ^= static_cast<std::uint8_t>(1u << (r & 7));
+  }
+}
+
+std::vector<LinkFaults::Arrival> LinkFaults::offer(
+    double t_us, std::span<const std::uint8_t> frame) {
+  const std::uint64_t index = next_index_++;
+  ++stats_.offered;
+  std::vector<Arrival> out;
+  const Decision d = plan_.decision(index);
+  if (d.drop) {
+    ++stats_.dropped;
+    return out;
+  }
+  Arrival a;
+  a.t_us = t_us + d.delay_us;
+  a.bytes.assign(frame.begin(), frame.end());
+  if (d.corrupt_bits > 0) {
+    plan_.corrupt(index, a.bytes);
+    ++stats_.corrupted;
+  }
+  if (d.delay_us > 0) ++stats_.reordered;
+  if (d.duplicate) {
+    ++stats_.duplicated;
+    out.push_back(a);  // duplicate carries the same bytes and timestamp
+    ++stats_.delivered;
+  }
+  out.push_back(std::move(a));
+  ++stats_.delivered;
+  return out;
+}
+
+}  // namespace camus::fault

@@ -1,0 +1,110 @@
+// Deterministic, seeded fault injection for links and replay harnesses.
+// A fault::Plan answers "what happens to packet #i on this link" as a pure
+// function of (seed, i) — two runs with the same seed see byte-identical
+// fault sequences regardless of evaluation order or interleaving, which is
+// what makes loss-sweep experiments and differential recovery tests
+// reproducible. fault::LinkFaults is the stateful per-link wrapper the
+// netsim topology and trace replay apply frame by frame.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace camus::fault {
+
+// Per-link fault rates. All probabilities are independent per frame; a
+// dropped frame is gone (duplicate/reorder/corrupt do not apply to it).
+struct FaultSpec {
+  double drop = 0;       // P(frame lost)
+  double duplicate = 0;  // P(frame delivered twice)
+  double reorder = 0;    // P(frame delayed past its successors)
+  double corrupt = 0;    // P(frame payload bit-flipped)
+
+  // A reordered frame arrives this much later (scaled by a per-frame
+  // deterministic factor in [1, 2)); tune it above the inter-frame gap so
+  // reordering actually displaces frames.
+  double reorder_delay_us = 50.0;
+  // Corrupted frames get 1..corrupt_max_bits bit flips.
+  std::uint32_t corrupt_max_bits = 3;
+
+  bool enabled() const noexcept {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
+// What the plan decided for one frame.
+struct Decision {
+  bool drop = false;
+  bool duplicate = false;
+  std::uint32_t corrupt_bits = 0;  // 0 = intact
+  double delay_us = 0;             // > 0 when reordered
+};
+
+// The deterministic decision source. decision(i) derives a private
+// SplitMix64 stream from (seed, i), so it can be queried out of order,
+// twice, or from different processes and always agree.
+class Plan {
+ public:
+  Plan() = default;
+  Plan(FaultSpec spec, std::uint64_t seed) : spec_(spec), seed_(seed) {}
+
+  Decision decision(std::uint64_t index) const noexcept;
+
+  // Applies decision(index).corrupt_bits pseudo-random bit flips in place.
+  // No-op when the decision says the frame is intact or `frame` is empty.
+  void corrupt(std::uint64_t index, std::span<std::uint8_t> frame) const
+      noexcept;
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  bool enabled() const noexcept { return spec_.enabled(); }
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_ = 0;
+};
+
+// Stateful per-link applier: assigns consecutive plan indices to offered
+// frames and materializes the decisions as 0..2 timed deliveries.
+class LinkFaults {
+ public:
+  struct Arrival {
+    double t_us = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;  // arrivals produced (includes duplicates)
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t corrupted = 0;
+  };
+
+  LinkFaults() = default;
+  explicit LinkFaults(Plan plan) : plan_(plan) {}
+
+  // Offers one frame arriving at t_us; returns its post-fault deliveries
+  // (empty on drop, two entries on duplication). Reordered frames get a
+  // later t_us — the consumer (event simulator or a time-sorted replay)
+  // realizes the displacement by honoring the timestamps.
+  std::vector<Arrival> offer(double t_us, std::span<const std::uint8_t> frame);
+
+  const Stats& stats() const noexcept { return stats_; }
+  const Plan& plan() const noexcept { return plan_; }
+  std::uint64_t frames_seen() const noexcept { return next_index_; }
+
+  void reset() {
+    next_index_ = 0;
+    stats_ = Stats{};
+  }
+
+ private:
+  Plan plan_;
+  std::uint64_t next_index_ = 0;
+  Stats stats_;
+};
+
+}  // namespace camus::fault

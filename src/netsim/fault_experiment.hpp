@@ -1,0 +1,100 @@
+// End-to-end fault-injection experiment: the full pub/sub path over lossy
+// links, with MoldUDP64 gap recovery at both recovery points.
+//
+//   publisher --uplink*--> FeedHandler -> switch -> FeedSequencer
+//       --downlink_p*--> RecoveringSubscriber   (one per egress port)
+//
+// Links marked * apply a seeded fault::Plan (drop / duplicate / reorder /
+// corrupt). Retransmission requests travel reverse channels with the same
+// fault spec; replies take the forward channels again, so recovery traffic
+// is itself unreliable and the bounded-retry backoff machinery is
+// genuinely exercised.
+//
+// Determinism: every random decision derives from (seed, link id, packet
+// index) — no ambient RNG — and the switch is clocked with LOGICAL time
+// (the frame's first MoldUDP sequence number) rather than simulated
+// wall-clock, so stateful window aggregates see the same boundaries
+// whether or not recovery delayed a frame. A clean run and a faulted
+// run with recovery therefore produce bit-identical per-port delivery
+// digests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "pubsub/recovery.hpp"
+#include "switchsim/switch.hpp"
+#include "util/stats.hpp"
+#include "workload/feed.hpp"
+
+namespace camus::netsim {
+
+struct FaultExperimentParams {
+  // Applied to the uplink, every downlink, and the reverse (request)
+  // channels; each channel gets its own stream derived from `seed`.
+  fault::FaultSpec link_faults;
+  std::uint64_t seed = 1;
+
+  bool recovery_enabled = true;
+  pubsub::RecoveryParams recovery;
+
+  std::uint16_t n_ports = 4;          // subscribers on ports 1..n_ports
+  std::size_t msgs_per_frame = 4;     // publisher batching
+  std::size_t retransmit_capacity = 65536;
+
+  // MoldUDP-style heartbeats (count-0 frames advertising the next
+  // sequence) sent after the feed ends, on the uplink and every downlink.
+  // They make tail loss detectable; once a gap is armed the reassembler's
+  // own retry timers sustain recovery, so the span only needs to cover
+  // detection. Only used when recovery is enabled.
+  double heartbeat_us = 250.0;
+  std::size_t heartbeats = 2000;
+
+  double link_gbps = 25.0;
+  double propagation_us = 0.5;
+  double switch_pipeline_us = 0.8;
+};
+
+struct FaultExperimentResult {
+  std::uint64_t feed_messages = 0;
+  std::uint64_t frames_published = 0;
+
+  // Per-port exactly-once delivery: message count and an FNV-1a digest
+  // over the delivered 36-byte message blocks in delivery order.
+  std::map<std::uint16_t, std::uint64_t> delivered;
+  std::map<std::uint16_t, std::uint64_t> digest;
+
+  // Recovery behaviour at the two recovery points.
+  pubsub::RecoveryStats uplink_recovery;     // FeedHandler (switch ingress)
+  pubsub::RecoveryStats subscriber_recovery; // merged over all subscribers
+  util::CdfSampler recovery_latency_us;      // merged gap-block samples
+  std::uint64_t checksum_rejects = 0;        // both points combined
+  std::uint64_t malformed = 0;
+
+  // Channel-level tallies summed over every faulted link.
+  fault::LinkFaults::Stats channel;
+
+  // Overhead accounting: first-transmission payload vs recovery traffic.
+  std::uint64_t data_frames = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t request_frames = 0;
+  std::uint64_t request_bytes = 0;
+  std::uint64_t retransmit_frames = 0;
+  std::uint64_t retransmit_bytes = 0;
+  std::uint64_t heartbeat_frames = 0;
+  std::uint64_t heartbeat_bytes = 0;
+
+  double duration_us = 0;
+};
+
+// Drives `feed` through `sw` (already programmed with the subscription
+// pipeline). With params.recovery_enabled the result's per-port digests
+// are independent of the fault spec — that is the recovery guarantee,
+// asserted differentially in tests/test_fault.cpp and bench/fault_sweep.
+FaultExperimentResult run_fault_experiment(const FaultExperimentParams& params,
+                                           switchsim::Switch& sw,
+                                           const workload::Feed& feed);
+
+}  // namespace camus::netsim

@@ -21,6 +21,20 @@ bool MoldUdp64Header::decode(Reader& r) {
   return r.u64(sequence) && r.u16(message_count);
 }
 
+void MoldUdp64Request::encode(Writer& w) const {
+  w.fixed_string(session, 10);
+  w.u64(sequence);
+  w.u16(count);
+}
+
+bool MoldUdp64Request::decode(Reader& r) {
+  std::array<std::uint8_t, 10> sess{};
+  if (!r.bytes(sess)) return false;
+  session.assign(sess.begin(), sess.end());
+  while (!session.empty() && session.back() == ' ') session.pop_back();
+  return r.u64(sequence) && r.u16(count);
+}
+
 void ItchAddOrder::encode(Writer& w) const {
   w.u8(static_cast<std::uint8_t>(kItchAddOrder));
   w.u16(stock_locate);

@@ -35,6 +35,19 @@ struct MoldUdp64Header {
   [[nodiscard]] bool decode(Reader& r);
 };
 
+// MoldUDP64 retransmission request — the upstream packet of the real
+// protocol: a receiver that detects a sequence gap asks the sender to
+// re-send `count` messages starting at `sequence`.
+struct MoldUdp64Request {
+  std::string session = "CAMUS00001";  // exactly 10 bytes on the wire
+  std::uint64_t sequence = 0;
+  std::uint16_t count = 0;
+
+  static constexpr std::size_t kSize = 20;
+  void encode(Writer& w) const;
+  [[nodiscard]] bool decode(Reader& r);
+};
+
 struct ItchAddOrder {
   std::uint16_t stock_locate = 0;
   std::uint16_t tracking = 0;

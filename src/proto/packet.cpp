@@ -196,4 +196,235 @@ void build_market_frame_raw(const MarketDataView& view,
   }
 }
 
+namespace {
+
+// Locates the UDP segment of an IPv4/UDP frame: byte offsets of the IPv4
+// header and the UDP header, plus the UDP length (header + payload).
+// False for non-UDP/IPv4 frames and frames shorter than their UDP length.
+bool locate_udp(std::span<const std::uint8_t> frame, std::size_t* ip_off_out,
+                std::size_t* udp_off_out, std::size_t* udp_len_out) {
+  if (frame.size() <
+      EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize)
+    return false;
+  const std::uint8_t* p = frame.data();
+  if (read_be(p + 12, 2) != kEtherTypeIpv4) return false;
+  const std::size_t ip_off = EthernetHeader::kSize;
+  const std::uint8_t ver_ihl = p[ip_off];
+  if ((ver_ihl >> 4) != 4) return false;
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0xf) * 4;
+  if (ihl < Ipv4Header::kSize) return false;
+  if (frame.size() < ip_off + ihl + UdpHeader::kSize) return false;
+  if (p[ip_off + 9] != kIpProtoUdp) return false;
+  const std::size_t udp_off = ip_off + ihl;
+  const auto udp_len = static_cast<std::size_t>(read_be(p + udp_off + 4, 2));
+  if (udp_len < UdpHeader::kSize) return false;
+  if (frame.size() < udp_off + udp_len) return false;
+  *ip_off_out = ip_off;
+  *udp_off_out = udp_off;
+  *udp_len_out = udp_len;
+  return true;
+}
+
+std::uint32_t ones_acc(const std::uint8_t* p, std::size_t n,
+                       std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < n; i += 2)
+    acc += (static_cast<std::uint32_t>(p[i]) << 8) | p[i + 1];
+  if (i < n) acc += static_cast<std::uint32_t>(p[i]) << 8;
+  return acc;
+}
+
+// RFC 768 checksum over the IPv4 pseudo-header and the UDP segment, with
+// the checksum field itself read as zero. 0x0000 results are mapped to
+// 0xffff — zero on the wire means "not computed".
+std::uint16_t udp_checksum_value(std::span<const std::uint8_t> frame,
+                                 std::size_t ip_off, std::size_t udp_off,
+                                 std::size_t udp_len) {
+  const std::uint8_t* p = frame.data();
+  std::uint32_t acc = 0;
+  acc = ones_acc(p + ip_off + 12, 8, acc);  // src + dst addresses
+  acc += kIpProtoUdp;
+  acc += static_cast<std::uint32_t>(udp_len);
+  acc = ones_acc(p + udp_off, 6, acc);  // ports + length, skip checksum
+  acc = ones_acc(p + udp_off + UdpHeader::kSize, udp_len - UdpHeader::kSize,
+                 acc);
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  const auto sum = static_cast<std::uint16_t>(~acc & 0xffff);
+  return sum == 0 ? 0xffff : sum;
+}
+
+}  // namespace
+
+bool seal_udp_checksum(std::span<std::uint8_t> frame) {
+  std::size_t ip_off = 0, udp_off = 0, udp_len = 0;
+  if (!locate_udp(frame, &ip_off, &udp_off, &udp_len)) return false;
+  const std::uint16_t sum =
+      udp_checksum_value(frame, ip_off, udp_off, udp_len);
+  write_be(frame.data() + udp_off + 6, sum, 2);
+  return true;
+}
+
+bool verify_udp_checksum(std::span<const std::uint8_t> frame) {
+  std::size_t ip_off = 0, udp_off = 0, udp_len = 0;
+  if (!locate_udp(frame, &ip_off, &udp_off, &udp_len)) return false;
+  const auto stored =
+      static_cast<std::uint16_t>(read_be(frame.data() + udp_off + 6, 2));
+  if (stored == 0) return true;  // unsealed: unverified, accepted
+  return udp_checksum_value(frame, ip_off, udp_off, udp_len) == stored;
+}
+
+bool rewrite_mold_sequence(std::span<std::uint8_t> frame,
+                           std::uint64_t sequence) {
+  std::size_t ip_off = 0, udp_off = 0, udp_len = 0;
+  if (!locate_udp(frame, &ip_off, &udp_off, &udp_len)) return false;
+  if (udp_len < UdpHeader::kSize + MoldUdp64Header::kSize) return false;
+  write_be(frame.data() + udp_off + UdpHeader::kSize + 10, sequence, 8);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_market_data_packet_raw(
+    const EthernetHeader& eth, std::uint32_t ip_src, std::uint32_t ip_dst,
+    const MoldUdp64Header& mold,
+    const std::vector<std::vector<std::uint8_t>>& blocks,
+    std::uint16_t udp_dst_port) {
+  const std::vector<std::uint8_t> payload =
+      encode_itch_payload_raw(mold, blocks);
+
+  Writer w;
+  eth.encode(w);
+
+  Ipv4Header ip;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.total_len = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + UdpHeader::kSize + payload.size());
+  ip.encode(w);
+
+  UdpHeader udp;
+  udp.src_port = kItchUdpPort;
+  udp.dst_port = udp_dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(w);
+
+  w.bytes(payload);
+  std::vector<std::uint8_t> frame = w.take();
+  seal_udp_checksum(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_retransmit_request(
+    const EthernetHeader& eth, std::uint32_t ip_src, std::uint32_t ip_dst,
+    const MoldUdp64Request& req) {
+  Writer pw;
+  req.encode(pw);
+  const std::vector<std::uint8_t> payload = pw.take();
+
+  Writer w;
+  eth.encode(w);
+
+  Ipv4Header ip;
+  ip.src = ip_src;
+  ip.dst = ip_dst;
+  ip.total_len = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + UdpHeader::kSize + payload.size());
+  ip.encode(w);
+
+  UdpHeader udp;
+  udp.src_port = kItchRequestUdpPort;
+  udp.dst_port = kItchRequestUdpPort;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(w);
+
+  w.bytes(payload);
+  std::vector<std::uint8_t> frame = w.take();
+  seal_udp_checksum(frame);
+  return frame;
+}
+
+std::optional<MoldUdp64Request> decode_retransmit_request(
+    std::span<const std::uint8_t> frame) {
+  Reader r(frame);
+  EthernetHeader eth;
+  if (!eth.decode(r) || eth.ether_type != kEtherTypeIpv4) return std::nullopt;
+  Ipv4Header ip;
+  if (!ip.decode(r) || ip.protocol != kIpProtoUdp) return std::nullopt;
+  UdpHeader udp;
+  if (!udp.decode(r) || udp.dst_port != kItchRequestUdpPort)
+    return std::nullopt;
+  if (udp.length < UdpHeader::kSize + MoldUdp64Request::kSize)
+    return std::nullopt;
+  MoldUdp64Request req;
+  if (!req.decode(r)) return std::nullopt;
+  return req;
+}
+
+util::Result<MarketDataPacket> decode_market_data_packet_checked(
+    std::span<const std::uint8_t> frame) {
+  const auto fail = [](const char* code, const char* msg) {
+    util::Error e;
+    e.message = msg;
+    e.code = code;
+    return e;
+  };
+  Reader r(frame);
+  MarketDataPacket pkt;
+  if (!pkt.eth.decode(r)) return fail("F001", "truncated Ethernet header");
+  if (pkt.eth.ether_type != kEtherTypeIpv4)
+    return fail("F002", "ether_type is not IPv4");
+  if (!pkt.ip.decode(r))
+    return fail("F003", "truncated or malformed IPv4 header");
+  if (pkt.ip.protocol != kIpProtoUdp)
+    return fail("F004", "IP protocol is not UDP");
+  if (!pkt.udp.decode(r)) return fail("F005", "truncated UDP header");
+  if (pkt.udp.length < UdpHeader::kSize)
+    return fail("F006", "UDP length shorter than its header");
+  const std::size_t payload_len = pkt.udp.length - UdpHeader::kSize;
+  if (r.remaining() < payload_len)
+    return fail("F007", "UDP payload truncated");
+
+  std::vector<std::uint8_t> payload(payload_len);
+  if (!r.bytes(payload)) return fail("F007", "UDP payload truncated");
+
+  // Mirror of decode_itch_payload with per-step diagnostics; accepts and
+  // produces exactly what it does (differential-tested in test_fuzz).
+  Reader pr(payload);
+  ItchPacket itch;
+  if (!itch.mold.decode(pr))
+    return fail("F008", "truncated MoldUDP64 header");
+  for (std::uint16_t i = 0; i < itch.mold.message_count; ++i) {
+    std::uint16_t len = 0;
+    if (!pr.u16(len))
+      return fail("F009", "truncated MoldUDP64 message length");
+    if (pr.remaining() < len)
+      return fail("F010", "MoldUDP64 message overruns payload");
+    const char type =
+        len > 0 ? static_cast<char>(payload[pr.position()]) : '\0';
+    if (type == kItchAddOrder && len == ItchAddOrder::kSize) {
+      ItchAddOrder msg;
+      const std::size_t before = pr.position();
+      if (msg.decode(pr)) {
+        itch.add_orders.push_back(std::move(msg));
+        continue;
+      }
+      const std::size_t consumed = pr.position() - before;
+      if (!pr.skip(len - consumed))
+        return fail("F010", "MoldUDP64 message overruns payload");
+      ++itch.skipped_messages;
+    } else {
+      if (!pr.skip(len))
+        return fail("F010", "MoldUDP64 message overruns payload");
+      if (type == kItchOrderExecuted && len == ItchOrderExecuted::kSize)
+        ++itch.executed_messages;
+      else if (type == kItchTrade && len == ItchTrade::kSize)
+        ++itch.trade_messages;
+      else if (type == kItchOrderCancel && len == ItchOrderCancel::kSize)
+        ++itch.cancel_messages;
+      else
+        ++itch.skipped_messages;
+    }
+  }
+  pkt.itch = std::move(itch);
+  return pkt;
+}
+
 }  // namespace camus::proto

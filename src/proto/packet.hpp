@@ -8,10 +8,13 @@
 
 #include "proto/headers.hpp"
 #include "proto/itch.hpp"
+#include "util/result.hpp"
 
 namespace camus::proto {
 
 inline constexpr std::uint16_t kItchUdpPort = 26400;
+// UDP destination port for MoldUDP64 retransmission requests (upstream).
+inline constexpr std::uint16_t kItchRequestUdpPort = 26401;
 
 struct MarketDataPacket {
   EthernetHeader eth;
@@ -27,12 +30,59 @@ std::vector<std::uint8_t> encode_market_data_packet(
     const MoldUdp64Header& mold, const std::vector<ItchAddOrder>& messages,
     std::uint16_t udp_dst_port = kItchUdpPort);
 
+// Raw-block variant: the message blocks are spliced in pre-encoded, as
+// retransmission replies are served straight from a retransmit store
+// without a decode/encode round trip. Seals the UDP checksum.
+std::vector<std::uint8_t> encode_market_data_packet_raw(
+    const EthernetHeader& eth, std::uint32_t ip_src, std::uint32_t ip_dst,
+    const MoldUdp64Header& mold,
+    const std::vector<std::vector<std::uint8_t>>& blocks,
+    std::uint16_t udp_dst_port = kItchUdpPort);
+
 // Parses a full frame; returns nullopt for anything that is not a
 // well-formed UDP/ITCH packet (wrong ethertype, truncated headers, framing
 // errors). Packets on other UDP ports still parse — filtering on port is a
 // policy decision left to callers.
 std::optional<MarketDataPacket> decode_market_data_packet(
     std::span<const std::uint8_t> frame);
+
+// decode_market_data_packet with verify-style diagnostics: a reject names
+// the layer that failed with a stable code (F001..F012) so feed handlers
+// can classify malformed input instead of silently dropping it. Accepts
+// exactly the frames decode_market_data_packet accepts.
+util::Result<MarketDataPacket> decode_market_data_packet_checked(
+    std::span<const std::uint8_t> frame);
+
+// Full frame carrying a MoldUDP64 retransmission request, addressed to
+// kItchRequestUdpPort. The UDP checksum is sealed.
+std::vector<std::uint8_t> encode_retransmit_request(
+    const EthernetHeader& eth, std::uint32_t ip_src, std::uint32_t ip_dst,
+    const MoldUdp64Request& req);
+
+// Parses a retransmission-request frame; nullopt when the frame is not a
+// well-formed UDP packet on kItchRequestUdpPort carrying a request.
+std::optional<MoldUdp64Request> decode_retransmit_request(
+    std::span<const std::uint8_t> frame);
+
+// Computes and writes the UDP checksum (RFC 768, IPv4 pseudo-header) of a
+// UDP/IPv4 frame in place, so bit-level corruption anywhere in the UDP
+// segment is detectable. Returns false (frame untouched) when the frame is
+// not UDP/IPv4 or the UDP length is inconsistent.
+bool seal_udp_checksum(std::span<std::uint8_t> frame);
+
+// Verifies the UDP checksum of a UDP/IPv4 frame. A zero checksum means
+// "not computed" and verifies as true, per RFC 768; a malformed frame
+// (not UDP/IPv4, inconsistent lengths) verifies as false so callers treat
+// it as loss.
+bool verify_udp_checksum(std::span<const std::uint8_t> frame);
+
+// Rewrites the MoldUDP64 sequence field of a market-data frame in place —
+// the egress sequencer re-stamps switch output with dense per-port
+// sequence numbers. Does NOT reseal the UDP checksum; call
+// seal_udp_checksum afterwards. Returns false (frame untouched) when the
+// frame is not a UDP/IPv4 packet with a complete MoldUDP64 header.
+bool rewrite_mold_sequence(std::span<std::uint8_t> frame,
+                           std::uint64_t sequence);
 
 // Zero-copy parse for the batched fast path: header fields needed to
 // re-frame per-port output, without materializing the payload or the

@@ -1,7 +1,10 @@
 #include "pubsub/controller.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
+#include "lang/dnf.hpp"
 #include "lang/parser.hpp"
 
 namespace camus::pubsub {
@@ -13,7 +16,7 @@ Controller::Controller(spec::Schema schema, compiler::CompileOptions opts)
     : schema_(std::move(schema)), opts_(opts) {}
 
 Result<bool> Controller::subscribe(std::uint16_t port,
-                                   std::string_view rule_text) {
+                                   std::string_view rule_text, int priority) {
   std::string text(rule_text);
   // Interest-only form: append the subscriber's forwarding action.
   if (text.find(':') == std::string::npos)
@@ -22,20 +25,32 @@ Result<bool> Controller::subscribe(std::uint16_t port,
   if (!parsed.ok()) return parsed.error();
   auto bound = lang::bind_rule(parsed.value(), schema_);
   if (!bound.ok()) return bound.error();
-  subscribe(std::move(bound).take());
+  subscribe(std::move(bound).take(), priority);
   return true;
 }
 
-void Controller::subscribe(lang::BoundRule rule) {
+void Controller::subscribe(lang::BoundRule rule, int priority) {
   rules_.push_back(std::move(rule));
+  priorities_.push_back(priority);
   dirty_ = true;
 }
 
 std::size_t Controller::unsubscribe(std::uint16_t port) {
   const auto before = rules_.size();
-  std::erase_if(rules_, [port](const lang::BoundRule& r) {
-    return r.actions.ports.size() == 1 && r.actions.ports[0] == port;
-  });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const auto& r = rules_[i];
+    const bool drop =
+        r.actions.ports.size() == 1 && r.actions.ports[0] == port;
+    if (drop) continue;
+    if (w != i) {
+      rules_[w] = std::move(rules_[i]);
+      priorities_[w] = priorities_[i];
+    }
+    ++w;
+  }
+  rules_.resize(w);
+  priorities_.resize(w);
   if (rules_.size() != before) dirty_ = true;
   return before - rules_.size();
 }
@@ -67,6 +82,76 @@ Result<bool> Controller::compile() {
   compiled_->pipeline.finalize();
   dirty_ = false;
   return true;
+}
+
+Result<Split> Controller::compile_with_budget(
+    const table::ResourceBudget& budget) const {
+  // Rank: priority desc, insertion order asc (stable for equal priority).
+  std::vector<std::size_t> order(rules_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return priorities_[a] > priorities_[b];
+                   });
+
+  Split split;
+
+  // Compiles the top-k prefix; returns whether it fits, leaving the
+  // artifact of the last successful compile in `split.hardware`.
+  auto try_prefix = [&](std::size_t k,
+                        compiler::Compiled* out) -> Result<bool> {
+    std::vector<lang::BoundRule> prefix;
+    prefix.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) prefix.push_back(rules_[order[i]]);
+    auto c = compiler::compile_rules(schema_, prefix, opts_);
+    ++split.compile_probes;
+    if (!c.ok()) return c.error();
+    const bool fits = budget.fits(c.value().pipeline.resources());
+    if (fits) *out = std::move(c).take();
+    return fits;
+  };
+
+  // Fast path: everything fits (the common, non-degraded case).
+  auto all = try_prefix(rules_.size(), &split.hardware);
+  if (!all.ok()) return all.error();
+  std::size_t cut = rules_.size();
+  if (!all.value()) {
+    // Binary search the largest prefix that fits. Resource usage is
+    // monotone in the rule set for this compiler (more rules never free
+    // entries), so the predicate is monotone in k. lo is known-good (the
+    // empty pipeline always fits), hi is known-bad.
+    std::size_t lo = 0, hi = rules_.size();
+    auto empty = try_prefix(0, &split.hardware);
+    if (!empty.ok()) return empty.error();
+    if (!empty.value())
+      return Error{"even the empty pipeline exceeds the resource budget"};
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      compiler::Compiled probe;
+      auto fits = try_prefix(mid, &probe);
+      if (!fits.ok()) return fits.error();
+      if (fits.value()) {
+        split.hardware = std::move(probe);
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    cut = lo;
+  }
+
+  split.hardware.pipeline.finalize();
+  split.usage = split.hardware.pipeline.resources();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (i < cut)
+      split.hw_rules.push_back(rules_[order[i]]);
+    else
+      split.spilled.push_back(rules_[order[i]]);
+  }
+  auto flat = lang::flatten_rules(split.spilled, schema_);
+  if (!flat.ok()) return flat.error();
+  split.spilled_flat = std::move(flat).take();
+  return split;
 }
 
 const compiler::Compiled& Controller::compiled() const {

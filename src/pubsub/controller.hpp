@@ -17,6 +17,7 @@
 
 #include "compiler/compile.hpp"
 #include "compiler/p4gen.hpp"
+#include "lang/dnf.hpp"
 #include "spec/schema.hpp"
 #include "switchsim/switch.hpp"
 #include "util/result.hpp"
@@ -33,6 +34,24 @@ enum class LintPolicy : std::uint8_t {
             // previous compiled pipeline stays installed
 };
 
+// A hardware/software split of the subscription set (graceful
+// degradation): the highest-priority rules that fit the switch's resource
+// budget are compiled into the hardware pipeline; the remainder spill to
+// end-host software filtering (baseline::NaiveMatcher over spilled_flat).
+// The two halves partition the rule set, and ActionSets merge by union,
+// so switch-delivered ∪ host-filtered equals the unsplit semantics —
+// differential-tested against the full BDD in tests/test_spill.cpp.
+struct Split {
+  compiler::Compiled hardware;            // compiled top-priority prefix
+  std::vector<lang::BoundRule> hw_rules;  // rules in the hardware pipeline
+  std::vector<lang::BoundRule> spilled;   // rules left to the host
+  std::vector<lang::FlatRule> spilled_flat;  // DNF of spilled (host matcher)
+  table::ResourceUsage usage;             // of the hardware pipeline
+  std::size_t compile_probes = 0;         // binary-search compilations
+
+  bool degraded() const noexcept { return !spilled.empty(); }
+};
+
 class Controller {
  public:
   explicit Controller(spec::Schema schema,
@@ -43,11 +62,13 @@ class Controller {
   // Registers a subscription. The rule text may omit the forwarding
   // action, in which case "fwd(port)" is appended — subscribers typically
   // express interest ("stock == GOOGL") and the controller knows their
-  // port. Returns an error for unparsable/unbindable rules.
-  util::Result<bool> subscribe(std::uint16_t port, std::string_view rule_text);
+  // port. Higher priority = more important = last to spill under resource
+  // pressure. Returns an error for unparsable/unbindable rules.
+  util::Result<bool> subscribe(std::uint16_t port, std::string_view rule_text,
+                               int priority = 0);
 
   // Registers an already-bound rule.
-  void subscribe(lang::BoundRule rule);
+  void subscribe(lang::BoundRule rule, int priority = 0);
 
   // Removes every subscription whose actions forward (only) to this port —
   // the subscriber disconnected. Rules that also forward elsewhere (shared
@@ -56,7 +77,11 @@ class Controller {
   std::size_t unsubscribe(std::uint16_t port);
 
   std::size_t subscription_count() const noexcept { return rules_.size(); }
-  void clear() { rules_.clear(); compiled_.reset(); }
+  void clear() {
+    rules_.clear();
+    priorities_.clear();
+    compiled_.reset();
+  }
 
   // Static-verification gate for compile(). With kReject, a compilation
   // whose verifier report contains error-severity diagnostics (shadowed
@@ -77,6 +102,17 @@ class Controller {
   // Dynamic compilation step. Recompiles if subscriptions changed.
   util::Result<bool> compile();
 
+  // Graceful degradation: compiles the largest highest-priority subset of
+  // the subscriptions whose pipeline fits `budget`, spilling the rest to
+  // software. Rules are ranked by (priority desc, insertion order asc) and
+  // the cut is found by binary search over prefix compilations, so an
+  // over-budget set costs O(log n) compiles. When everything fits the
+  // Split has no spilled rules. Fails only when even the empty prefix
+  // cannot be compiled or a spilled rule fails DNF flattening. Does not
+  // disturb the compile()/compiled() state.
+  util::Result<Split> compile_with_budget(
+      const table::ResourceBudget& budget) const;
+
   // Access to the compiled artifacts (compile() must have succeeded).
   const compiler::Compiled& compiled() const;
 
@@ -92,6 +128,7 @@ class Controller {
   spec::Schema schema_;
   compiler::CompileOptions opts_;
   std::vector<lang::BoundRule> rules_;
+  std::vector<int> priorities_;  // parallel to rules_
   std::optional<compiler::Compiled> compiled_;
   bool dirty_ = false;
 

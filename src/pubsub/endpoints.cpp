@@ -13,7 +13,8 @@ constexpr std::uint32_t kPublisherIp = 0x0a000001;  // 10.0.0.1
 constexpr std::uint32_t kFeedGroupIp = 0xe8010101;  // 232.1.1.1
 }  // namespace
 
-Publisher::Publisher(std::string session) {
+Publisher::Publisher(std::string session, std::size_t retransmit_capacity)
+    : store_(retransmit_capacity) {
   mold_.session = std::move(session);
 }
 
@@ -25,8 +26,37 @@ std::vector<std::uint8_t> Publisher::publish_batch(
     const std::vector<proto::ItchAddOrder>& msgs) {
   mold_.sequence = sequence_;
   sequence_ += msgs.size();
-  return proto::encode_market_data_packet(feed_eth(), kPublisherIp,
-                                          kFeedGroupIp, mold_, msgs);
+  for (const auto& m : msgs) store_.append(proto::encode_itch_message(m));
+  std::vector<std::uint8_t> frame = proto::encode_market_data_packet(
+      feed_eth(), kPublisherIp, kFeedGroupIp, mold_, msgs);
+  proto::seal_udp_checksum(frame);
+  return frame;
+}
+
+std::vector<std::vector<std::uint8_t>> Publisher::retransmit(
+    const proto::MoldUdp64Request& req, std::size_t max_msgs) const {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::uint64_t first = 0;
+  const auto blocks = store_.fetch(req.sequence, req.count, &first);
+  for (std::size_t i = 0; i < blocks.size(); i += max_msgs) {
+    const std::size_t n = std::min(max_msgs, blocks.size() - i);
+    std::vector<std::vector<std::uint8_t>> chunk(blocks.begin() + i,
+                                                 blocks.begin() + i + n);
+    proto::MoldUdp64Header mold = mold_;
+    mold.sequence = first + i;
+    frames.push_back(proto::encode_market_data_packet_raw(
+        feed_eth(), kPublisherIp, kFeedGroupIp, mold, chunk));
+  }
+  return frames;
+}
+
+std::vector<std::uint8_t> Publisher::heartbeat() const {
+  proto::MoldUdp64Header mold = mold_;
+  mold.sequence = sequence_;
+  std::vector<std::uint8_t> frame = proto::encode_market_data_packet(
+      feed_eth(), kPublisherIp, kFeedGroupIp, mold, {});
+  proto::seal_udp_checksum(frame);
+  return frame;
 }
 
 bool Subscriber::deliver(std::span<const std::uint8_t> frame) {

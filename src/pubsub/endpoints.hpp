@@ -9,23 +9,40 @@
 #include <vector>
 
 #include "proto/packet.hpp"
+#include "pubsub/recovery.hpp"
 
 namespace camus::pubsub {
 
 // Encodes feed messages into market-data frames with MoldUDP sequencing.
+// Published frames carry a sealed UDP checksum, and every encoded message
+// block is retained in a bounded store so sequence gaps reported by a
+// downstream FeedHandler or subscriber can be re-served.
 class Publisher {
  public:
-  explicit Publisher(std::string session = "CAMUS00001");
+  explicit Publisher(std::string session = "CAMUS00001",
+                     std::size_t retransmit_capacity = 65536);
 
   std::vector<std::uint8_t> publish(const proto::ItchAddOrder& msg);
   std::vector<std::uint8_t> publish_batch(
       const std::vector<proto::ItchAddOrder>& msgs);
+
+  // Serves a MoldUDP64 retransmission request from the bounded store:
+  // ready-to-send frames of at most max_msgs messages each. Requests
+  // reaching past retention are clamped; fully-evicted requests yield no
+  // frames.
+  std::vector<std::vector<std::uint8_t>> retransmit(
+      const proto::MoldUdp64Request& req, std::size_t max_msgs = 16) const;
+
+  // MoldUDP64 heartbeat: zero-message frame advertising the next sequence,
+  // so receivers can detect loss of the tail of the feed.
+  std::vector<std::uint8_t> heartbeat() const;
 
   std::uint64_t next_sequence() const noexcept { return sequence_; }
 
  private:
   proto::MoldUdp64Header mold_;
   std::uint64_t sequence_ = 1;
+  RetransmitStore store_;
 };
 
 // Decodes delivered frames and keeps per-symbol receive statistics; used

@@ -1,0 +1,138 @@
+#include "pubsub/install.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace camus::pubsub {
+
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                    std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (const std::uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+TwoPhaseInstaller::TwoPhaseInstaller(switchsim::Switch& sw) : sw_(sw) {
+  auto current = std::make_shared<table::Pipeline>(sw.pipeline());
+  current->finalize();
+  active_ = std::move(current);
+}
+
+void TwoPhaseInstaller::publish(
+    std::shared_ptr<const table::Pipeline> next) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  previous_ = std::move(active_);
+  active_ = std::move(next);
+  ++commits_;
+}
+
+std::shared_ptr<const table::Pipeline> TwoPhaseInstaller::active() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+bool TwoPhaseInstaller::rollback() {
+  std::shared_ptr<const table::Pipeline> prev;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!previous_) return false;
+    prev = std::move(previous_);
+  }
+  sw_.reprogram(table::Pipeline(*prev));
+  const std::lock_guard<std::mutex> lock(mu_);
+  active_ = std::move(prev);
+  return true;
+}
+
+InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
+                                         const fault::Plan* faults,
+                                         std::size_t chunk_bytes,
+                                         int max_attempts, int chunk_retries) {
+  InstallReport report;
+  const std::string image = table::serialize_pipeline(pipeline);
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
+  const std::uint64_t image_digest = fnv1a(bytes);
+
+  chunk_bytes = std::max<std::size_t>(chunk_bytes, 1);
+  report.chunks = (image.size() + chunk_bytes - 1) / chunk_bytes;
+
+  // Every chunk send consumes one decision index from the fault plan, so
+  // the whole install (retransmits included) replays from the seed.
+  std::uint64_t send_index = 0;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++report.attempts;
+
+    // --- Stage: ship digest-protected chunks; retry damaged ones.
+    std::vector<std::uint8_t> staged;
+    staged.reserve(image.size());
+    bool attempt_failed = false;
+    for (std::size_t c = 0; c < report.chunks && !attempt_failed; ++c) {
+      const std::size_t off = c * chunk_bytes;
+      const std::size_t len = std::min(chunk_bytes, image.size() - off);
+      const auto chunk = bytes.subspan(off, len);
+      const std::uint64_t chunk_digest = fnv1a(chunk);
+
+      bool delivered = false;
+      for (int t = 0; t <= chunk_retries; ++t) {
+        ++report.chunk_sends;
+        if (t > 0) ++report.chunk_retransmits;
+        std::vector<std::uint8_t> wire(chunk.begin(), chunk.end());
+        if (faults && faults->enabled()) {
+          const fault::Decision d = faults->decision(send_index);
+          if (d.corrupt_bits > 0) faults->corrupt(send_index, wire);
+          ++send_index;
+          if (d.drop) continue;  // lost on the wire
+        } else {
+          ++send_index;
+        }
+        if (fnv1a(wire) != chunk_digest) continue;  // corrupted: NAK
+        staged.insert(staged.end(), wire.begin(), wire.end());
+        delivered = true;
+        break;
+      }
+      if (!delivered) attempt_failed = true;
+    }
+    if (attempt_failed) {
+      report.error = "staging failed: chunk retries exhausted";
+      continue;  // next full attempt; switch untouched
+    }
+
+    // --- Verify: whole-image digest, then parse + structural validation.
+    if (fnv1a(staged) != image_digest) {
+      report.error = "staged image digest mismatch";
+      continue;
+    }
+    auto parsed = table::deserialize_pipeline(
+        std::string_view(reinterpret_cast<const char*>(staged.data()),
+                         staged.size()));
+    if (!parsed.ok()) {
+      report.error = "staged image rejected: " + parsed.error().to_string();
+      continue;
+    }
+
+    // --- Commit: one reprogram with the verified image, then swap the
+    // reader-visible snapshot. deserialize_pipeline finalized the
+    // pipeline, so readers of the new snapshot never race a lazy index
+    // build.
+    auto committed =
+        std::make_shared<table::Pipeline>(std::move(parsed).take());
+    sw_.reprogram(table::Pipeline(*committed));
+    publish(std::move(committed));
+    report.committed = true;
+    report.error.clear();
+    return report;
+  }
+
+  if (report.error.empty())
+    report.error = "install attempts exhausted";
+  return report;
+}
+
+}  // namespace camus::pubsub

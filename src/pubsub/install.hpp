@@ -1,0 +1,77 @@
+// Two-phase pipeline install with rollback: the controller -> switch
+// programming path hardened against control-channel faults.
+//
+//   stage   — the serialized pipeline is shipped in digest-protected
+//             chunks over a channel that may drop or corrupt (modelled by
+//             a fault::Plan); damaged chunks are retransmitted.
+//   verify  — the staged image must match the full-image digest, parse
+//             (table::deserialize_pipeline validates structure), and
+//             finalize before it can touch the switch.
+//   commit  — one reprogram() with the verified pipeline, then an atomic
+//             swap of the reader-visible snapshot.
+//
+// Any fault before commit leaves the switch and the snapshot on the
+// last-good pipeline — a mid-update link failure degrades to "the update
+// didn't happen", never to a half-programmed switch. Readers only ever
+// observe complete pipelines through active() (exercised under TSAN in
+// tests/test_concurrent_lookup.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "switchsim/switch.hpp"
+#include "table/pipeline.hpp"
+#include "table/serialize.hpp"
+
+namespace camus::pubsub {
+
+// Outcome of one install() call.
+struct InstallReport {
+  bool committed = false;
+  std::size_t attempts = 0;       // full staging attempts
+  std::size_t chunks = 0;         // chunks in the image
+  std::size_t chunk_sends = 0;    // including retransmits
+  std::size_t chunk_retransmits = 0;
+  std::string error;              // empty when committed
+};
+
+class TwoPhaseInstaller {
+ public:
+  // The installer snapshots the switch's current pipeline as last-good.
+  explicit TwoPhaseInstaller(switchsim::Switch& sw);
+
+  // Stages, verifies, and commits `pipeline`. `faults` models the control
+  // channel (nullptr = reliable); each chunk send consumes one fault-plan
+  // decision, so a campaign is exactly reproducible from the plan seed.
+  // A chunk is retried up to `chunk_retries` times, a full attempt up to
+  // `max_attempts` times; exhaustion aborts with the switch untouched.
+  InstallReport install(const table::Pipeline& pipeline,
+                        const fault::Plan* faults = nullptr,
+                        std::size_t chunk_bytes = 512, int max_attempts = 3,
+                        int chunk_retries = 8);
+
+  // Restores the previously committed pipeline (undo of the last
+  // successful install). False when there is nothing to roll back to.
+  bool rollback();
+
+  // The committed pipeline, finalized, safe for concurrent read-only
+  // evaluation. Never observes a partially staged image.
+  std::shared_ptr<const table::Pipeline> active() const;
+
+  std::uint64_t commits() const noexcept { return commits_; }
+
+ private:
+  void publish(std::shared_ptr<const table::Pipeline> next);
+
+  switchsim::Switch& sw_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const table::Pipeline> active_;
+  std::shared_ptr<const table::Pipeline> previous_;
+  std::uint64_t commits_ = 0;
+};
+
+}  // namespace camus::pubsub

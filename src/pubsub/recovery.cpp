@@ -1,0 +1,377 @@
+#include "pubsub/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace camus::pubsub {
+
+// ---------------------------------------------------------------------------
+// Reassembler
+
+Reassembler::Reassembler(RecoveryParams params, DeliverFn deliver,
+                         RequestFn request)
+    : params_(params),
+      deliver_(std::move(deliver)),
+      request_(std::move(request)) {}
+
+void Reassembler::offer(double now_us, std::uint64_t first_seq,
+                        std::span<const proto::ItchAddOrder> msgs) {
+  ++stats_.frames_accepted;
+  // A heartbeat (empty frame) advertises first_seq as one past the highest
+  // published sequence — this is what makes tail loss detectable. A
+  // heartbeat beyond the admission window is a corrupted sequence field,
+  // not evidence of a real gap; the next intact heartbeat covers the tail.
+  if (msgs.empty()) {
+    if (first_seq > expected_ && first_seq - expected_ > params_.max_seq_jump)
+      ++stats_.seq_jump_rejects;
+    else
+      horizon_ = std::max(horizon_, first_seq);
+  }
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const std::uint64_t seq = first_seq + i;
+    if (seq < expected_ || pending_.count(seq)) {
+      ++stats_.duplicates_dropped;
+      continue;
+    }
+    if (seq - expected_ > params_.max_seq_jump) {
+      // Outside the admission window (see RecoveryParams::max_seq_jump):
+      // either a corrupted sequence that passed the checksum, or a
+      // message so far ahead it would overflow pending anyway. Recovered
+      // by retransmission once the window slides.
+      ++stats_.seq_jump_rejects;
+      continue;
+    }
+    if (pending_.size() >= params_.max_pending && seq != expected_) {
+      ++stats_.overflow_dropped;
+      continue;
+    }
+    pending_.emplace(seq, msgs[i]);
+    horizon_ = std::max(horizon_, seq + 1);
+  }
+  drain(now_us);
+  arm(now_us);
+}
+
+void Reassembler::drain(double now_us) {
+  for (auto it = pending_.find(expected_); it != pending_.end();
+       it = pending_.find(expected_)) {
+    if (requested_.erase(expected_) > 0) ++stats_.messages_recovered;
+    if (deliver_) deliver_(expected_, it->second);
+    ++stats_.messages_delivered;
+    pending_.erase(it);
+    ++expected_;
+  }
+  if (expected_ >= horizon_ && blocked_since_) {
+    // Fully caught up: the head-of-line gap (and everything behind it)
+    // resolved.
+    stats_.gap_block_us.add(now_us - *blocked_since_);
+    blocked_since_.reset();
+  }
+}
+
+void Reassembler::arm(double now_us) {
+  // A gap exists whenever the advertised horizon is ahead of the head —
+  // whether the evidence is a buffered out-of-order message (pending_) or
+  // a heartbeat (tail loss, pending_ empty).
+  if (expected_ >= horizon_) {
+    deadline_ = kNever;
+    stall_ = 0;
+    stall_head_ = 0;
+    return;
+  }
+  if (!blocked_since_) {
+    blocked_since_ = now_us;
+    ++stats_.gaps_detected;
+  }
+  if (deadline_ == kNever) deadline_ = now_us + params_.gap_timeout_us;
+}
+
+void Reassembler::on_timer(double now_us) {
+  // Tiny epsilon tolerates floating-point scheduling jitter in the
+  // discrete-event simulator.
+  if (now_us + 1e-9 < deadline_) return;
+  deadline_ = kNever;
+  if (expected_ >= horizon_) {
+    stall_ = 0;
+    return;
+  }
+
+  if (expected_ == stall_head_) {
+    ++stall_;
+  } else {
+    stall_ = 0;
+    stall_head_ = expected_;
+  }
+
+  if (stall_ > params_.max_retries) {
+    // Give up on the oldest contiguous missing range: declare it lost and
+    // resume delivery after the hole. requested_ entries below the new
+    // head are dead — drop them so they are not miscounted as recovered.
+    const std::uint64_t skip_to =
+        pending_.empty() ? horizon_ : pending_.begin()->first;
+    stats_.messages_lost += skip_to - expected_;
+    requested_.erase(requested_.lower_bound(expected_),
+                     requested_.lower_bound(skip_to));
+    expected_ = skip_to;
+    stall_ = 0;
+    stall_head_ = 0;
+    blocked_since_.reset();  // unresolved episode: no latency sample
+    drain(now_us);
+    arm(now_us);
+    return;
+  }
+
+  // Request every missing range in [expected_, horizon_). pending_ holds
+  // only keys >= expected_, so the walk below enumerates the holes; the
+  // final range covers the tail gap past the highest buffered message.
+  const auto request_range = [this](std::uint64_t from, std::uint64_t to) {
+    while (from < to) {
+      const auto count = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+          to - from, params_.max_request_count));
+      if (request_) request_(from, count);
+      ++stats_.requests_sent;
+      if (stall_ > 0) ++stats_.retries;
+      for (std::uint64_t s = from; s < from + count; ++s)
+        requested_.insert(s);
+      from += count;
+    }
+  };
+  std::uint64_t cursor = expected_;
+  for (const auto& [seq, msg] : pending_) {
+    (void)msg;
+    if (seq > cursor) request_range(cursor, seq);
+    cursor = seq + 1;
+  }
+  if (cursor < horizon_) request_range(cursor, horizon_);
+
+  deadline_ = now_us + params_.retry_backoff_us *
+                           std::pow(params_.backoff_factor, stall_);
+}
+
+// ---------------------------------------------------------------------------
+// RetransmitStore
+
+void RetransmitStore::append(std::span<const std::uint8_t> block) {
+  blocks_.emplace_back(block.begin(), block.end());
+  while (blocks_.size() > capacity_) {
+    blocks_.pop_front();
+    ++first_;
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> RetransmitStore::fetch(
+    std::uint64_t seq, std::uint16_t count, std::uint64_t* first_out) const {
+  std::vector<std::vector<std::uint8_t>> out;
+  const std::uint64_t from = std::max(seq, first_);
+  const std::uint64_t to = std::min(seq + count, end());
+  if (first_out) *first_out = from;
+  for (std::uint64_t s = from; s < to; ++s)
+    out.push_back(blocks_[static_cast<std::size_t>(s - first_)]);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FeedSequencer
+
+std::uint64_t FeedSequencer::seal(std::uint16_t port,
+                                  std::vector<std::uint8_t>& frame) {
+  scratch_offsets_.clear();
+  proto::MarketDataView view;
+  if (!proto::scan_market_data_packet(frame, view, scratch_offsets_))
+    return 0;
+
+  auto it = ports_.find(port);
+  if (it == ports_.end())
+    it = ports_.emplace(port, PortState(capacity_)).first;
+  PortState& st = it->second;
+  st.last_view = view;
+
+  const std::uint64_t first_seq = st.next_seq;
+  for (const std::uint32_t off : scratch_offsets_) {
+    st.store.append(
+        std::span<const std::uint8_t>(frame.data() + off,
+                                      proto::ItchAddOrder::kSize));
+    ++st.next_seq;
+  }
+  proto::rewrite_mold_sequence(frame, first_seq);
+  proto::seal_udp_checksum(frame);
+  return first_seq;
+}
+
+std::vector<std::vector<std::uint8_t>> FeedSequencer::retransmit(
+    std::uint16_t port, std::uint64_t seq, std::uint16_t count,
+    std::size_t max_msgs) const {
+  std::vector<std::vector<std::uint8_t>> frames;
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return frames;
+  const PortState& st = it->second;
+
+  std::uint64_t first = 0;
+  const auto blocks = st.store.fetch(seq, count, &first);
+  for (std::size_t i = 0; i < blocks.size(); i += max_msgs) {
+    const std::size_t n = std::min(max_msgs, blocks.size() - i);
+    std::vector<std::vector<std::uint8_t>> chunk(blocks.begin() + i,
+                                                 blocks.begin() + i + n);
+    proto::MoldUdp64Header mold;
+    mold.session = st.last_view.mold.session;
+    mold.sequence = first + i;
+    frames.push_back(proto::encode_market_data_packet_raw(
+        st.last_view.eth, st.last_view.ip_src, st.last_view.ip_dst, mold,
+        chunk, st.last_view.udp_dst_port));
+  }
+  return frames;
+}
+
+std::uint64_t FeedSequencer::next_sequence(std::uint16_t port) const {
+  const auto it = ports_.find(port);
+  return it == ports_.end() ? 1 : it->second.next_seq;
+}
+
+std::vector<std::uint8_t> FeedSequencer::heartbeat(std::uint16_t port) const {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return {};
+  const PortState& st = it->second;
+  proto::MoldUdp64Header mold;
+  mold.session = st.last_view.mold.session;
+  mold.sequence = st.next_seq;
+  return proto::encode_market_data_packet_raw(
+      st.last_view.eth, st.last_view.ip_src, st.last_view.ip_dst, mold, {},
+      st.last_view.udp_dst_port);
+}
+
+// ---------------------------------------------------------------------------
+// RecoveringSubscriber
+
+RecoveringSubscriber::RecoveringSubscriber(std::uint16_t port,
+                                           RecoveryParams params,
+                                           AppFn on_message,
+                                           RequestFn on_request)
+    : port_(port),
+      app_(std::move(on_message)),
+      request_(std::move(on_request)),
+      reasm_(
+          params,
+          [this](std::uint64_t seq, const proto::ItchAddOrder& msg) {
+            ++received_;
+            ++per_symbol_[msg.stock];
+            if (app_) app_(seq, msg);
+          },
+          [this](std::uint64_t seq, std::uint16_t count) {
+            if (!request_) return;
+            proto::MoldUdp64Request req;
+            req.session = session_;
+            req.sequence = seq;
+            req.count = count;
+            request_(req);
+          }) {}
+
+bool RecoveringSubscriber::deliver(double now_us,
+                                   std::span<const std::uint8_t> frame) {
+  if (!proto::verify_udp_checksum(frame)) {
+    ++checksum_rejects_;
+    return false;
+  }
+  const auto pkt = proto::decode_market_data_packet(frame);
+  if (!pkt) {
+    ++malformed_;
+    return false;
+  }
+  session_ = pkt->itch.mold.session;
+  reasm_.offer(now_us, pkt->itch.mold.sequence, pkt->itch.add_orders);
+  return true;
+}
+
+void RecoveringSubscriber::on_timer(double now_us) { reasm_.on_timer(now_us); }
+
+// ---------------------------------------------------------------------------
+// FeedHandler
+
+FeedHandler::FeedHandler(RecoveryParams params, FrameFn on_frame,
+                         RequestFn on_request, std::size_t group_msgs)
+    : frame_fn_(std::move(on_frame)),
+      request_(std::move(on_request)),
+      group_msgs_(std::max<std::size_t>(group_msgs, 1)),
+      reasm_(
+          params,
+          [this](std::uint64_t seq, const proto::ItchAddOrder& msg) {
+            if (run_.empty()) run_first_ = seq;
+            run_.push_back(msg);
+          },
+          [this](std::uint64_t seq, std::uint16_t count) {
+            if (!request_) return;
+            proto::MoldUdp64Request req;
+            req.session = session_;
+            req.sequence = seq;
+            req.count = count;
+            request_(req);
+          }) {}
+
+void FeedHandler::emit(std::uint64_t first_seq, std::size_t n) {
+  if (!have_view_ || !frame_fn_) {
+    run_.erase(run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(n));
+    run_first_ += n;
+    return;
+  }
+  proto::MoldUdp64Header mold;
+  mold.session = last_view_.mold.session;
+  mold.sequence = first_seq;
+  const std::vector<proto::ItchAddOrder> group(
+      run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<std::uint8_t> frame = proto::encode_market_data_packet(
+      last_view_.eth, last_view_.ip_src, last_view_.ip_dst, mold, group,
+      last_view_.udp_dst_port);
+  proto::seal_udp_checksum(frame);
+  run_.erase(run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(n));
+  run_first_ += n;
+  frame_fn_(first_seq, std::move(frame));
+}
+
+void FeedHandler::flush() {
+  // Emit complete boundary-aligned groups; hold any trailing partial group
+  // until later messages complete it (or flush_residual at end of
+  // session). Alignment makes the re-framed stream reproduce the
+  // publisher's batching exactly.
+  while (!run_.empty()) {
+    const std::uint64_t boundary =
+        run_first_ + (group_msgs_ - (run_first_ - 1) % group_msgs_);
+    const std::size_t n = static_cast<std::size_t>(boundary - run_first_);
+    if (run_.size() < n) break;
+    emit(run_first_, n);
+  }
+}
+
+bool FeedHandler::flush_residual() {
+  if (run_.empty()) return false;
+  emit(run_first_, run_.size());
+  return true;
+}
+
+bool FeedHandler::deliver(double now_us, std::span<const std::uint8_t> frame) {
+  if (!proto::verify_udp_checksum(frame)) {
+    ++checksum_rejects_;
+    return false;
+  }
+  const auto pkt = proto::decode_market_data_packet(frame);
+  if (!pkt) {
+    ++malformed_;
+    return false;
+  }
+  session_ = pkt->itch.mold.session;
+  // Keep the feed headers for re-framing released runs. The scan cannot
+  // fail here: decode_market_data_packet accepted the frame.
+  if (!have_view_) {
+    std::vector<std::uint32_t> offsets;
+    have_view_ = proto::scan_market_data_packet(frame, last_view_, offsets);
+  }
+  reasm_.offer(now_us, pkt->itch.mold.sequence, pkt->itch.add_orders);
+  flush();
+  return true;
+}
+
+void FeedHandler::on_timer(double now_us) {
+  reasm_.on_timer(now_us);
+  flush();
+}
+
+}  // namespace camus::pubsub

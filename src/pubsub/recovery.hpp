@@ -1,0 +1,302 @@
+// MoldUDP64 gap recovery: sequence tracking, gap detection, bounded-retry
+// retransmission with exponential backoff, and in-order reassembly — the
+// machinery that turns the unreliable multicast feed into exactly-once
+// in-order delivery at both recovery points:
+//
+//   publisher --(lossy uplink)--> FeedHandler -> switch
+//   switch -> FeedSequencer --(lossy downlinks)--> RecoveringSubscriber
+//
+// The switch re-frames each egress packet with the ORIGINAL MoldUDP
+// sequence but a FILTERED subset of messages, so a subscriber cannot tell
+// upstream filtering from loss. The FeedSequencer therefore re-stamps
+// every egress frame with a dense per-port sequence (one number per
+// delivered message) and retains the blocks for retransmission; gap
+// detection downstream is then exact. Time is passed in explicitly
+// (microseconds, netsim's clock) — nothing here reads a wall clock, so
+// every recovery schedule is deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/packet.hpp"
+#include "util/stats.hpp"
+
+namespace camus::pubsub {
+
+struct RecoveryParams {
+  // How long the head of line may be blocked before the first
+  // retransmission request (tolerates plain reordering without chatter).
+  double gap_timeout_us = 100.0;
+  // First retry interval after a request; grows by backoff_factor per
+  // consecutive retry of the same head-of-line gap.
+  double retry_backoff_us = 500.0;
+  double backoff_factor = 2.0;
+  // Retries after the initial request before the gap is declared lost and
+  // skipped (delivery resumes after the hole).
+  int max_retries = 5;
+  // Bound on buffered out-of-order messages; overflow is dropped and
+  // recovered by retransmission like any other loss.
+  std::size_t max_pending = 65536;
+  // Messages per retransmission request (larger gaps are split).
+  std::uint16_t max_request_count = 256;
+  // Admission window: a frame whose sequence is more than this far ahead
+  // of the next expected one is rejected outright. A corrupted sequence
+  // field that slips past the 16-bit UDP checksum would otherwise open a
+  // gap of up to 2^63 and the per-timer request walk over the missing
+  // range would never terminate. Legitimate messages this far ahead are
+  // indistinguishable from pending overflow and take the same path:
+  // dropped now, recovered by retransmission once the window slides.
+  std::uint64_t max_seq_jump = 65536;
+};
+
+struct RecoveryStats {
+  std::uint64_t frames_accepted = 0;
+  std::uint64_t messages_delivered = 0;  // unique, in order
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t overflow_dropped = 0;
+  std::uint64_t seq_jump_rejects = 0;  // beyond the admission window
+  std::uint64_t gaps_detected = 0;     // head-of-line blocking episodes
+  std::uint64_t requests_sent = 0;     // including retries
+  std::uint64_t retries = 0;           // requests after the first per gap
+  std::uint64_t messages_recovered = 0;  // delivered from a retransmission
+  std::uint64_t messages_lost = 0;       // skipped after max_retries
+  // Head-of-line blocking duration per resolved gap episode (recovery
+  // latency as the application observes it).
+  util::CdfSampler gap_block_us;
+};
+
+// In-order reassembly state machine over a dense message sequence.
+// Callback-driven and clock-free: the owner feeds frames with offer(),
+// pumps timers with on_timer(), and schedules the next pump from
+// next_deadline().
+class Reassembler {
+ public:
+  using DeliverFn =
+      std::function<void(std::uint64_t seq, const proto::ItchAddOrder&)>;
+  using RequestFn = std::function<void(std::uint64_t seq, std::uint16_t count)>;
+
+  Reassembler(RecoveryParams params, DeliverFn deliver, RequestFn request);
+
+  // Offers the messages of one (possibly duplicated, reordered, or
+  // partially stale) frame whose first message has sequence `first_seq`.
+  // Delivers every newly in-order message through DeliverFn. An EMPTY
+  // frame is a MoldUDP-style heartbeat: `first_seq` advertises one past
+  // the highest published sequence, making tail loss detectable.
+  void offer(double now_us, std::uint64_t first_seq,
+             std::span<const proto::ItchAddOrder> msgs);
+
+  // Fires due gap timers: sends retransmission requests for every missing
+  // range, backs off on consecutive misses, and gives up (skips) the
+  // oldest gap after max_retries.
+  void on_timer(double now_us);
+
+  // Absolute time of the next pending timer; +infinity when idle.
+  double next_deadline() const noexcept { return deadline_; }
+
+  // Next sequence the application has not yet seen (delivered or skipped).
+  std::uint64_t expected() const noexcept { return expected_; }
+
+  const RecoveryStats& stats() const noexcept { return stats_; }
+
+ private:
+  void drain(double now_us);
+  void arm(double now_us);
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  RecoveryParams params_;
+  DeliverFn deliver_;
+  RequestFn request_;
+  std::uint64_t expected_ = 1;  // next sequence to deliver
+  std::uint64_t horizon_ = 1;   // one past the highest sequence seen
+  std::map<std::uint64_t, proto::ItchAddOrder> pending_;
+  std::set<std::uint64_t> requested_;
+  double deadline_ = kNever;
+  std::uint64_t stall_head_ = 0;  // head seq at the last timer fire
+  int stall_ = 0;                 // consecutive fires with the same head
+  std::optional<double> blocked_since_;
+  RecoveryStats stats_;
+};
+
+// Bounded store of consecutive pre-encoded message blocks, serving
+// retransmission requests. Appends are assigned consecutive sequence
+// numbers starting at 1; old blocks are evicted past `capacity`.
+class RetransmitStore {
+ public:
+  explicit RetransmitStore(std::size_t capacity = 65536)
+      : capacity_(capacity) {}
+
+  void append(std::span<const std::uint8_t> block);
+
+  std::uint64_t first() const noexcept { return first_; }  // oldest retained
+  std::uint64_t end() const noexcept {  // next sequence to be appended
+    return first_ + blocks_.size();
+  }
+
+  // Blocks overlapping [seq, seq + count), clamped to retention.
+  // *first_out is the sequence of the first returned block.
+  std::vector<std::vector<std::uint8_t>> fetch(std::uint64_t seq,
+                                               std::uint16_t count,
+                                               std::uint64_t* first_out) const;
+
+ private:
+  std::deque<std::vector<std::uint8_t>> blocks_;
+  std::uint64_t first_ = 1;
+  std::size_t capacity_;
+};
+
+// Switch-egress recovery shim: re-stamps each per-port egress frame with
+// the port's dense sequence, seals the UDP checksum so downstream
+// corruption is detectable, and retains the message blocks to serve
+// retransmission requests.
+class FeedSequencer {
+ public:
+  explicit FeedSequencer(std::size_t retain_capacity = 65536)
+      : capacity_(retain_capacity) {}
+
+  // Re-stamps `frame` in place. Returns the first per-port sequence of the
+  // frame's messages, or 0 when the frame does not parse (left untouched).
+  std::uint64_t seal(std::uint16_t port, std::vector<std::uint8_t>& frame);
+
+  // Serves a retransmission request for a port: ready-to-send market-data
+  // frames of at most max_msgs messages each, built from retained blocks.
+  // Requests past retention are clamped; fully-evicted requests yield
+  // nothing (the requester gives up after max_retries).
+  std::vector<std::vector<std::uint8_t>> retransmit(
+      std::uint16_t port, std::uint64_t seq, std::uint16_t count,
+      std::size_t max_msgs = 16) const;
+
+  // Next sequence the port will assign (1 when the port has sent nothing).
+  std::uint64_t next_sequence(std::uint16_t port) const;
+
+  // Heartbeat frame advertising the port's next sequence (count 0, sealed
+  // checksum); empty when the port has no egress state yet. Downstream
+  // reassemblers use it to detect tail loss.
+  std::vector<std::uint8_t> heartbeat(std::uint16_t port) const;
+
+ private:
+  struct PortState {
+    explicit PortState(std::size_t capacity) : store(capacity) {}
+    std::uint64_t next_seq = 1;
+    proto::MarketDataView last_view;  // headers for reply re-framing
+    RetransmitStore store;
+  };
+
+  std::size_t capacity_;
+  std::map<std::uint16_t, PortState> ports_;
+  std::vector<std::uint32_t> scratch_offsets_;
+};
+
+// Gap-recovering subscriber endpoint: verifies UDP checksums (corruption
+// counts as loss), reassembles the per-port dense sequence, delivers
+// exactly-once in-order messages to the application callback, and emits
+// MoldUDP64 retransmission requests through the transport callback.
+class RecoveringSubscriber {
+ public:
+  using AppFn =
+      std::function<void(std::uint64_t seq, const proto::ItchAddOrder&)>;
+  using RequestFn = std::function<void(const proto::MoldUdp64Request&)>;
+
+  RecoveringSubscriber(std::uint16_t port, RecoveryParams params,
+                       AppFn on_message = nullptr,
+                       RequestFn on_request = nullptr);
+
+  // The internal Reassembler captures `this`; pin the address.
+  RecoveringSubscriber(const RecoveringSubscriber&) = delete;
+  RecoveringSubscriber& operator=(const RecoveringSubscriber&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Feeds one delivered frame at `now_us`. Returns false for frames that
+  // fail checksum or parse — both are treated as loss and recovered.
+  bool deliver(double now_us, std::span<const std::uint8_t> frame);
+
+  void on_timer(double now_us);
+  double next_deadline() const noexcept { return reasm_.next_deadline(); }
+
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t malformed() const noexcept { return malformed_; }
+  std::uint64_t checksum_rejects() const noexcept { return checksum_rejects_; }
+  const std::map<std::string, std::uint64_t>& per_symbol() const noexcept {
+    return per_symbol_;
+  }
+  const RecoveryStats& stats() const noexcept { return reasm_.stats(); }
+
+ private:
+  std::uint16_t port_;
+  std::string session_ = "CAMUS00001";
+  AppFn app_;
+  RequestFn request_;
+  Reassembler reasm_;
+  std::uint64_t received_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t checksum_rejects_ = 0;
+  std::map<std::string, std::uint64_t> per_symbol_;
+};
+
+// Switch-ingress gap recovery: reassembles the publisher feed so the
+// switch processes every message exactly once, in order, despite a lossy
+// publisher->switch link. Released in-order messages are re-framed in
+// groups of `group_msgs` ALIGNED to absolute sequence boundaries (headers
+// copied from the feed, MoldUDP sequence = first message of the group).
+// When the publisher batches with the same group size, the re-framed
+// stream is bit-identical to the published one — same grouping, same
+// per-frame sequence — so consumers that key state off the frame (e.g.
+// the switch's logical clock) behave exactly as in a loss-free run. A
+// trailing partial group is held until later messages complete it; the
+// owner releases it at end of session with flush_residual().
+class FeedHandler {
+ public:
+  using FrameFn =
+      std::function<void(std::uint64_t first_seq, std::vector<std::uint8_t>)>;
+  using RequestFn = std::function<void(const proto::MoldUdp64Request&)>;
+
+  FeedHandler(RecoveryParams params, FrameFn on_frame,
+              RequestFn on_request = nullptr, std::size_t group_msgs = 4);
+
+  // The internal Reassembler captures `this`; pin the address.
+  FeedHandler(const FeedHandler&) = delete;
+  FeedHandler& operator=(const FeedHandler&) = delete;
+
+  // Feeds one frame from the uplink. Returns false on checksum/parse
+  // failure (treated as loss).
+  bool deliver(double now_us, std::span<const std::uint8_t> frame);
+
+  void on_timer(double now_us);
+  double next_deadline() const noexcept { return reasm_.next_deadline(); }
+
+  // Releases a held trailing partial group (end of session). Returns true
+  // if a frame was emitted. Only call once no further messages can arrive.
+  bool flush_residual();
+
+  std::uint64_t malformed() const noexcept { return malformed_; }
+  std::uint64_t checksum_rejects() const noexcept { return checksum_rejects_; }
+  const RecoveryStats& stats() const noexcept { return reasm_.stats(); }
+
+ private:
+  void flush();
+  void emit(std::uint64_t first_seq, std::size_t n);
+
+  std::string session_ = "CAMUS00001";
+  FrameFn frame_fn_;
+  RequestFn request_;
+  std::size_t group_msgs_;
+  Reassembler reasm_;
+  proto::MarketDataView last_view_;
+  bool have_view_ = false;
+  std::vector<proto::ItchAddOrder> run_;
+  std::uint64_t run_first_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t checksum_rejects_ = 0;
+};
+
+}  // namespace camus::pubsub

@@ -124,31 +124,36 @@ class Parser {
       } else if (cur_.kind == Token::Kind::kAnnotation) {
         if (auto err = parse_annotation()) return *err;
       } else {
-        return fail("expected 'header_type', 'header', or an annotation");
+        return fail("E101", "expected 'header_type', 'header', or an annotation");
       }
     }
     if (schema_.headers().empty())
-      return fail("specification declares no header instances");
+      return fail("E102", "specification declares no header instances");
     return std::move(schema_);
   }
 
  private:
   void bump() { cur_ = lex_.next(); }
 
-  Error fail(std::string msg) const {
-    return Error{std::move(msg), cur_.line, cur_.column};
+  // Stable diagnostic codes (E101..E114) in the style of the verify::
+  // lint codes, so tooling can assert on failure class instead of message
+  // text.
+  Error fail(const char* code, std::string msg) const {
+    return Error{std::move(msg), cur_.line, cur_.column, code};
   }
 
   std::optional<Error> expect_punct(char c) {
     if (cur_.kind != Token::Kind::kPunct || cur_.text[0] != c)
-      return fail(std::string("expected '") + c + "', got '" + cur_.text + "'");
+      return fail("E103",
+                  std::string("expected '") + c + "', got '" + cur_.text +
+                      "'");
     bump();
     return std::nullopt;
   }
 
   std::optional<Error> expect_ident(std::string* out) {
     if (cur_.kind != Token::Kind::kIdent)
-      return fail("expected identifier, got '" + cur_.text + "'");
+      return fail("E104", "expected identifier, got '" + cur_.text + "'");
     *out = cur_.text;
     bump();
     return std::nullopt;
@@ -156,12 +161,12 @@ class Parser {
 
   std::optional<Error> expect_number(std::uint64_t* out) {
     if (cur_.kind != Token::Kind::kNumber)
-      return fail("expected number, got '" + cur_.text + "'");
+      return fail("E105", "expected number, got '" + cur_.text + "'");
     std::uint64_t v = 0;
     auto [p, ec] = std::from_chars(cur_.text.data(),
                                    cur_.text.data() + cur_.text.size(), v);
     if (ec != std::errc() || p != cur_.text.data() + cur_.text.size())
-      return fail("invalid number '" + cur_.text + "'");
+      return fail("E105", "invalid number '" + cur_.text + "'");
     *out = v;
     bump();
     return std::nullopt;
@@ -174,7 +179,7 @@ class Parser {
     if (auto e = expect_punct('{')) return e;
     std::string kw;
     if (auto e = expect_ident(&kw)) return e;
-    if (kw != "fields") return fail("expected 'fields' block");
+    if (kw != "fields") return fail("E114", "expected 'fields' block");
     if (auto e = expect_punct('{')) return e;
 
     std::vector<TypeField> fields;
@@ -185,7 +190,7 @@ class Parser {
       std::uint64_t w = 0;
       if (auto e = expect_number(&w)) return e;
       if (w == 0 || w > 64)
-        return fail("field '" + f.name + "' width must be in [1, 64]");
+        return fail("E106", "field '" + f.name + "' width must be in [1, 64]");
       f.width = static_cast<std::uint32_t>(w);
       if (cur_.kind == Token::Kind::kPunct && cur_.text == "(") {
         bump();
@@ -196,7 +201,7 @@ class Parser {
         else if (k == "numeric")
           f.kind = FieldKind::kNumeric;
         else
-          return fail("unknown field kind '" + k + "'");
+          return fail("E107", "unknown field kind '" + k + "'");
         if (auto e = expect_punct(')')) return e;
       }
       if (auto e = expect_punct(';')) return e;
@@ -206,7 +211,7 @@ class Parser {
     if (auto e = expect_punct('}')) return e;
 
     if (types_.count(type_name))
-      return fail("duplicate header_type '" + type_name + "'");
+      return fail("E108", "duplicate header_type '" + type_name + "'");
     types_.emplace(std::move(type_name), std::move(fields));
     return std::nullopt;
   }
@@ -219,7 +224,7 @@ class Parser {
     if (auto e = expect_punct(';')) return e;
     auto it = types_.find(type_name);
     if (it == types_.end())
-      return fail("unknown header_type '" + type_name + "'");
+      return fail("E109", "unknown header_type '" + type_name + "'");
     schema_.add_header(type_name, instance);
     for (const auto& f : it->second)
       schema_.add_field(f.name, f.width, f.kind);
@@ -235,12 +240,13 @@ class Parser {
       std::string path;
       if (auto e = parse_field_path(&path)) return e;
       auto fid = schema_.resolve_field(path);
-      if (!fid) return fail("unknown or ambiguous field '" + path + "'");
+      if (!fid) return fail("E110", "unknown or ambiguous field '" + path + "'");
       const MatchHint hint =
           ann == "query_field_exact" ? MatchHint::kExact : MatchHint::kRange;
       if (schema_.field(*fid).kind == FieldKind::kSymbol &&
           hint == MatchHint::kRange)
-        return fail("symbol field '" + path + "' requires @query_field_exact");
+        return fail("E111",
+                    "symbol field '" + path + "' requires @query_field_exact");
       schema_.mark_queryable(*fid, hint);
     } else if (ann == "query_counter") {
       std::string name;
@@ -249,7 +255,7 @@ class Parser {
       std::uint64_t window = 0;
       if (auto e = expect_number(&window)) return e;
       if (schema_.resolve_state_var(name))
-        return fail("duplicate state variable '" + name + "'");
+        return fail("E112", "duplicate state variable '" + name + "'");
       schema_.add_state_var(name, StateFunc::kCount, kInvalidField, window);
     } else if (ann == "query_avg" || ann == "query_sum" ||
                ann == "query_min" || ann == "query_max") {
@@ -262,16 +268,16 @@ class Parser {
       std::uint64_t window = 0;
       if (auto e = expect_number(&window)) return e;
       auto fid = schema_.resolve_field(path);
-      if (!fid) return fail("unknown or ambiguous field '" + path + "'");
+      if (!fid) return fail("E110", "unknown or ambiguous field '" + path + "'");
       if (schema_.resolve_state_var(name))
-        return fail("duplicate state variable '" + name + "'");
+        return fail("E112", "duplicate state variable '" + name + "'");
       const StateFunc func = ann == "query_avg"   ? StateFunc::kAvg
                              : ann == "query_sum" ? StateFunc::kSum
                              : ann == "query_min" ? StateFunc::kMin
                                                   : StateFunc::kMax;
       schema_.add_state_var(name, func, *fid, window);
     } else {
-      return fail("unknown annotation '@" + ann + "'");
+      return fail("E113", "unknown annotation '@" + ann + "'");
     }
     return expect_punct(')');
   }

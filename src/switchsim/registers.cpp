@@ -82,4 +82,10 @@ void StateRegisters::apply_update(std::uint32_t var,
   ++version_;
 }
 
+void StateRegisters::inject_bit_flip(std::uint32_t var, unsigned bit) {
+  Cell& c = cells_.at(var);
+  c.sum ^= 1ULL << (bit % 64);
+  ++version_;
+}
+
 }  // namespace camus::switchsim

@@ -38,6 +38,13 @@ class StateRegisters {
   // across messages instead of re-reading the register file per message.
   std::uint64_t version() const noexcept { return version_; }
 
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  // Fault-injection hook (fault::Injector): XORs one bit of the variable's
+  // accumulator cell, modelling an SRAM soft error. Bumps version() so
+  // snapshot caches are invalidated like any real mutation.
+  void inject_bit_flip(std::uint32_t var, unsigned bit);
+
  private:
   struct Cell {
     std::uint64_t window_index = 0;

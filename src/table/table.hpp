@@ -94,6 +94,15 @@ class Table {
     indexed_ = false;
   }
 
+  // Removes entry i, invalidating the lookup index. The fault::Injector
+  // eviction experiments use this to model control-plane entries lost to
+  // SRAM/TCAM faults.
+  void remove_entry(std::size_t i) {
+    entries_.at(i);  // same bounds behaviour as set_entry
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    indexed_ = false;
+  }
+
   // Builds per-state indices: hash lookup for exact entries, binary search
   // over sorted disjoint ranges, wildcard fallback. Specific entries win
   // over the per-state wildcard. Idempotent; never throws. lookup() calls

@@ -10,17 +10,28 @@
 
 namespace camus::util {
 
-// Error with a human-readable message and optional source location.
+// Error with a human-readable message, optional source location, and an
+// optional stable diagnostic code ("E101", "F003", ...) in the style of
+// the verify:: lint codes — machine-checkable provenance for expected
+// failures (malformed specs, rejected frames) that must degrade instead
+// of aborting.
 struct Error {
   std::string message;
   int line = 0;    // 1-based; 0 when not applicable
   int column = 0;  // 1-based; 0 when not applicable
+  std::string code;  // stable diagnostic code; empty when unclassified
+
+  Error() = default;
+  Error(std::string msg, int l = 0, int c = 0, std::string cd = {})  // NOLINT
+      : message(std::move(msg)), line(l), column(c), code(std::move(cd)) {}
 
   std::string to_string() const {
+    std::string prefix;
+    if (!code.empty()) prefix = code + ": ";
     if (line > 0)
-      return "line " + std::to_string(line) + ":" + std::to_string(column) +
-             ": " + message;
-    return message;
+      return prefix + "line " + std::to_string(line) + ":" +
+             std::to_string(column) + ": " + message;
+    return prefix + message;
   }
 };
 

@@ -50,6 +50,9 @@ class CdfSampler {
   // Fraction of samples <= x.
   double fraction_below(double x) const;
 
+  // Raw samples (order unspecified) — lets callers merge samplers.
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
   // Evenly spaced (in probability) CDF points: {value, cumulative_prob}.
   std::vector<std::pair<double, double>> cdf_points(std::size_t n_points) const;
 

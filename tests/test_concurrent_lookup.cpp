@@ -5,11 +5,14 @@
 // evaluate would lazily build table indexes and race.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "pubsub/controller.hpp"
+#include "pubsub/install.hpp"
 #include "spec/itch_spec.hpp"
 #include "switchsim/extract.hpp"
 #include "table/compiled.hpp"
@@ -138,6 +141,89 @@ TEST(ConcurrentLookup, PrefixDecompositionIsConst) {
   }
   for (auto& th : threads) th.join();
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+}
+
+// Two-phase install under concurrent readers (TSAN job): while a writer
+// repeatedly installs a new pipeline over a faulty control channel and
+// rolls back, hot-path readers evaluating through installer.active() must
+// only ever observe one of the two COMPLETE pipelines — never a
+// half-committed image, never a torn pointer, even mid-rollback.
+TEST(ConcurrentLookup, TwoPhaseInstallNeverExposesPartialPipeline) {
+  auto schema = spec::make_itch_schema();
+
+  auto compile_set = [&](std::uint64_t seed, std::size_t n) {
+    workload::ItchSubsParams sp;
+    sp.seed = seed;
+    sp.n_subscriptions = n;
+    sp.n_symbols = 40;
+    sp.n_hosts = 8;
+    auto subs = workload::generate_itch_subscriptions(schema, sp);
+    return compiler::compile_rules(schema, subs.rules).take().pipeline;
+  };
+  auto p1 = compile_set(41, 80);
+  auto p2 = compile_set(43, 120);
+
+  switchsim::Switch sw(schema, p1);
+  pubsub::TwoPhaseInstaller installer(sw);
+
+  // Reference evaluation digests of the only two legal snapshots.
+  workload::FeedParams fp;
+  fp.seed = 47;
+  fp.n_messages = 400;
+  auto feed = workload::generate_feed(fp);
+  switchsim::ItchFieldExtractor ex(schema);
+  std::vector<std::vector<std::uint64_t>> inputs;
+  for (const auto& fm : feed.messages) inputs.push_back(ex.extract(fm.msg));
+  const std::vector<std::uint64_t> states(schema.state_vars().size(), 0);
+
+  auto digest_of = [&](const table::Pipeline& p) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    lang::Env env;
+    env.states = states;
+    for (const auto& fields : inputs) {
+      env.fields = fields;
+      const table::LeafEntry* leaf = p.evaluate(env);
+      h = fnv_step(h, leaf ? leaf->state : ~0ULL);
+    }
+    return h;
+  };
+  p1.finalize();
+  p2.finalize();
+  const std::uint64_t want1 = digest_of(p1);
+  const std::uint64_t want2 = digest_of(p2);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_snapshots{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = installer.active();
+        if (!snap) continue;
+        const std::uint64_t h = digest_of(*snap);
+        if (h != want1 && h != want2)
+          bad_snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: clean installs, faulted installs (some abort and implicitly
+  // keep last-good), and explicit rollbacks, interleaved.
+  fault::FaultSpec spec;
+  spec.drop = 0.3;
+  spec.corrupt = 0.2;
+  for (int round = 0; round < 12; ++round) {
+    const fault::Plan plan(spec, 1000 + round);
+    (void)installer.install(p2, round % 3 ? &plan : nullptr, 256, 2, 2);
+    if (round % 2) (void)installer.rollback();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(bad_snapshots.load(), 0);
+  // The final committed snapshot still evaluates to a legal digest.
+  const std::uint64_t final_digest = digest_of(*installer.active());
+  EXPECT_TRUE(final_digest == want1 || final_digest == want2);
 }
 
 }  // namespace

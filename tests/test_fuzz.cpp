@@ -95,6 +95,92 @@ TEST_P(FuzzSeeds, PipelineDeserializerNeverCrashes) {
     (void)table::deserialize_pipeline(random_text(rng, 300));
 }
 
+// Builds a structurally valid MoldUDP64 market-data frame to mutate.
+std::vector<std::uint8_t> valid_market_frame(util::Rng& rng) {
+  std::vector<proto::ItchAddOrder> msgs;
+  const std::size_t n = rng.uniform(0, 5);  // 0 = heartbeat-style frame
+  for (std::size_t i = 0; i < n; ++i) {
+    proto::ItchAddOrder m;
+    m.order_ref = i + 1;
+    m.stock = "STK" + std::to_string(rng.uniform(0, 99));
+    m.price = static_cast<std::uint32_t>(rng.uniform(1, 1000000));
+    m.shares = static_cast<std::uint32_t>(rng.uniform(1, 1000));
+    msgs.push_back(std::move(m));
+  }
+  proto::MoldUdp64Header mold;
+  mold.session = "CAMUS00001";
+  mold.sequence = rng.uniform(1, 1 << 20);
+  proto::EthernetHeader eth;
+  return proto::encode_market_data_packet(eth, 0x0a000001, 0xe8010101, mold,
+                                          msgs);
+}
+
+// The zero-copy scanner, the full decoder, and the diagnostic decoder must
+// agree on accept/reject for EVERY input — truncated, bit-flipped, or
+// garbage — and on accepted frames they must see the same messages. Runs
+// under ASAN/UBSAN in CI, so any out-of-bounds read in the scan fast path
+// is caught here.
+TEST_P(FuzzSeeds, MoldUdpDecodersAgreeOnMutatedFrames) {
+  util::Rng rng(GetParam() ^ 0x11d);
+  proto::MarketDataView view;
+  std::vector<std::uint32_t> offsets;
+
+  auto check_agreement = [&](std::span<const std::uint8_t> frame) {
+    view = proto::MarketDataView{};
+    offsets.clear();
+    const bool scanned = proto::scan_market_data_packet(frame, view, offsets);
+    const auto decoded = proto::decode_market_data_packet(frame);
+    const auto checked = proto::decode_market_data_packet_checked(frame);
+
+    ASSERT_EQ(scanned, decoded.has_value())
+        << "scan/decode disagree on a " << frame.size() << "-byte frame";
+    ASSERT_EQ(decoded.has_value(), checked.ok())
+        << "decode/decode_checked disagree; diagnostic: "
+        << (checked.ok() ? "ok" : checked.error().to_string());
+    if (!decoded) {
+      // A reject must carry a stable diagnostic code.
+      EXPECT_FALSE(checked.error().code.empty());
+      return;
+    }
+    ASSERT_EQ(offsets.size(), decoded->itch.add_orders.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      const auto m = proto::decode_add_order_at(frame, offsets[i]);
+      EXPECT_EQ(m.stock, decoded->itch.add_orders[i].stock);
+      EXPECT_EQ(m.price, decoded->itch.add_orders[i].price);
+      EXPECT_EQ(m.order_ref, decoded->itch.add_orders[i].order_ref);
+    }
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    const auto frame = valid_market_frame(rng);
+
+    // Every truncation length, including 0 and the full frame.
+    for (std::size_t len = 0; len <= frame.size();
+         len += 1 + rng.uniform(0, 6)) {
+      check_agreement(std::span(frame.data(), len));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    // Bit-flipped copies: 1..8 random flips anywhere in the frame.
+    auto mutated = frame;
+    const int flips = 1 + static_cast<int>(rng.uniform(0, 7));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = rng.uniform(0, mutated.size() - 1);
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    }
+    check_agreement(mutated);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Truncated AND flipped.
+    mutated.resize(rng.uniform(0, mutated.size()));
+    if (!mutated.empty()) {
+      mutated[rng.uniform(0, mutated.size() - 1)] ^= 0xFF;
+      check_agreement(mutated);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
 TEST_P(FuzzSeeds, PcapParserNeverCrashes) {
   util::Rng rng(GetParam() ^ 0x9999);
   for (int i = 0; i < 1000; ++i) {
