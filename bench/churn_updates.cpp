@@ -1,0 +1,276 @@
+// Live-churn update benchmark (ISSUE 5 tentpole): a seeded stream of
+// subscribe/unsubscribe operations is committed through the incremental
+// compiler and installed as entry deltas (TwoPhaseInstaller::apply_delta
+// -> Switch::apply_delta RCU patch). Measures, per commit:
+//
+//   - commit latency (incremental recompile + diff),
+//   - delta install latency (serialize, stage, verify, patch, swap),
+//   - control-plane ops per commit vs the installed entry count,
+//   - entry reuse fraction (entries carried over unchanged).
+//
+// A dedicated single-subscription probe (one add commit, one remove
+// commit) is reported separately — that is the paper's headline claim for
+// incremental updates ("state updates can benefit from table entry
+// re-use") and what CI gates on: --gate-reuse F exits non-zero when
+// either probe's reuse fraction drops below F.
+//
+// CI runs this with --quick --gate-reuse 0.8; the committed
+// BENCH_churn.json is the full run. Seeds are explicit and recorded.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "compiler/incremental.hpp"
+#include "pubsub/install.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "workload/churn.hpp"
+
+using namespace camus;
+
+namespace {
+
+constexpr std::uint64_t kChurnSeed = 20260806;
+
+struct Summary {
+  util::CdfSampler commit_ms;
+  util::CdfSampler install_ms;
+  util::CdfSampler ops_per_commit;
+  util::CdfSampler reuse_fraction;
+  double commit_ms_sum = 0;
+  double ops_sum = 0;
+  double entries_sum = 0;
+};
+
+std::string cdf_json(const util::CdfSampler& s, double sum) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"mean\": %.4f, \"p50\": %.4f, \"p99\": %.4f, "
+                "\"max\": %.4f}",
+                s.count() ? sum / static_cast<double>(s.count()) : 0.0,
+                s.median(), s.p99(), s.max());
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_churn.json";
+  double gate_reuse = -1;
+  std::uint64_t seed = kChurnSeed;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--quick") quick = true;
+    else if (a == "--json") json = true;
+    else if (a == "--out" && i + 1 < argc) json_path = argv[++i];
+    else if (a == "--seed" && i + 1 < argc) seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (a == "--gate-reuse" && i + 1 < argc) gate_reuse = std::strtod(argv[++i], nullptr);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json] [--out FILE] [--seed N] "
+                   "[--gate-reuse F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t n_base = quick ? 500 : 2000;
+  const std::size_t n_ops = quick ? 60 : 500;
+
+  auto schema = spec::make_itch_schema();
+  compiler::CompileOptions opts;
+  // Exact-match field first keeps single-symbol changes local (see
+  // EXPERIMENTS.md): the symbol stage absorbs the new predicate and the
+  // suffix chains for untouched symbols keep their state ids.
+  opts.order = bdd::OrderHeuristic::kExactFirst;
+
+  workload::ChurnParams cp;
+  cp.seed = seed;
+  cp.subs.seed = seed ^ 0x5eedULL;
+  cp.subs.n_subscriptions = n_base;
+  cp.subs.n_symbols = 100;
+  cp.subs.n_hosts = 200;
+  workload::ChurnGenerator churn(schema, cp);
+
+  // Base commit: cold start, every entry is an add.
+  compiler::IncrementalCompiler inc(schema, opts);
+  std::map<std::size_t, compiler::IncrementalCompiler::SubscriptionId> ids;
+  {
+    std::size_t slot = 0;
+    for (const auto& r : churn.base()) ids[slot++] = inc.add(r);
+  }
+  util::Timer t0;
+  auto first = inc.commit();
+  if (!first.ok()) {
+    std::fprintf(stderr, "initial commit failed: %s\n",
+                 first.error().to_string().c_str());
+    return 1;
+  }
+  const double initial_ms = t0.seconds() * 1e3;
+  const std::size_t initial_entries = first.value().total_entries;
+
+  switchsim::Switch sw(schema, inc.pipeline());
+  pubsub::TwoPhaseInstaller installer(sw);
+
+  // Churn loop: one commit + delta install per op.
+  Summary s;
+  std::size_t commits = 0;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    auto op = churn.next();
+    if (op.subscribe) {
+      ids[op.slot] = inc.add(std::move(op.rule));
+    } else {
+      inc.remove(ids.at(op.slot));
+      ids.erase(op.slot);
+    }
+
+    util::Timer tc;
+    auto delta = inc.commit();
+    if (!delta.ok()) {
+      std::fprintf(stderr, "commit %zu failed: %s\n", i,
+                   delta.error().to_string().c_str());
+      return 1;
+    }
+    const double commit_ms = tc.seconds() * 1e3;
+
+    util::Timer ti;
+    auto report = installer.apply_delta(delta.value().ops);
+    if (!report.committed) {
+      std::fprintf(stderr, "delta install %zu failed: %s\n", i,
+                   report.error.c_str());
+      return 1;
+    }
+    const double install_ms = ti.seconds() * 1e3;
+
+    ++commits;
+    s.commit_ms.add(commit_ms);
+    s.commit_ms_sum += commit_ms;
+    s.install_ms.add(install_ms);
+    s.ops_per_commit.add(static_cast<double>(delta.value().ops.size()));
+    s.ops_sum += static_cast<double>(delta.value().ops.size());
+    s.entries_sum += static_cast<double>(delta.value().total_entries);
+    s.reuse_fraction.add(delta.value().reuse_fraction());
+  }
+
+  // Single-subscription probe: the headline reuse claim, measured on a
+  // quiet pipeline (one add commit, then its removal).
+  auto probe_rule = churn.next();
+  while (!probe_rule.subscribe) probe_rule = churn.next();
+  auto probe_id = inc.add(probe_rule.rule);
+  auto add_delta = inc.commit();
+  if (!add_delta.ok() ||
+      !installer.apply_delta(add_delta.value().ops).committed)
+    return 1;
+  inc.remove(probe_id);
+  auto del_delta = inc.commit();
+  if (!del_delta.ok() ||
+      !installer.apply_delta(del_delta.value().ops).committed)
+    return 1;
+  const double probe_add_reuse = add_delta.value().reuse_fraction();
+  const double probe_del_reuse = del_delta.value().reuse_fraction();
+
+  const double install_ms_sum = [&] {
+    double t = 0;
+    for (double v : s.install_ms.samples()) t += v;
+    return t;
+  }();
+
+  std::printf("Live-churn updates: base=%zu subs, %zu churn ops (seed %llu)\n",
+              n_base, n_ops,
+              static_cast<unsigned long long>(seed));
+  std::printf("  initial commit: %.1f ms, %zu entries\n", initial_ms,
+              initial_entries);
+  util::TextTable table({"metric", "mean", "p50", "p99", "max"});
+  auto row = [&](const char* name, const util::CdfSampler& c, double sum) {
+    table.add_row({name,
+                   util::TextTable::fmt(
+                       c.count() ? sum / static_cast<double>(c.count()) : 0, 3),
+                   util::TextTable::fmt(c.median(), 3),
+                   util::TextTable::fmt(c.p99(), 3),
+                   util::TextTable::fmt(c.max(), 3)});
+  };
+  row("commit latency (ms)", s.commit_ms, s.commit_ms_sum);
+  row("delta install (ms)", s.install_ms, install_ms_sum);
+  row("ops per commit", s.ops_per_commit, s.ops_sum);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("  entries (mean): %.0f   ops/entries: %.4f   reuse: mean %.4f "
+              "min %.4f\n",
+              s.entries_sum / static_cast<double>(commits),
+              s.ops_sum / s.entries_sum,
+              [&] {
+                double t = 0;
+                for (double v : s.reuse_fraction.samples()) t += v;
+                return t / static_cast<double>(commits);
+              }(),
+              s.reuse_fraction.quantile(0.0));
+  std::printf("  single-subscription probe: add reuse %.4f, remove reuse "
+              "%.4f\n",
+              probe_add_reuse, probe_del_reuse);
+  std::printf("  switch program version: %llu (base + %zu deltas + probe)\n",
+              static_cast<unsigned long long>(sw.program_version()), commits);
+
+  if (json) {
+    double reuse_sum = 0;
+    for (double v : s.reuse_fraction.samples()) reuse_sum += v;
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"workload\": \"itch-churn\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"base_subscriptions\": " << n_base << ",\n"
+        << "  \"churn_ops\": " << n_ops << ",\n"
+        << "  \"p_subscribe\": " << cp.p_subscribe << ",\n"
+        << "  \"initial\": {\"entries\": " << initial_entries
+        << ", \"commit_ms\": " << util::json::format_double(initial_ms)
+        << "},\n"
+        << "  \"commit_ms\": " << cdf_json(s.commit_ms, s.commit_ms_sum)
+        << ",\n"
+        << "  \"install_ms\": " << cdf_json(s.install_ms, install_ms_sum)
+        << ",\n"
+        << "  \"ops_per_commit\": " << cdf_json(s.ops_per_commit, s.ops_sum)
+        << ",\n"
+        << "  \"entries_mean\": "
+        << util::json::format_double(s.entries_sum /
+                                     static_cast<double>(commits))
+        << ",\n"
+        << "  \"ops_vs_entries\": "
+        << util::json::format_double(s.ops_sum / s.entries_sum) << ",\n"
+        << "  \"reuse_fraction\": {\"mean\": "
+        << util::json::format_double(reuse_sum /
+                                     static_cast<double>(commits))
+        << ", \"min\": "
+        << util::json::format_double(s.reuse_fraction.quantile(0.0))
+        << "},\n"
+        << "  \"single_subscription_probe\": {\n"
+        << "    \"add\": {\"ops\": " << add_delta.value().ops.size()
+        << ", \"reuse_fraction\": "
+        << util::json::format_double(probe_add_reuse) << "},\n"
+        << "    \"remove\": {\"ops\": " << del_delta.value().ops.size()
+        << ", \"reuse_fraction\": "
+        << util::json::format_double(probe_del_reuse) << "}\n"
+        << "  },\n"
+        << "  \"final\": {\"subscriptions\": " << inc.subscription_count()
+        << ", \"entries\": " << inc.pipeline().total_entries()
+        << ", \"switch_program_version\": " << sw.program_version()
+        << "}\n"
+        << "}\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+
+  if (gate_reuse >= 0 &&
+      (probe_add_reuse < gate_reuse || probe_del_reuse < gate_reuse)) {
+    std::fprintf(stderr,
+                 "REGRESSION: single-subscription reuse (add %.4f, remove "
+                 "%.4f) below gate %.2f\n",
+                 probe_add_reuse, probe_del_reuse, gate_reuse);
+    return 1;
+  }
+  return 0;
+}

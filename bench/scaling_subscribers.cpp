@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     auto sw = ctl.build_switch();
     if (!sw.ok()) return 1;
     if (json_out)
-      std::fprintf(json_out, "%s\n", ctl.compiled().stats.to_json().c_str());
+      std::fprintf(json_out, "%s\n", ctl.compiled().value()->stats.to_json().c_str());
     mp.mode = netsim::FilterMode::kSwitchFilter;
     const auto camus = netsim::run_fanout_experiment(mp, sw.value(), feed,
                                                      interest, n_hosts);

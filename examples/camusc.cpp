@@ -26,6 +26,13 @@
 //                      implies --lint
 //   --explain ASSIGN   trace one message through the pipeline, e.g.
 //                      --explain "stock=GOOGL,price=120,shares=5"
+//   --base FILE        previously installed subscription set: --rules is
+//                      treated as the new set and the update is compiled
+//                      incrementally as a delta against FILE
+//   --delta-json FILE  write the per-commit delta telemetry JSON
+//                      (ops/adds/removes/modifies/reuse_fraction plus the
+//                      compile profile; "-" = stdout). Without --base the
+//                      commit is a cold start and every entry is an add.
 // With no --spec, uses the built-in ITCH schema; with no --rules, reads
 // subscriptions from stdin.
 #include <fstream>
@@ -35,6 +42,7 @@
 
 #include "compiler/analysis.hpp"
 #include "compiler/compile.hpp"
+#include "compiler/incremental.hpp"
 #include "compiler/p4gen.hpp"
 #include "table/serialize.hpp"
 #include "lang/parser.hpp"
@@ -54,7 +62,8 @@ int usage() {
                "FILE] [--tables] [--analyze]\n              [--order H] "
                "[--no-prune] [--compress] [--emit-drop] [--stats]\n"
                "              [--stats-json FILE|-] [--threads N] [--lint] "
-               "[--lint-json FILE|-]\n";
+               "[--lint-json FILE|-]\n              [--base FILE] "
+               "[--delta-json FILE|-]\n";
   return 2;
 }
 
@@ -81,6 +90,7 @@ int main(int argc, char** argv) {
   std::string explain_assign;
   std::string stats_json_path;
   std::string lint_json_path;
+  std::string delta_json_path;
   compiler::CompileOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -110,6 +120,10 @@ int main(int argc, char** argv) {
       stats_json_path = v;
     } else if (arg == "--lint") {
       want_lint = true;
+    } else if (arg == "--delta-json") {
+      const char* v = next();
+      if (!v) return usage();
+      delta_json_path = v;
     } else if (arg == "--lint-json") {
       const char* v = next();
       if (!v) return usage();
@@ -133,7 +147,7 @@ int main(int argc, char** argv) {
       else return usage();
     } else if (arg == "--spec" || arg == "--rules" || arg == "--p4" ||
                arg == "--p4-14" || arg == "--rules-out" || arg == "--dot" ||
-               arg == "--pipeline") {
+               arg == "--pipeline" || arg == "--base") {
       const char* v = next();
       if (!v) return usage();
       files[arg] = v;
@@ -231,6 +245,56 @@ int main(int argc, char** argv) {
     lint_exit = report.exit_code();
   }
 
+  // Incremental update telemetry: commit the base set (the previously
+  // installed subscriptions), then transition to --rules and report the
+  // second commit's delta — the exact op stream an installer would ship.
+  // The persistent compiler's rule-BDD cache and stable state ids keep
+  // the delta minimal for rules shared between the two sets.
+  if (!delta_json_path.empty()) {
+    compiler::IncrementalCompiler inc(schema, opts);
+    std::vector<compiler::IncrementalCompiler::SubscriptionId> base_ids;
+    if (files.count("--base")) {
+      auto base_text = slurp(files["--base"]);
+      if (!base_text) {
+        std::cerr << "camusc: cannot read " << files["--base"] << "\n";
+        return 1;
+      }
+      auto base_parsed = lang::parse_rules(*base_text);
+      if (!base_parsed.ok()) {
+        std::cerr << "camusc: base: " << base_parsed.error().to_string()
+                  << "\n";
+        return 1;
+      }
+      auto base_bound = lang::bind_rules(base_parsed.value(), schema);
+      if (!base_bound.ok()) {
+        std::cerr << "camusc: base: " << base_bound.error().to_string()
+                  << "\n";
+        return 1;
+      }
+      for (const auto& r : base_bound.value())
+        base_ids.push_back(inc.add(r));
+      if (auto cold = inc.commit(); !cold.ok()) {
+        std::cerr << "camusc: base commit: " << cold.error().to_string()
+                  << "\n";
+        return 1;
+      }
+    }
+    for (const auto id : base_ids) inc.remove(id);
+    for (const auto& r : bound.value()) inc.add(r);
+    auto delta = inc.commit();
+    if (!delta.ok()) {
+      std::cerr << "camusc: delta commit: " << delta.error().to_string()
+                << "\n";
+      return 1;
+    }
+    if (delta_json_path == "-") {
+      std::cout << delta.value().to_json() << "\n";
+    } else if (!spill(delta_json_path, delta.value().to_json() + "\n")) {
+      std::cerr << "camusc: cannot write " << delta_json_path << "\n";
+      return 1;
+    }
+  }
+
   if (files.count("--p4") &&
       !spill(files["--p4"], compiler::generate_p4(schema, &c.pipeline))) {
     std::cerr << "camusc: cannot write " << files["--p4"] << "\n";
@@ -305,7 +369,7 @@ int main(int argc, char** argv) {
   }
   if (want_tables) std::cout << c.pipeline.to_string();
   if (want_stats || (!want_tables && !want_lint && files.empty() &&
-                     stats_json_path.empty())) {
+                     stats_json_path.empty() && delta_json_path.empty())) {
     std::cout << c.stats.to_string() << "\n"
               << "resources: " << c.pipeline.resources().to_string() << "\n"
               << "fits Tofino-like budget: "

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "Compiled " << ctl.subscription_count()
-            << " subscriptions: " << ctl.compiled().stats.to_string() << "\n";
+            << " subscriptions: " << ctl.compiled().value()->stats.to_string() << "\n";
   std::cout << "Switch resources: " << sw.value().resources().to_string()
             << "  (fits Tofino-like budget: "
             << (sw.value().fits() ? "yes" : "NO") << ")\n\n";

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <sstream>
+
 #include "compiler/compress.hpp"
 #include "compiler/field_order.hpp"
 #include "lang/parser.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace camus::compiler {
@@ -63,36 +66,59 @@ std::set<IncrementalCompiler::FieldKey> IncrementalCompiler::field_keys(
   return keys;
 }
 
-std::set<IncrementalCompiler::LeafKey> IncrementalCompiler::leaf_keys(
+IncrementalCompiler::LeafMap IncrementalCompiler::leaf_map(
     const table::Pipeline& pipe) {
-  std::set<LeafKey> keys;
+  LeafMap m;
   // Multicast group ids are renumbered per compilation; diffing on the
   // action set keeps renumbering from showing up as churn.
-  for (const auto& e : pipe.leaf.entries()) keys.emplace(e.state, e.actions);
-  return keys;
+  for (const auto& e : pipe.leaf.entries()) m.emplace(e.state, e.actions);
+  return m;
 }
 
-std::string IncrementalCompiler::EntryOp::to_string() const {
-  std::string s = kind == Kind::kAdd ? "add " : "del ";
-  s += table + " state=" + std::to_string(state);
-  if (table == "leaf") {
-    s += " => " + actions.to_string();
-  } else {
-    s += " match=" + match.to_string() +
-         " => next=" + std::to_string(next_state);
-  }
-  return s;
+namespace {
+std::size_t count_kind(const std::vector<table::EntryOp>& ops,
+                       table::EntryOp::Kind k) {
+  return static_cast<std::size_t>(
+      std::count_if(ops.begin(), ops.end(),
+                    [k](const table::EntryOp& op) { return op.kind == k; }));
 }
+}  // namespace
 
 std::size_t IncrementalCompiler::Delta::adds() const {
-  return static_cast<std::size_t>(
-      std::count_if(ops.begin(), ops.end(), [](const EntryOp& op) {
-        return op.kind == EntryOp::Kind::kAdd;
-      }));
+  return count_kind(ops, EntryOp::Kind::kAdd);
 }
 
 std::size_t IncrementalCompiler::Delta::removes() const {
-  return ops.size() - adds();
+  return count_kind(ops, EntryOp::Kind::kRemove);
+}
+
+std::size_t IncrementalCompiler::Delta::modifies() const {
+  return count_kind(ops, EntryOp::Kind::kModify);
+}
+
+double IncrementalCompiler::Delta::reuse_fraction() const {
+  return total_entries == 0
+             ? 1.0
+             : static_cast<double>(reused_entries) /
+                   static_cast<double>(total_entries);
+}
+
+std::string IncrementalCompiler::Delta::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"ops\": " << ops.size() << ",\n"
+     << "  \"adds\": " << adds() << ",\n"
+     << "  \"removes\": " << removes() << ",\n"
+     << "  \"modifies\": " << modifies() << ",\n"
+     << "  \"reused_entries\": " << reused_entries << ",\n"
+     << "  \"total_entries\": " << total_entries << ",\n"
+     << "  \"reuse_fraction\": " << util::json::format_double(reuse_fraction())
+     << ",\n"
+     << "  \"compile_seconds\": "
+     << util::json::format_double(compile_seconds) << ",\n"
+     << "  \"stats\": " << stats.to_json() << "\n"
+     << "}";
+  return os.str();
 }
 
 Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
@@ -135,6 +161,7 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   if (opts_.semantic_prune) root = manager_->prune(root);
   delta.stats.t_prune = phase.seconds();
   delta.stats.bdd_after_prune = manager_->stats(root);
+  last_root_ = root;
 
   // Pin the (non-terminal) root to the initial state id. The root node
   // changes on almost every commit, but its role — "pipeline entry" — does
@@ -165,11 +192,10 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
 
   // Diff against the installed pipeline.
   const std::set<FieldKey> new_field = field_keys(gen.pipeline);
-  const std::set<LeafKey> new_leaf = leaf_keys(gen.pipeline);
+  const LeafMap new_leaf = leaf_map(gen.pipeline);
   const std::set<FieldKey> old_field =
       installed_ ? field_keys(*installed_) : std::set<FieldKey>{};
-  const std::set<LeafKey> old_leaf =
-      installed_ ? leaf_keys(*installed_) : std::set<LeafKey>{};
+  const LeafMap old_leaf = installed_ ? leaf_map(*installed_) : LeafMap{};
 
   auto field_op = [](EntryOp::Kind kind, const FieldKey& k) {
     EntryOp op;
@@ -193,23 +219,29 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
     if (!new_field.count(k))
       delta.ops.push_back(field_op(EntryOp::Kind::kRemove, k));
   }
-  auto leaf_op = [](EntryOp::Kind kind, const LeafKey& k) {
+  auto leaf_op = [](EntryOp::Kind kind, table::StateId state,
+                    const lang::ActionSet& actions) {
     EntryOp op;
     op.kind = kind;
-    op.table = "leaf";
-    op.state = k.first;
-    op.actions = k.second;
+    op.table = std::string(table::kLeafTableName);
+    op.state = state;
+    op.actions = actions;
     return op;
   };
-  for (const auto& k : new_leaf) {
-    if (!old_leaf.count(k))
-      delta.ops.push_back(leaf_op(EntryOp::Kind::kAdd, k));
+  // Leaf diff by state: a surviving state whose ActionSet changed is one
+  // kModify op (one control-plane write), not a remove+add pair.
+  for (const auto& [state, actions] : new_leaf) {
+    auto old_it = old_leaf.find(state);
+    if (old_it == old_leaf.end())
+      delta.ops.push_back(leaf_op(EntryOp::Kind::kAdd, state, actions));
+    else if (!(old_it->second == actions))
+      delta.ops.push_back(leaf_op(EntryOp::Kind::kModify, state, actions));
     else
       ++delta.reused_entries;
   }
-  for (const auto& k : old_leaf) {
-    if (!new_leaf.count(k))
-      delta.ops.push_back(leaf_op(EntryOp::Kind::kRemove, k));
+  for (const auto& [state, actions] : old_leaf) {
+    if (!new_leaf.count(state))
+      delta.ops.push_back(leaf_op(EntryOp::Kind::kRemove, state, actions));
   }
 
   delta.total_entries = new_field.size() + new_leaf.size();
@@ -223,6 +255,10 @@ const table::Pipeline& IncrementalCompiler::pipeline() const {
   if (!installed_)
     throw std::logic_error("IncrementalCompiler::pipeline before commit()");
   return *installed_;
+}
+
+void IncrementalCompiler::restore_installed(table::Pipeline last_good) {
+  installed_ = std::move(last_good);
 }
 
 }  // namespace camus::compiler

@@ -28,6 +28,7 @@
 #include "compiler/compile.hpp"
 #include "compiler/options.hpp"
 #include "spec/schema.hpp"
+#include "table/delta.hpp"
 #include "util/result.hpp"
 
 namespace camus::compiler {
@@ -48,18 +49,10 @@ class IncrementalCompiler {
 
   std::size_t subscription_count() const noexcept { return rules_.size(); }
 
-  // One control-plane operation: install or delete one entry.
-  struct EntryOp {
-    enum class Kind : std::uint8_t { kAdd, kRemove };
-    Kind kind = Kind::kAdd;
-    std::string table;  // field table name, or "leaf"
-    table::StateId state = 0;
-    table::ValueMatch match;        // unused for leaf ops
-    table::StateId next_state = 0;  // unused for leaf ops
-    lang::ActionSet actions;        // leaf ops only
-
-    std::string to_string() const;
-  };
+  // One control-plane operation: install, delete, or (leaf-only) modify
+  // one entry. Shared with the installer and switch (table/delta.hpp) so
+  // the same op list flows through every layer unchanged.
+  using EntryOp = table::EntryOp;
 
   struct Delta {
     std::vector<EntryOp> ops;
@@ -74,6 +67,15 @@ class IncrementalCompiler {
 
     std::size_t adds() const;
     std::size_t removes() const;
+    std::size_t modifies() const;
+
+    // Fraction of new-pipeline entries carried over unchanged (1.0 when
+    // the pipeline is empty — nothing needed shipping).
+    double reuse_fraction() const;
+
+    // Per-commit delta telemetry (ops/adds/removes/modifies/reuse plus
+    // the embedded CompileStats profile), for camusc --json and benches.
+    std::string to_json() const;
   };
 
   // Recompiles and returns the delta against the previous commit. The
@@ -82,17 +84,35 @@ class IncrementalCompiler {
 
   // The currently installed pipeline (valid after a successful commit).
   const table::Pipeline& pipeline() const;
+  bool has_pipeline() const noexcept { return installed_.has_value(); }
+
+  // Rolls the diff base back to an earlier snapshot — used when a commit's
+  // output is rejected downstream (lint policy, failed install) so the
+  // next commit diffs against what the switch actually runs. The
+  // persistent state allocator is untouched: it only grows, and stale
+  // ids merely become unreferenced.
+  void restore_installed(table::Pipeline last_good);
 
   const spec::Schema& schema() const noexcept { return schema_; }
 
+  // The persistent BDD manager and the root of the last committed BDD —
+  // the same artifacts compiler::Compiled exposes for rendering/debugging.
+  const std::shared_ptr<bdd::BddManager>& manager() const noexcept {
+    return manager_;
+  }
+  bdd::NodeRef root() const noexcept { return last_root_; }
+
  private:
-  // Canonical entry keys for diffing.
+  // Canonical entry keys for diffing. Leaf entries diff by state with the
+  // ActionSet as the value, so an action-only change on a surviving state
+  // becomes one kModify op instead of a remove+add pair. Multicast group
+  // ids are renumbered per compilation and deliberately excluded.
   using FieldKey = std::tuple<std::string, table::StateId, std::uint8_t,
                               std::uint64_t, std::uint64_t, table::StateId>;
-  using LeafKey = std::pair<table::StateId, lang::ActionSet>;
+  using LeafMap = std::map<table::StateId, lang::ActionSet>;
 
   static std::set<FieldKey> field_keys(const table::Pipeline& pipe);
-  static std::set<LeafKey> leaf_keys(const table::Pipeline& pipe);
+  static LeafMap leaf_map(const table::Pipeline& pipe);
 
   spec::Schema schema_;
   CompileOptions opts_;
@@ -105,6 +125,7 @@ class IncrementalCompiler {
   std::map<SubscriptionId, bdd::NodeRef> rule_roots_;
   StateAllocator states_;
   std::optional<std::uint32_t> pinned_root_raw_;
+  bdd::NodeRef last_root_;
 
   std::optional<table::Pipeline> installed_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <stdexcept>
 
 #include "lang/dnf.hpp"
 #include "lang/parser.hpp"
@@ -13,7 +12,18 @@ using util::Error;
 using util::Result;
 
 Controller::Controller(spec::Schema schema, compiler::CompileOptions opts)
-    : schema_(std::move(schema)), opts_(opts) {}
+    : schema_(std::move(schema)), opts_(opts), inc_(schema_, opts_) {}
+
+void Controller::clear() {
+  rules_.clear();
+  priorities_.clear();
+  sub_ids_.clear();
+  compiled_.reset();
+  // Drop the persistent compilation state with the subscriptions: a
+  // cleared controller should not keep a stale diff base or rule cache.
+  inc_ = compiler::IncrementalCompiler(schema_, opts_);
+  dirty_ = false;
+}
 
 Result<bool> Controller::subscribe(std::uint16_t port,
                                    std::string_view rule_text, int priority) {
@@ -30,6 +40,7 @@ Result<bool> Controller::subscribe(std::uint16_t port,
 }
 
 void Controller::subscribe(lang::BoundRule rule, int priority) {
+  sub_ids_.push_back(inc_.add(rule));
   rules_.push_back(std::move(rule));
   priorities_.push_back(priority);
   dirty_ = true;
@@ -42,44 +53,87 @@ std::size_t Controller::unsubscribe(std::uint16_t port) {
     const auto& r = rules_[i];
     const bool drop =
         r.actions.ports.size() == 1 && r.actions.ports[0] == port;
-    if (drop) continue;
+    if (drop) {
+      inc_.remove(sub_ids_[i]);
+      continue;
+    }
     if (w != i) {
       rules_[w] = std::move(rules_[i]);
       priorities_[w] = priorities_[i];
+      sub_ids_[w] = sub_ids_[i];
     }
     ++w;
   }
   rules_.resize(w);
   priorities_.resize(w);
+  sub_ids_.resize(w);
   if (rules_.size() != before) dirty_ = true;
   return before - rules_.size();
 }
 
-Result<bool> Controller::compile() {
-  if (compiled_ && !dirty_) return true;
-  auto c = compiler::compile_rules(schema_, rules_, opts_);
-  if (!c.ok()) return c.error();
+// Runs the static-verification gate on a candidate artifact. Error on
+// kReject with error-severity findings (the caller keeps the previous
+// good pipeline installed and discards the candidate).
+Result<bool> Controller::lint_gate(const compiler::Compiled& candidate) {
+  if (lint_policy_ == LintPolicy::kOff) return true;
+  lint_report_ = verify::Report{};
+  auto verified = verify::verify_compiled(schema_, rules_, candidate,
+                                          lint_report_, lint_opts_);
+  if (!verified.ok()) return verified.error();
+  if (lint_policy_ == LintPolicy::kReject && lint_report_.has_errors())
+    return Error{"verifier rejected the compiled pipeline:\n" +
+                 lint_report_.to_text()};
+  return true;
+}
 
-  if (lint_policy_ != LintPolicy::kOff) {
-    lint_report_ = verify::Report{};
-    auto verified = verify::verify_compiled(schema_, rules_, c.value(),
-                                            lint_report_, lint_opts_);
-    if (!verified.ok()) return verified.error();
-    if (lint_policy_ == LintPolicy::kReject && lint_report_.has_errors()) {
-      // Keep the previous good pipeline installed; the rejected artifact
-      // is discarded.
-      return Error{"verifier rejected the compiled pipeline:\n" +
-                   lint_report_.to_text()};
-    }
+Result<Controller::Delta> Controller::commit() {
+  auto d = inc_.commit();
+  if (!d.ok()) {
+    // A failed recompile leaves the incremental diff base advanced past
+    // what the switch runs only on success paths; commit() itself failed
+    // before producing a pipeline, so the base is untouched.
+    return d.error();
   }
 
-  compiled_ = std::move(c).take();
+  compiler::Compiled candidate;
+  candidate.pipeline = inc_.pipeline();  // copy; inc_ keeps the diff base
+  candidate.stats = d.value().stats;
+  candidate.manager = inc_.manager();
+  candidate.root = inc_.root();
+
+  if (auto gate = lint_gate(candidate); !gate.ok()) {
+    // Roll the diff base back to the last-good pipeline (or the empty
+    // pipeline when nothing was ever accepted) so the next successful
+    // commit's delta is computed against what the switch actually runs.
+    inc_.restore_installed(compiled_ ? compiled_->pipeline
+                                     : table::Pipeline{});
+    return gate.error();
+  }
+
+  compiled_ = std::move(candidate);
   // Finalize eagerly at install time. Table::finalize is lazily invoked
   // from lookup otherwise, and that lazy build mutates shared state under
   // a const API — a data race the moment two threads evaluate the same
   // freshly-installed pipeline concurrently (tsan-exercised in
   // tests/test_concurrent_lookup.cpp).
   compiled_->pipeline.finalize();
+  dirty_ = false;
+  return std::move(d).take();
+}
+
+Result<bool> Controller::compile() {
+  if (compiled_ && !dirty_) return true;
+  auto c = compiler::compile_rules(schema_, rules_, opts_);
+  if (!c.ok()) return c.error();
+  if (auto gate = lint_gate(c.value()); !gate.ok()) return gate.error();
+
+  compiled_ = std::move(c).take();
+  // See commit() for why finalization is eager.
+  compiled_->pipeline.finalize();
+  // Re-seed the incremental diff base: a later commit() must diff against
+  // the pipeline the switch was actually programmed with, not a stale
+  // incremental snapshot.
+  inc_.restore_installed(compiled_->pipeline);
   dirty_ = false;
   return true;
 }
@@ -154,10 +208,12 @@ Result<Split> Controller::compile_with_budget(
   return split;
 }
 
-const compiler::Compiled& Controller::compiled() const {
+Result<const compiler::Compiled*> Controller::compiled() const {
   if (!compiled_)
-    throw std::logic_error("Controller::compiled() before compile()");
-  return *compiled_;
+    return Error{"Controller::compiled() before a successful "
+                 "compile()/commit()",
+                 0, 0, "E120"};
+  return &*compiled_;
 }
 
 Result<switchsim::Switch> Controller::build_switch() {
@@ -174,9 +230,11 @@ std::string Controller::p4_program(const compiler::P4Options& opts) const {
                                opts);
 }
 
-std::string Controller::control_plane_rules() const {
+Result<std::string> Controller::control_plane_rules() const {
   if (!compiled_)
-    throw std::logic_error("control_plane_rules() before compile()");
+    return Error{"Controller::control_plane_rules() before a successful "
+                 "compile()/commit()",
+                 0, 0, "E121"};
   return compiler::generate_control_plane_rules(compiled_->pipeline);
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "compiler/compile.hpp"
+#include "compiler/incremental.hpp"
 #include "compiler/p4gen.hpp"
 #include "lang/dnf.hpp"
 #include "spec/schema.hpp"
@@ -54,6 +55,9 @@ struct Split {
 
 class Controller {
  public:
+  // The per-commit delta the incremental path hands to the installer.
+  using Delta = compiler::IncrementalCompiler::Delta;
+
   explicit Controller(spec::Schema schema,
                       compiler::CompileOptions opts = {});
 
@@ -77,11 +81,7 @@ class Controller {
   std::size_t unsubscribe(std::uint16_t port);
 
   std::size_t subscription_count() const noexcept { return rules_.size(); }
-  void clear() {
-    rules_.clear();
-    priorities_.clear();
-    compiled_.reset();
-  }
+  void clear();
 
   // Static-verification gate for compile(). With kReject, a compilation
   // whose verifier report contains error-severity diagnostics (shadowed
@@ -99,7 +99,21 @@ class Controller {
   // policy is kOff or nothing was compiled since it was set).
   const verify::Report& last_lint() const noexcept { return lint_report_; }
 
-  // Dynamic compilation step. Recompiles if subscriptions changed.
+  // Dynamic compilation step, incremental form (the primary path for live
+  // churn): recompiles on the persistent IncrementalCompiler and returns
+  // the exact entry delta against the previously committed pipeline —
+  // what the installer ships via TwoPhaseInstaller::apply_delta. The
+  // first commit reports every entry as an add (cold start). Under
+  // LintPolicy::kReject a rejected artifact leaves the previous pipeline
+  // as both the served artifact and the diff base, so the next successful
+  // commit's delta still lands on what the switch actually runs.
+  util::Result<Delta> commit();
+
+  // Dynamic compilation step, batch form: full from-scratch compile_rules.
+  // Kept for cold starts, compile_with_budget probes, and as the oracle in
+  // differential churn tests. Re-seeds the incremental diff base, so a
+  // commit() after a batch compile() applies cleanly but reuses little
+  // (batch state numbering differs from the persistent allocator's).
   util::Result<bool> compile();
 
   // Graceful degradation: compiles the largest highest-priority subset of
@@ -113,22 +127,35 @@ class Controller {
   util::Result<Split> compile_with_budget(
       const table::ResourceBudget& budget) const;
 
-  // Access to the compiled artifacts (compile() must have succeeded).
-  const compiler::Compiled& compiled() const;
+  // Access to the compiled artifacts. E120 before a successful
+  // compile()/commit() — an expected caller-ordering error, reported as a
+  // diagnostic rather than a throw (E1xx convention). The pointer is
+  // never null on the ok() path and stays valid until the next
+  // compile()/commit()/clear().
+  util::Result<const compiler::Compiled*> compiled() const;
+  bool has_compiled() const noexcept { return compiled_.has_value(); }
 
   // Builds a switch simulator programmed with the compiled pipeline.
   util::Result<switchsim::Switch> build_switch();
 
   // Static step: the P4 program for this application.
   std::string p4_program(const compiler::P4Options& opts = {}) const;
-  // Dynamic step: the control-plane entry dump.
-  std::string control_plane_rules() const;
+  // Dynamic step: the control-plane entry dump. E121 before a successful
+  // compile()/commit().
+  util::Result<std::string> control_plane_rules() const;
 
  private:
+  util::Result<bool> lint_gate(const compiler::Compiled& candidate);
+
   spec::Schema schema_;
   compiler::CompileOptions opts_;
   std::vector<lang::BoundRule> rules_;
   std::vector<int> priorities_;  // parallel to rules_
+  // Parallel to rules_: ids inside the persistent incremental compiler.
+  std::vector<compiler::IncrementalCompiler::SubscriptionId> sub_ids_;
+  // Persistent across commits: hash-consed BDD memo + stable state ids
+  // are what make per-commit deltas small (see incremental.hpp).
+  compiler::IncrementalCompiler inc_;
   std::optional<compiler::Compiled> compiled_;
   bool dirty_ = false;
 

@@ -49,6 +49,44 @@ bool TwoPhaseInstaller::rollback() {
   return true;
 }
 
+bool TwoPhaseInstaller::stage_attempt(std::span<const std::uint8_t> bytes,
+                                      std::size_t chunk_bytes,
+                                      const fault::Plan* faults,
+                                      int chunk_retries,
+                                      std::uint64_t& send_index,
+                                      InstallReport& report,
+                                      std::vector<std::uint8_t>& staged) {
+  staged.clear();
+  staged.reserve(bytes.size());
+  for (std::size_t c = 0; c < report.chunks; ++c) {
+    const std::size_t off = c * chunk_bytes;
+    const std::size_t len = std::min(chunk_bytes, bytes.size() - off);
+    const auto chunk = bytes.subspan(off, len);
+    const std::uint64_t chunk_digest = fnv1a(chunk);
+
+    bool delivered = false;
+    for (int t = 0; t <= chunk_retries; ++t) {
+      ++report.chunk_sends;
+      if (t > 0) ++report.chunk_retransmits;
+      std::vector<std::uint8_t> wire(chunk.begin(), chunk.end());
+      if (faults && faults->enabled()) {
+        const fault::Decision d = faults->decision(send_index);
+        if (d.corrupt_bits > 0) faults->corrupt(send_index, wire);
+        ++send_index;
+        if (d.drop) continue;  // lost on the wire
+      } else {
+        ++send_index;
+      }
+      if (fnv1a(wire) != chunk_digest) continue;  // corrupted: NAK
+      staged.insert(staged.end(), wire.begin(), wire.end());
+      delivered = true;
+      break;
+    }
+    if (!delivered) return false;
+  }
+  return true;
+}
+
 InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
                                          const fault::Plan* faults,
                                          std::size_t chunk_bytes,
@@ -71,35 +109,8 @@ InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
 
     // --- Stage: ship digest-protected chunks; retry damaged ones.
     std::vector<std::uint8_t> staged;
-    staged.reserve(image.size());
-    bool attempt_failed = false;
-    for (std::size_t c = 0; c < report.chunks && !attempt_failed; ++c) {
-      const std::size_t off = c * chunk_bytes;
-      const std::size_t len = std::min(chunk_bytes, image.size() - off);
-      const auto chunk = bytes.subspan(off, len);
-      const std::uint64_t chunk_digest = fnv1a(chunk);
-
-      bool delivered = false;
-      for (int t = 0; t <= chunk_retries; ++t) {
-        ++report.chunk_sends;
-        if (t > 0) ++report.chunk_retransmits;
-        std::vector<std::uint8_t> wire(chunk.begin(), chunk.end());
-        if (faults && faults->enabled()) {
-          const fault::Decision d = faults->decision(send_index);
-          if (d.corrupt_bits > 0) faults->corrupt(send_index, wire);
-          ++send_index;
-          if (d.drop) continue;  // lost on the wire
-        } else {
-          ++send_index;
-        }
-        if (fnv1a(wire) != chunk_digest) continue;  // corrupted: NAK
-        staged.insert(staged.end(), wire.begin(), wire.end());
-        delivered = true;
-        break;
-      }
-      if (!delivered) attempt_failed = true;
-    }
-    if (attempt_failed) {
+    if (!stage_attempt(bytes, chunk_bytes, faults, chunk_retries, send_index,
+                       report, staged)) {
       report.error = "staging failed: chunk retries exhausted";
       continue;  // next full attempt; switch untouched
     }
@@ -125,6 +136,83 @@ InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
         std::make_shared<table::Pipeline>(std::move(parsed).take());
     sw_.reprogram(table::Pipeline(*committed));
     publish(std::move(committed));
+    report.committed = true;
+    report.error.clear();
+    return report;
+  }
+
+  if (report.error.empty())
+    report.error = "install attempts exhausted";
+  return report;
+}
+
+InstallReport TwoPhaseInstaller::apply_delta(
+    std::span<const table::EntryOp> ops, const fault::Plan* faults,
+    std::size_t chunk_bytes, int max_attempts, int chunk_retries) {
+  InstallReport report;
+  report.ops = ops.size();
+  if (ops.empty()) {
+    // A no-op commit ships nothing and commits trivially: the active
+    // pipeline already is the target.
+    report.committed = true;
+    return report;
+  }
+
+  const std::string image = table::serialize_ops(ops);
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
+  const std::uint64_t image_digest = fnv1a(bytes);
+
+  chunk_bytes = std::max<std::size_t>(chunk_bytes, 1);
+  report.chunks = (image.size() + chunk_bytes - 1) / chunk_bytes;
+  std::uint64_t send_index = 0;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++report.attempts;
+
+    // --- Stage: same channel model as install(), smaller image.
+    std::vector<std::uint8_t> staged;
+    if (!stage_attempt(bytes, chunk_bytes, faults, chunk_retries, send_index,
+                       report, staged)) {
+      report.error = "staging failed: chunk retries exhausted";
+      continue;  // next full attempt; switch untouched
+    }
+
+    // --- Verify: digest, parse, then a dry-run application on a scratch
+    // copy of the active pipeline. A delta that does not land exactly
+    // (U0xx) means the controller and switch disagree about the installed
+    // state — aborting here is what keeps them from silently diverging.
+    if (fnv1a(staged) != image_digest) {
+      report.error = "staged delta digest mismatch";
+      continue;
+    }
+    auto parsed = table::deserialize_ops(
+        std::string_view(reinterpret_cast<const char*>(staged.data()),
+                         staged.size()));
+    if (!parsed.ok()) {
+      report.error = "staged delta rejected: " + parsed.error().to_string();
+      continue;
+    }
+    auto scratch = std::make_shared<table::Pipeline>(*active());
+    auto applied = table::apply_ops(*scratch, parsed.value());
+    if (!applied.ok()) {
+      // Deterministic failure — retrying the channel cannot fix a delta
+      // that does not match the installed state.
+      report.error = "delta does not apply: " + applied.error().to_string();
+      return report;
+    }
+
+    // --- Commit: patch the running switch program in place (RCU swap
+    // inside Switch::apply_delta), then advance the reader snapshot to
+    // the scratch result (already finalized+validated by apply_ops).
+    auto committed = sw_.apply_delta(parsed.value());
+    if (!committed.ok()) {
+      report.error =
+          "switch rejected the delta: " + committed.error().to_string();
+      return report;
+    }
+    publish(std::move(scratch));
+    report.applied = committed.value();
     report.committed = true;
     report.error.clear();
     return report;

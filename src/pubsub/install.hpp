@@ -20,16 +20,19 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "switchsim/switch.hpp"
+#include "table/delta.hpp"
 #include "table/pipeline.hpp"
 #include "table/serialize.hpp"
 
 namespace camus::pubsub {
 
-// Outcome of one install() call.
+// Outcome of one install() or apply_delta() call.
 struct InstallReport {
   bool committed = false;
   std::size_t attempts = 0;       // full staging attempts
@@ -37,6 +40,9 @@ struct InstallReport {
   std::size_t chunk_sends = 0;    // including retransmits
   std::size_t chunk_retransmits = 0;
   std::string error;              // empty when committed
+  // apply_delta() only: ops shipped and their kind breakdown as applied.
+  std::size_t ops = 0;
+  table::ApplyStats applied;
 };
 
 class TwoPhaseInstaller {
@@ -54,8 +60,28 @@ class TwoPhaseInstaller {
                         std::size_t chunk_bytes = 512, int max_attempts = 3,
                         int chunk_retries = 8);
 
+  // Transactional delta install: ships only the entry ops of an
+  // incremental commit instead of re-imaging the whole pipeline. Same
+  // three phases as install() —
+  //   stage   — serialize_ops image in digest-protected chunks over the
+  //             same faultable channel;
+  //   verify  — whole-image digest, parse (deserialize_ops), then the ops
+  //             are applied to a scratch copy of the active pipeline and
+  //             the patched result re-validated (strict U0xx diagnostics
+  //             catch a controller/switch desync before commit);
+  //   commit  — Switch::apply_delta patches the running program in place
+  //             (RCU swap), then the reader-visible snapshot advances.
+  // Any failure — channel exhaustion, parse error, or a delta that does
+  // not land — leaves switch and snapshot on last-good; rollback() still
+  // restores the pre-delta pipeline after a successful commit.
+  InstallReport apply_delta(std::span<const table::EntryOp> ops,
+                            const fault::Plan* faults = nullptr,
+                            std::size_t chunk_bytes = 512,
+                            int max_attempts = 3, int chunk_retries = 8);
+
   // Restores the previously committed pipeline (undo of the last
-  // successful install). False when there is nothing to roll back to.
+  // successful install or apply_delta). False when there is nothing to
+  // roll back to.
   bool rollback();
 
   // The committed pipeline, finalized, safe for concurrent read-only
@@ -66,6 +92,15 @@ class TwoPhaseInstaller {
 
  private:
   void publish(std::shared_ptr<const table::Pipeline> next);
+
+  // One staging attempt: ships `bytes` in digest-checked chunks over the
+  // faultable channel, appending delivered chunks to `staged`. False when
+  // any chunk exhausts its retries. `send_index` advances once per send
+  // so a whole campaign replays from the fault-plan seed.
+  bool stage_attempt(std::span<const std::uint8_t> bytes,
+                     std::size_t chunk_bytes, const fault::Plan* faults,
+                     int chunk_retries, std::uint64_t& send_index,
+                     InstallReport& report, std::vector<std::uint8_t>& staged);
 
   switchsim::Switch& sw_;
   mutable std::mutex mu_;

@@ -11,20 +11,79 @@ namespace camus::switchsim {
 
 Switch::Switch(spec::Schema schema, table::Pipeline pipeline)
     : schema_(std::make_shared<const spec::Schema>(std::move(schema))),
-      pipeline_(std::move(pipeline)),
+      slot_(std::make_unique<ProgramSlot>()),
       extractor_(*schema_),
       registers_(*schema_) {
   // Build the lookup indexes now, not lazily under the first packet.
-  pipeline_.finalize();
-  compiled_ = table::CompiledPipeline(pipeline_);
+  publish(std::move(pipeline));
+}
+
+// Lowers a pipeline into one immutable program generation. Runs outside
+// the slot lock where possible: finalize + flatten are the expensive part
+// of an update.
+std::shared_ptr<Switch::Program> Switch::make_program(
+    table::Pipeline pipeline) {
+  auto prog = std::make_shared<Program>();
+  prog->pipeline = std::move(pipeline);
+  prog->pipeline.finalize();
+  prog->compiled = table::CompiledPipeline(prog->pipeline);
+  prog->prefix_sig = prog->compiled.prefix_signature();
+  return prog;
+}
+
+void Switch::publish(table::Pipeline pipeline) {
+  auto prog = make_program(std::move(pipeline));
+  const std::lock_guard<std::mutex> lock(slot_->mu);
+  prog->version = (slot_->published ? slot_->published->version : 0) + 1;
+  const std::uint64_t v = prog->version;
+  slot_->published = std::move(prog);
+  // Release store after the locked publish: a reader that sees the new
+  // version is guaranteed to find (at least) that program in the slot.
+  slot_->version.store(v, std::memory_order_release);
 }
 
 void Switch::reprogram(table::Pipeline pipeline) {
-  pipeline_ = std::move(pipeline);
-  pipeline_.finalize();
-  compiled_ = table::CompiledPipeline(pipeline_);
-  // Cached prefix outcomes describe the old tables; drop them wholesale.
-  for (MemoSlot& s : memo_) s.used = false;
+  publish(std::move(pipeline));
+}
+
+util::Result<table::ApplyStats> Switch::apply_delta(
+    std::span<const table::EntryOp> ops) {
+  // The whole patch runs under the slot lock so concurrent updaters
+  // serialize instead of losing each other's ops (readers only take the
+  // lock on a version change, so the data plane stays unblocked on its
+  // current snapshot).
+  const std::lock_guard<std::mutex> lock(slot_->mu);
+  table::Pipeline patched = slot_->published->pipeline;
+  auto applied = table::apply_ops(patched, ops);
+  if (!applied.ok()) return applied.error();  // running program untouched
+  auto prog = make_program(std::move(patched));
+  prog->version = slot_->published->version + 1;
+  const std::uint64_t v = prog->version;
+  slot_->published = std::move(prog);
+  slot_->version.store(v, std::memory_order_release);
+  return applied;
+}
+
+const Switch::Program& Switch::current() const {
+  const std::uint64_t v = slot_->version.load(std::memory_order_acquire);
+  if (!cur_ || cur_->version != v) {
+    const std::lock_guard<std::mutex> lock(slot_->mu);
+    cur_ = slot_->published;
+  }
+  return *cur_;
+}
+
+const Switch::Program& Switch::current_data_plane() {
+  const Program& prog = current();
+  // Reconcile the hot-key memo with the program it will serve: entries
+  // computed under a different prefix are garbage, entries computed under
+  // a bit-identical prefix are still exact (prefix outcomes are a pure
+  // function of the key), so a suffix-only update keeps the memo warm.
+  if (prog.prefix_sig != memo_sig_) {
+    for (MemoSlot& s : memo_) s.used = false;
+    memo_sig_ = prog.prefix_sig;
+  }
+  return prog;
 }
 
 Switch Switch::make_broadcast(spec::Schema schema,
@@ -42,10 +101,11 @@ Switch Switch::make_broadcast(spec::Schema schema,
 
 const lang::ActionSet& Switch::classify(
     const std::vector<std::uint64_t>& fields, std::uint64_t now_us) {
+  const Program& prog = current_data_plane();
   lang::Env env;
   env.fields = fields;
   env.states = registers_.snapshot(now_us);
-  const table::LeafEntry* leaf = pipeline_.evaluate(env);
+  const table::LeafEntry* leaf = prog.pipeline.evaluate(env);
   static const lang::ActionSet kDrop{};
   if (!leaf) return kDrop;
   for (std::uint32_t var : leaf->actions.state_updates) {
@@ -146,15 +206,17 @@ void Switch::refresh_snapshot(std::uint64_t now_us) {
 }
 
 const lang::ActionSet* Switch::classify_fast(
-    const std::vector<std::uint64_t>& fields, std::uint64_t now_us) {
+    const Program& prog, const std::vector<std::uint64_t>& fields,
+    std::uint64_t now_us) {
+  const table::CompiledPipeline& compiled = prog.compiled;
   refresh_snapshot(now_us);
   const lang::ActionSet* actions = nullptr;
-  if (compiled_.valid()) {
+  if (compiled.valid()) {
     std::uint32_t leaf;
-    const std::size_t np = compiled_.prefix_stages();
+    const std::size_t np = compiled.prefix_stages();
     if (np > 0 && !memo_.empty()) {
       std::array<std::uint64_t, table::CompiledPipeline::kMaxPrefix> key{};
-      compiled_.prefix_key(fields, snap_, key.data());
+      compiled.prefix_key(fields, snap_, key.data());
       std::uint64_t h = 0;
       for (std::size_t i = 0; i < np; ++i) h = util::mix64(h ^ key[i]);
       MemoSlot& slot = memo_[h & (kMemoSlots - 1)];
@@ -164,22 +226,22 @@ const lang::ActionSet* Switch::classify_fast(
         state = slot.state;
         ++batch_stats_.memo_hits;
       } else {
-        state = compiled_.run_prefix(fields, snap_);
+        state = compiled.run_prefix(fields, snap_);
         slot.key = key;
         slot.state = state;
         slot.used = true;
       }
-      leaf = compiled_.finish(state, fields, snap_);
+      leaf = compiled.finish(state, fields, snap_);
     } else {
-      leaf = compiled_.traverse(fields, snap_);
+      leaf = compiled.traverse(fields, snap_);
     }
-    actions = compiled_.actions(leaf);
+    actions = compiled.actions(leaf);
   } else {
     // The pipeline could not be flattened (degenerate shape); fall back to
     // the reference evaluator, still with the cached snapshot.
     env_scratch_.fields = fields;
     env_scratch_.states = snap_;
-    const table::LeafEntry* l = pipeline_.evaluate(env_scratch_);
+    const table::LeafEntry* l = prog.pipeline.evaluate(env_scratch_);
     actions = l ? &l->actions : nullptr;
   }
   if (actions) {
@@ -193,7 +255,9 @@ const lang::ActionSet* Switch::classify_fast(
 
 std::vector<Switch::TxPacket> Switch::process_batch(
     std::span<const Frame> frames) {
-  if (memo_.empty() && compiled_.valid() && compiled_.prefix_stages() > 0)
+  const Program& prog = current_data_plane();
+  if (memo_.empty() && prog.compiled.valid() &&
+      prog.compiled.prefix_stages() > 0)
     memo_.resize(kMemoSlots);
 
   // Pass 1: zero-copy scan. Collects per-frame header views and one shared
@@ -229,7 +293,7 @@ std::vector<Switch::TxPacket> Switch::process_batch(
     for (std::uint32_t i = ranges[f].first; i < ranges[f].second; ++i) {
       extractor_.extract_wire(frames[f].data.data() + offsets_[i],
                               fields_scratch_);
-      msg_actions_[i] = classify_fast(fields_scratch_, frames[f].now_us);
+      msg_actions_[i] = classify_fast(prog, fields_scratch_, frames[f].now_us);
     }
   }
 
@@ -277,7 +341,7 @@ std::vector<Switch::TxPacket> Switch::process_batch(
 }
 
 bool Switch::fits(const table::ResourceBudget& budget) const {
-  return budget.fits(pipeline_.resources());
+  return budget.fits(current().pipeline.resources());
 }
 
 }  // namespace camus::switchsim

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -20,7 +22,9 @@
 #include "switchsim/extract.hpp"
 #include "switchsim/registers.hpp"
 #include "table/compiled.hpp"
+#include "table/delta.hpp"
 #include "table/pipeline.hpp"
+#include "util/result.hpp"
 
 namespace camus::switchsim {
 
@@ -128,25 +132,62 @@ class Switch {
 
   const SwitchCounters& counters() const noexcept { return counters_; }
   const BatchStats& batch_stats() const noexcept { return batch_stats_; }
-  const table::CompiledPipeline& compiled() const noexcept {
-    return compiled_;
+  // References into the current program snapshot: valid until the calling
+  // thread's next process*/classify/reprogram/apply_delta call observes a
+  // newer program (the snapshot itself is kept alive until then).
+  const table::CompiledPipeline& compiled() const {
+    return current().compiled;
   }
-  const table::Pipeline& pipeline() const noexcept { return pipeline_; }
+  const table::Pipeline& pipeline() const { return current().pipeline; }
   StateRegisters& registers() noexcept { return registers_; }
 
   // Installs a recompiled pipeline (e.g. from the incremental compiler)
   // without disturbing registers or counters — the runtime analogue of a
-  // control-plane table update. Finalizes the new pipeline up front, like
-  // the constructor, rebuilds the flattened fast-path structure, and
-  // invalidates the hot-key memo (its cached prefix outcomes belong to the
-  // old tables).
+  // control-plane table update. The replacement program (finalized
+  // pipeline + rebuilt flattened fast path) is built off to the side and
+  // published with an atomic version bump: a concurrently running
+  // process_batch() keeps reading its complete old snapshot and picks the
+  // new one up at its next call (RCU-style; TSAN-exercised in
+  // tests/test_concurrent_lookup.cpp). The hot-key memo survives the swap
+  // when the new program's prefix stages are bit-identical (see
+  // CompiledPipeline::prefix_signature); otherwise it is invalidated on
+  // the data-plane thread, never from the updater.
   void reprogram(table::Pipeline pipeline);
+
+  // Patches the running program in place with a control-plane entry delta
+  // — how a real ASIC takes incremental table updates from its driver.
+  // The delta is applied to a scratch copy of the current pipeline
+  // (strict U0xx diagnostics on any desync; the running program is
+  // untouched on error), lowered, and published exactly like
+  // reprogram(). Registers, counters, and the memo (prefix permitting)
+  // are preserved.
+  util::Result<table::ApplyStats> apply_delta(
+      std::span<const table::EntryOp> ops);
+
+  // Monotone program version, bumped by every successful
+  // reprogram()/apply_delta(). Readers can poll it cheaply.
+  std::uint64_t program_version() const noexcept {
+    return slot_->version.load(std::memory_order_acquire);
+  }
 
   // Resource audit: whether the compiled pipeline fits the budget.
   bool fits(const table::ResourceBudget& budget = {}) const;
-  table::ResourceUsage resources() const { return pipeline_.resources(); }
+  table::ResourceUsage resources() const {
+    return current().pipeline.resources();
+  }
 
  private:
+  // One immutable generation of the switch's program: the IR pipeline
+  // (reference path + delta base) and its flattened fast path. Readers
+  // hold a shared_ptr snapshot; updaters publish a wholly new Program.
+  struct Program {
+    std::uint64_t version = 0;
+    table::Pipeline pipeline;
+    table::CompiledPipeline compiled;
+    // Cached compiled.prefix_signature(): the per-message memo
+    // reconciliation check must be O(1), not a rehash of the prefix.
+    std::uint64_t prefix_sig = 0;
+  };
   // Shared forwarding tail of process()/process_generic(): bumps
   // dropped/matched/multicast_frames/tx_copies and emits one TxCopy per
   // egress port.
@@ -156,8 +197,13 @@ class Switch {
   // drop) and applies state updates, bit-identical to classify() but
   // allocation-free — cached register snapshot, flattened traversal with
   // hot-key memo, Pipeline::evaluate fallback when the pipeline could not
-  // be flattened.
-  const lang::ActionSet* classify_fast(const std::vector<std::uint64_t>& fields,
+  // be flattened. Takes the program explicitly: the caller pins ONE
+  // snapshot for its whole batch, because the returned pointer aims into
+  // that program's interned actions — re-reading current_data_plane() per
+  // message could adopt a newer program mid-batch and free the old one
+  // while earlier messages' ActionSet pointers are still queued.
+  const lang::ActionSet* classify_fast(const Program& prog,
+                                       const std::vector<std::uint64_t>& fields,
                                        std::uint64_t now_us);
   // Refreshes snap_ if the register file or timestamp moved.
   void refresh_snapshot(std::uint64_t now_us);
@@ -172,11 +218,38 @@ class Switch {
   };
   static constexpr std::size_t kMemoSlots = 4096;  // power of two
 
+  // Published-program slot, shared between the data-plane reader and
+  // control-plane updaters. Behind a unique_ptr so the Switch stays
+  // movable (mutex/atomic are not) and the slot address is stable.
+  struct ProgramSlot {
+    std::mutex mu;
+    std::shared_ptr<const Program> published;  // guarded by mu
+    std::atomic<std::uint64_t> version{0};     // == published->version
+  };
+
+  // Builds a Program (finalize + flatten) and swaps it in as the newest
+  // generation.
+  static std::shared_ptr<Program> make_program(table::Pipeline pipeline);
+  void publish(table::Pipeline pipeline);
+
+  // Returns the calling thread's current program snapshot, refreshing the
+  // thread-confined cache from the slot when the version moved. The const
+  // overload is for accessors; data-plane entry points use the non-const
+  // overload, which also reconciles the hot-key memo with the (possibly
+  // new) program.
+  const Program& current() const;
+  const Program& current_data_plane();
+
   // shared_ptr gives the schema a stable address across Switch moves (the
   // extractor and register file hold references into it).
   std::shared_ptr<const spec::Schema> schema_;
-  table::Pipeline pipeline_;
-  table::CompiledPipeline compiled_;
+  std::unique_ptr<ProgramSlot> slot_;
+  // Data-plane-confined cache of the published program. Mutable so const
+  // accessors can refresh it; never touched concurrently (the data plane
+  // is single-threaded; updaters only touch slot_).
+  mutable std::shared_ptr<const Program> cur_;
+  // Prefix signature the memo contents were computed under.
+  std::uint64_t memo_sig_ = 0;
   ItchFieldExtractor extractor_;
   StateRegisters registers_;
   SwitchCounters counters_;

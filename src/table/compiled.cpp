@@ -240,6 +240,28 @@ std::uint32_t CompiledPipeline::traverse(
   return finish(run_prefix(fields, states), fields, states);
 }
 
+std::uint64_t CompiledPipeline::prefix_signature() const noexcept {
+  if (!valid_) return 0;
+  std::uint64_t h = util::mix64(0x9e3779b97f4a7c15ULL ^ initial_state_);
+  h = util::mix64(h ^ prefix_stages_);
+  for (std::size_t i = 0; i < prefix_stages_; ++i) {
+    const Stage& s = stages_[i];
+    h = util::mix64(h ^ (static_cast<std::uint64_t>(s.subject.id) << 1 ^
+                         static_cast<std::uint64_t>(s.subject.kind)));
+    h = util::mix64(h ^ s.flat.states);
+    // Empty slots hash too: identical entry sets in identical order give
+    // identical open-addressed layouts, which is the case this signature
+    // distinguishes (prefix untouched vs. patched by a delta).
+    for (const ExactSlot& slot : s.flat.exact)
+      h = util::mix64(h ^ slot.value ^ exact_hash(slot.state, slot.next));
+    for (const RangeEnt& r : s.flat.ranges)
+      h = util::mix64(h ^ r.lo ^ util::mix64(r.hi ^ r.next));
+    for (const std::uint32_t off : s.flat.range_off) h = util::mix64(h ^ off);
+    for (const std::uint32_t next : s.flat.any_next) h = util::mix64(h ^ next);
+  }
+  return h == 0 ? 1 : h;
+}
+
 void CompiledPipeline::prefix_key(std::span<const std::uint64_t> fields,
                                   std::span<const std::uint64_t> states,
                                   std::uint64_t* out) const noexcept {

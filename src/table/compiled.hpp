@@ -81,6 +81,14 @@ class CompiledPipeline {
                              : &action_sets_[leaf_action_idx_[leaf_idx]];
   }
 
+  // Fingerprint of the memo prefix: hashes the prefix stages' flattened
+  // tables plus the initial state. Equal signatures mean every prefix key
+  // classifies to the same post-prefix state in both pipelines, so a
+  // hot-key memo built against one remains valid for the other — the RCU
+  // swap in switchsim::Switch keeps its memo warm across a reprogram that
+  // leaves the prefix stages untouched. 0 for an invalid pipeline.
+  std::uint64_t prefix_signature() const noexcept;
+
   // --- layout telemetry ----------------------------------------------
   std::size_t arena_bytes() const noexcept { return arena_.bytes(); }
   std::size_t stage_count() const noexcept {

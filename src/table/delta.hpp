@@ -1,0 +1,85 @@
+// Control-plane entry deltas: the minimal-update currency of the live
+// subscription churn path (paper §3: "state updates can benefit from
+// table entry re-use"). One EntryOp is one control-plane operation on a
+// programmed switch — install, delete, or (leaf only) modify a single
+// entry. The incremental compiler emits them, the installer ships them
+// over the (possibly faulty) control channel, and apply_ops() patches a
+// running Pipeline in place — the software analogue of a Tofino taking
+// table updates from its driver while forwarding at line rate.
+//
+// Ordering and priority: match priority inside a table is structural
+// (exact beats range beats wildcard, ranges are disjoint), not positional,
+// so a patched table is behaviourally identical to a freshly generated one
+// regardless of entry order. apply_ops() applies removes before modifies
+// before adds so that a remove+add pair touching the same value region
+// never transiently violates range disjointness, then re-finalizes only
+// the touched tables (Table::finalize is idempotent) and re-validates the
+// whole pipeline before the patch is considered committed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace camus::table {
+
+// Current delta wire-format version; deserialize_ops rejects others.
+inline constexpr int kDeltaFormatVersion = 1;
+
+// The leaf table's reserved name in EntryOp::table. Field tables are
+// compiler-named ("tbl_<field>", "map_<field>") and never collide.
+inline constexpr std::string_view kLeafTableName = "leaf";
+
+// One control-plane operation: install, delete, or modify one entry.
+struct EntryOp {
+  enum class Kind : std::uint8_t { kAdd, kRemove, kModify };
+  Kind kind = Kind::kAdd;
+  std::string table;  // field/value-map table name, or kLeafTableName
+  StateId state = 0;
+  ValueMatch match;        // field ops only
+  StateId next_state = 0;  // field ops only
+  lang::ActionSet actions;  // leaf ops only; kModify is leaf-only
+
+  bool is_leaf() const noexcept { return table == kLeafTableName; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const EntryOp&, const EntryOp&) = default;
+};
+
+// Outcome summary of one apply_ops() call.
+struct ApplyStats {
+  std::size_t adds = 0;
+  std::size_t removes = 0;
+  std::size_t modifies = 0;
+};
+
+// Applies a delta to a pipeline in place. Strict: every op must land
+// exactly (U0xx diagnostics otherwise), so a desynchronized controller
+// and switch are detected instead of silently diverging:
+//   U001  op names a table the pipeline does not have
+//   U002  remove: no entry matches (state, match, next_state)
+//   U003  add: an identical entry already exists
+//   U004  modify on a field table (modify is leaf-only)
+//   U005  leaf remove/modify: state absent, or actions mismatch on remove
+//   U006  leaf add: state already has an entry
+//   U007  patched pipeline failed structural validation
+// On error the pipeline may hold a partial patch: callers apply to a
+// scratch copy and swap (see TwoPhaseInstaller::apply_delta), never to a
+// pipeline readers can observe. Leaf adds/modifies intern multicast
+// groups locally, so deltas are independent of group renumbering.
+util::Result<ApplyStats> apply_ops(Pipeline& pipe,
+                                   std::span<const EntryOp> ops);
+
+// Wire format for shipping a delta over the control channel (same
+// line-oriented style as serialize_pipeline; digest protection is the
+// installer's job).
+std::string serialize_ops(std::span<const EntryOp> ops);
+util::Result<std::vector<EntryOp>> deserialize_ops(std::string_view text);
+
+}  // namespace camus::table

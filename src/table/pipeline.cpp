@@ -41,6 +41,18 @@ void Pipeline::finalize() {
   for (auto& t : tables) t.finalize();
 }
 
+Table* Pipeline::find_table(std::string_view name) {
+  for (auto& t : value_maps)
+    if (t.name() == name) return &t;
+  for (auto& t : tables)
+    if (t.name() == name) return &t;
+  return nullptr;
+}
+
+const Table* Pipeline::find_table(std::string_view name) const {
+  return const_cast<Pipeline*>(this)->find_table(name);
+}
+
 util::Result<bool> Pipeline::validate() const {
   for (const auto& t : value_maps)
     if (auto r = t.validate(); !r.ok()) return r;

@@ -34,6 +34,11 @@ class Pipeline {
   // mid-simulation.
   util::Result<bool> validate() const;
 
+  // Looks a stage up by name across value_maps and tables (the delta
+  // apply path addresses tables by name). nullptr when absent.
+  Table* find_table(std::string_view name);
+  const Table* find_table(std::string_view name) const;
+
   // Runs the state machine over the given field/state values. Returns the
   // matched leaf entry, or nullptr for drop.
   const LeafEntry* evaluate(const lang::Env& env) const;

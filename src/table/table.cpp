@@ -27,6 +27,22 @@ std::string ValueMatch::to_string() const {
   return "?";
 }
 
+bool Table::insert_entry(const Entry& e) {
+  if (std::find(entries_.begin(), entries_.end(), e) != entries_.end())
+    return false;
+  entries_.push_back(e);
+  indexed_ = false;
+  return true;
+}
+
+bool Table::remove_matching(const Entry& e) {
+  auto it = std::find(entries_.begin(), entries_.end(), e);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  indexed_ = false;
+  return true;
+}
+
 void Table::finalize() const {
   if (indexed_) return;
   index_.clear();
@@ -121,6 +137,27 @@ void LeafTable::add_entry(LeafEntry e) {
 const LeafEntry* LeafTable::lookup(StateId state) const {
   auto it = index_.find(state);
   return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+void LeafTable::reindex() {
+  index_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    index_.emplace(entries_[i].state, i);  // emplace keeps first-wins
+}
+
+bool LeafTable::remove_entry(StateId state) {
+  auto it = index_.find(state);
+  if (it == index_.end()) return false;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  reindex();
+  return true;
+}
+
+bool LeafTable::replace_entry(StateId state, LeafEntry e) {
+  auto it = index_.find(state);
+  if (it == index_.end() || e.state != state) return false;
+  entries_[it->second] = std::move(e);
+  return true;
 }
 
 void ResourceUsage::accumulate(const ResourceUsage& other) {

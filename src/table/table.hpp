@@ -51,12 +51,16 @@ struct ValueMatch {
   }
 
   std::string to_string() const;
+
+  friend bool operator==(const ValueMatch&, const ValueMatch&) = default;
 };
 
 struct Entry {
   StateId state = kInitialState;
   ValueMatch match;
   StateId next_state = kInitialState;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
 };
 
 // A single match-action stage. After populating `entries`, call finalize()
@@ -102,6 +106,15 @@ class Table {
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
     indexed_ = false;
   }
+
+  // --- runtime control-plane updates (live churn path) ----------------
+  // Installs one entry unless an identical one is already present
+  // (idempotent; returns false on the duplicate). Invalidates the index.
+  bool insert_entry(const Entry& e);
+  // Removes the first entry identical to e; false when absent. Match
+  // priority is structural (exact > range > wildcard; ranges disjoint),
+  // so removal position never changes lookup semantics.
+  bool remove_matching(const Entry& e);
 
   // Builds per-state indices: hash lookup for exact entries, binary search
   // over sorted disjoint ranges, wildcard fallback. Specific entries win
@@ -171,7 +184,19 @@ class LeafTable {
   // Miss -> nullptr (drop).
   const LeafEntry* lookup(StateId state) const;
 
+  // --- runtime control-plane updates (live churn path) ----------------
+  // Removes the entry for `state`; false when absent. First-wins duplicate
+  // semantics are preserved: if a shadowed duplicate for the same state
+  // exists it becomes visible, exactly as a freshly built table would
+  // resolve.
+  bool remove_entry(StateId state);
+  // Replaces the entry for `state` in place (ActionSet-only modify);
+  // false when absent.
+  bool replace_entry(StateId state, LeafEntry e);
+
  private:
+  void reindex();
+
   std::vector<LeafEntry> entries_;
   std::unordered_map<StateId, std::size_t> index_;
 };

@@ -1,0 +1,79 @@
+#include "workload/churn.hpp"
+
+#include <stdexcept>
+
+#include "util/intern.hpp"
+
+namespace camus::workload {
+
+using lang::BoundCond;
+using lang::BoundPredicate;
+using lang::RelOp;
+using lang::Subject;
+
+ChurnGenerator::ChurnGenerator(const spec::Schema& schema, ChurnParams params)
+    : schema_(schema), params_(params), rng_(params.seed) {
+  auto stock = schema.resolve_field("stock");
+  auto price = schema.resolve_field("price");
+  if (!stock || !price)
+    throw std::invalid_argument(
+        "churn generator needs 'stock' and 'price' fields");
+  stock_field_ = *stock;
+  price_field_ = *price;
+  price_umax_ = schema.field(price_field_).umax();
+
+  base_ = generate_itch_subscriptions(schema, params_.subs);
+  live_.reserve(base_.rules.size());
+  for (std::size_t i = 0; i < base_.rules.size(); ++i) live_.push_back(i);
+  next_slot_ = base_.rules.size();
+
+  // Fresh subscriptions reuse the base workload's per-host thresholds, so
+  // churned rules stay inside the same action-set-sharing regime as the
+  // base set (see itch_subs.hpp on why that matches the paper's scale).
+  host_threshold_.resize(params_.subs.n_hosts);
+  for (auto& t : host_threshold_)
+    t = rng_.uniform(1, params_.subs.price_max - 1);
+}
+
+lang::BoundRule ChurnGenerator::make_rule() {
+  const std::size_t host = rng_.uniform(0, params_.subs.n_hosts - 1);
+  const std::uint64_t threshold =
+      params_.subs.per_host_threshold
+          ? host_threshold_[host]
+          : rng_.uniform(1, params_.subs.price_max - 1);
+  const std::string& sym =
+      base_.symbols[rng_.uniform(0, base_.symbols.size() - 1)];
+
+  BoundPredicate ps{Subject::field(stock_field_), RelOp::kEq,
+                    util::encode_symbol(sym)};
+  BoundPredicate pp{Subject::field(price_field_), RelOp::kGt,
+                    threshold & price_umax_};
+  lang::BoundRule rule;
+  rule.cond = BoundCond::make_and(BoundCond::make_atom(ps),
+                                  BoundCond::make_atom(pp));
+  rule.actions.add_port(static_cast<std::uint16_t>(1 + host));
+  return rule;
+}
+
+ChurnGenerator::Op ChurnGenerator::next() {
+  Op op;
+  const bool subscribe =
+      live_.empty() ||
+      rng_.uniform(0, 999) < static_cast<std::uint64_t>(
+                                 params_.p_subscribe * 1000.0);
+  if (subscribe) {
+    op.subscribe = true;
+    op.slot = next_slot_++;
+    op.rule = make_rule();
+    live_.push_back(op.slot);
+  } else {
+    const std::size_t pick = rng_.uniform(0, live_.size() - 1);
+    op.subscribe = false;
+    op.slot = live_[pick];
+    live_[pick] = live_.back();
+    live_.pop_back();
+  }
+  return op;
+}
+
+}  // namespace camus::workload

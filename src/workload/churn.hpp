@@ -1,0 +1,78 @@
+// Subscription-churn workload: a seeded stream of subscribe/unsubscribe
+// operations over the ITCH subscription distributions (itch_subs.hpp),
+// driving the live update path (controller commit -> installer delta ->
+// switch patch). The paper's §3 motivates exactly this regime: "highly
+// dynamic queries would require an incremental algorithm, both to reduce
+// compilation time and to minimize the number of state updates in the
+// network."
+//
+// The generator owns the notion of the live set and names rules by a
+// stable *slot* id assigned at subscribe time (base rules occupy slots
+// 0..base().size()-1). Consumers map slots onto their own handles —
+// IncrementalCompiler::SubscriptionId in the bench, a rules vector index
+// in the differential test — so one op stream can drive an incremental
+// path and a from-scratch oracle identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+#include "util/rng.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace camus::workload {
+
+struct ChurnParams {
+  std::uint64_t seed = 1;
+  // Subscribe probability per op when both moves are legal (an empty live
+  // set forces a subscribe). 0.5 holds the live set near its base size.
+  double p_subscribe = 0.5;
+  // Distributions for the base set and for freshly subscribed rules
+  // (n_subscriptions is the base size).
+  ItchSubsParams subs;
+};
+
+class ChurnGenerator {
+ public:
+  struct Op {
+    bool subscribe = false;
+    // Slot id: fresh for a subscribe, a previously live slot for an
+    // unsubscribe.
+    std::size_t slot = 0;
+    lang::BoundRule rule;  // subscribe ops only
+  };
+
+  ChurnGenerator(const spec::Schema& schema, ChurnParams params);
+
+  // The base rule set (slots 0..size-1, live before the first next()).
+  const std::vector<lang::BoundRule>& base() const noexcept {
+    return base_.rules;
+  }
+  const std::vector<std::string>& symbols() const noexcept {
+    return base_.symbols;
+  }
+
+  // The next churn op, deterministic from the seed. Unsubscribes evict a
+  // uniformly random live slot.
+  Op next();
+
+  std::size_t live_count() const noexcept { return live_.size(); }
+
+ private:
+  lang::BoundRule make_rule();
+
+  const spec::Schema& schema_;
+  ChurnParams params_;
+  util::Rng rng_;
+  ItchSubscriptions base_;
+  std::vector<std::size_t> live_;  // currently subscribed slots
+  std::size_t next_slot_ = 0;
+  std::uint32_t stock_field_ = 0;
+  std::uint32_t price_field_ = 0;
+  std::uint64_t price_umax_ = 0;
+  std::vector<std::uint64_t> host_threshold_;
+};
+
+}  // namespace camus::workload

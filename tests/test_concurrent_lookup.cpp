@@ -7,15 +7,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <thread>
 #include <vector>
 
+#include "compiler/incremental.hpp"
 #include "fault/plan.hpp"
 #include "pubsub/controller.hpp"
 #include "pubsub/install.hpp"
 #include "spec/itch_spec.hpp"
 #include "switchsim/extract.hpp"
 #include "table/compiled.hpp"
+#include "workload/churn.hpp"
 #include "workload/feed.hpp"
 #include "workload/itch_subs.hpp"
 
@@ -47,7 +50,7 @@ TEST(ConcurrentLookup, EvaluateAndTraverseAfterControllerCompile) {
   // Deliberately no finalize() here: the controller must have finalized
   // the installed pipeline, or the first concurrent evaluate below races
   // on the lazy index build.
-  const table::Pipeline& pipe = ctl.compiled().pipeline;
+  const table::Pipeline& pipe = ctl.compiled().value()->pipeline;
   const table::CompiledPipeline cp(pipe);
   ASSERT_TRUE(cp.valid());
 
@@ -224,6 +227,96 @@ TEST(ConcurrentLookup, TwoPhaseInstallNeverExposesPartialPipeline) {
   // The final committed snapshot still evaluates to a legal digest.
   const std::uint64_t final_digest = digest_of(*installer.active());
   EXPECT_TRUE(final_digest == want1 || final_digest == want2);
+}
+
+// RCU program swap under load (TSAN job): the data-plane thread loops
+// process_batch while a control-plane thread patches the running program
+// with entry deltas (Switch::apply_delta) and occasional full
+// reprogram()s. The reader must only ever execute a complete program
+// (ISSUE 5 tentpole item 4); TSAN proves the version-bumped publish and
+// the thread-confined snapshot cache never race. Afterwards the patched
+// switch must agree bit-for-bit with a freshly built switch running the
+// final pipeline.
+TEST(ConcurrentLookup, DeltaSwapUnderBatchLoad) {
+  auto schema = spec::make_itch_schema();
+  compiler::CompileOptions opts;
+  opts.order = bdd::OrderHeuristic::kExactFirst;
+
+  workload::ChurnParams cp;
+  cp.seed = 53;
+  cp.subs.seed = 59;
+  cp.subs.n_subscriptions = 60;
+  cp.subs.n_symbols = 20;
+  cp.subs.n_hosts = 8;
+  workload::ChurnGenerator churn(schema, cp);
+
+  compiler::IncrementalCompiler inc(schema, opts);
+  std::map<std::size_t, compiler::IncrementalCompiler::SubscriptionId> ids;
+  for (std::size_t slot = 0; slot < churn.base().size(); ++slot)
+    ids[slot] = inc.add(churn.base()[slot]);
+  ASSERT_TRUE(inc.commit().ok());
+  switchsim::Switch sw(schema, inc.pipeline());
+
+  workload::FeedParams fp;
+  fp.seed = 61;
+  fp.n_messages = 1500;
+  fp.symbols = churn.symbols();
+  const auto packed = workload::pack_feed_frames(workload::generate_feed(fp));
+  std::vector<switchsim::Switch::Frame> frames;
+  for (const auto& pf : packed)
+    frames.push_back({std::span<const std::uint8_t>(pf.bytes), pf.t_us});
+
+  auto egress_digest = [&frames](switchsim::Switch& s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& pkt : s.process_batch(frames)) {
+      h = fnv_step(h, pkt.port);
+      for (const std::uint8_t b : pkt.frame) h = fnv_step(h, b);
+    }
+    return h;
+  };
+
+  // Data-plane thread: the single reader, batching continuously across
+  // every swap.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> batches{0};
+  std::thread data_plane([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)sw.process_batch(frames);
+      batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Control-plane thread (this one): 24 churn commits patched in, every
+  // sixth swap a full reprogram instead of a delta.
+  int update_failures = 0;
+  for (int round = 0; round < 24; ++round) {
+    auto op = churn.next();
+    if (op.subscribe) {
+      ids[op.slot] = inc.add(std::move(op.rule));
+    } else {
+      ASSERT_TRUE(inc.remove(ids.at(op.slot)));
+      ids.erase(op.slot);
+    }
+    auto delta = inc.commit();
+    ASSERT_TRUE(delta.ok()) << delta.error().to_string();
+    if (round % 6 == 5) {
+      sw.reprogram(inc.pipeline());
+    } else if (auto applied = sw.apply_delta(delta.value().ops);
+               !applied.ok()) {
+      ++update_failures;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  data_plane.join();
+
+  EXPECT_EQ(update_failures, 0);
+  EXPECT_GT(batches.load(), 0u);
+  // 1 initial publish + 24 updates, none lost or duplicated.
+  EXPECT_EQ(sw.program_version(), 25u);
+
+  // Converged: patched switch == fresh switch on the final pipeline.
+  switchsim::Switch fresh(schema, inc.pipeline());
+  EXPECT_EQ(egress_digest(sw), egress_digest(fresh));
 }
 
 }  // namespace

@@ -43,10 +43,10 @@ TEST(Controller, RecompilesOnChange) {
   pubsub::Controller ctl(spec::make_itch_schema());
   ASSERT_TRUE(ctl.subscribe(1, "stock == AAPL").ok());
   ASSERT_TRUE(ctl.compile().ok());
-  const auto entries1 = ctl.compiled().stats.total_entries;
+  const auto entries1 = ctl.compiled().value()->stats.total_entries;
   ASSERT_TRUE(ctl.subscribe(2, "stock == MSFT and price > 100").ok());
   ASSERT_TRUE(ctl.compile().ok());
-  EXPECT_GT(ctl.compiled().stats.total_entries, entries1);
+  EXPECT_GT(ctl.compiled().value()->stats.total_entries, entries1);
 }
 
 TEST(Controller, EmitsP4AndControlPlane) {
@@ -60,15 +60,19 @@ TEST(Controller, EmitsP4AndControlPlane) {
   EXPECT_NE(p4.find("register"), std::string::npos);
   EXPECT_NE(p4.find("V1Switch"), std::string::npos);
 
-  const std::string rules = ctl.control_plane_rules();
+  const std::string rules = ctl.control_plane_rules().value();
   EXPECT_NE(rules.find("table_add tbl_add_order_stock"), std::string::npos);
   EXPECT_NE(rules.find("table_add tbl_leaf"), std::string::npos);
 }
 
-TEST(Controller, CompiledBeforeCompileThrows) {
+TEST(Controller, CompiledBeforeCompileIsDiagnosed) {
   pubsub::Controller ctl(spec::make_itch_schema());
-  EXPECT_THROW(ctl.compiled(), std::logic_error);
-  EXPECT_THROW(ctl.control_plane_rules(), std::logic_error);
+  auto c = ctl.compiled();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.error().code, "E120");
+  auto rules = ctl.control_plane_rules();
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.error().code, "E121");
 }
 
 TEST(Controller, ClearResets) {

@@ -80,7 +80,7 @@ TEST(Spill, TightBudgetSpillsLowestPriorityFirst) {
   // allow roughly half the full pipeline's TCAM/SRAM needs. fits() checks
   // totals against per_stage * max_stages, so divide by the stage count.
   ASSERT_TRUE(ctl.compile().ok());
-  const auto full = ctl.compiled().pipeline.resources();
+  const auto full = ctl.compiled().value()->pipeline.resources();
   table::ResourceBudget budget;
   budget.max_stages = full.stages;
   budget.sram_entries_per_stage = 1 + full.sram_entries / (2 * full.stages);
@@ -126,7 +126,7 @@ TEST(Spill, SplitSemanticsAreComplete) {
   auto ctl = make_controller(schema, 300, 3, &symbols);
 
   ASSERT_TRUE(ctl.compile().ok());
-  auto unsplit = ctl.compiled().pipeline;  // the full BDD semantics
+  auto unsplit = ctl.compiled().value()->pipeline;  // the full BDD semantics
   unsplit.finalize();
   const auto full = unsplit.resources();
 

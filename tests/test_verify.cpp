@@ -550,7 +550,7 @@ TEST(VerifyCompiled, ControllerRejectPolicyKeepsLastGoodPipeline) {
   ctl.set_lint_policy(pubsub::LintPolicy::kReject);
   ASSERT_TRUE(ctl.subscribe(1, "stock == GOOGL").ok());
   ASSERT_TRUE(ctl.compile().ok()) << ctl.last_lint().to_text();
-  ASSERT_EQ(ctl.compiled().stats.rule_count, 1u);
+  ASSERT_EQ(ctl.compiled().value()->stats.rule_count, 1u);
 
   // An unsatisfiable subscription is an S001 error: the recompile is
   // rejected and the previous pipeline keeps serving.
@@ -559,14 +559,14 @@ TEST(VerifyCompiled, ControllerRejectPolicyKeepsLastGoodPipeline) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.error().message.find("S001"), std::string::npos);
   EXPECT_TRUE(ctl.last_lint().has_errors());
-  EXPECT_EQ(ctl.compiled().stats.rule_count, 1u);  // previous good pipeline
+  EXPECT_EQ(ctl.compiled().value()->stats.rule_count, 1u);  // previous good pipeline
 
   // kWarn records the same findings but accepts the pipeline.
   ctl.set_lint_policy(pubsub::LintPolicy::kWarn);
   ASSERT_TRUE(ctl.subscribe(3, "stock == MSFT").ok());
   ASSERT_TRUE(ctl.compile().ok());
   EXPECT_TRUE(ctl.last_lint().has_errors());
-  EXPECT_EQ(ctl.compiled().stats.rule_count, 3u);
+  EXPECT_EQ(ctl.compiled().value()->stats.rule_count, 3u);
 }
 
 TEST(VerifyCompiled, RunsBothLayers) {
