@@ -1,25 +1,34 @@
 // Throughput-regression harness for the data-plane fast path: replays a
 // nasdaq-style feed through the per-frame reference path
-// (process_messages) and the batched fast path (process_batch), asserts
-// the outputs are identical, and reports machine-readable throughput
+// (process_messages), the batched fast path (process_batch), and — with
+// --threads N — the multi-core front end (ParallelSwitch) at pool sizes
+// 1,2,4,...,N. Asserts every path's output digest and counters are
+// identical to the reference, and reports machine-readable throughput
 // numbers. CI runs this with --quick --json and fails the build when the
 // batched path regresses versus the committed BENCH_throughput.json.
+//
+// Latency percentiles are message-weighted (netsim::per_message_latency):
+// each timed call contributes its per-message cost with weight equal to
+// the messages it carried, so the trailing partial batch no longer skews
+// p99 and single-thread vs multi-thread numbers are comparable.
 //
 // Allocation audit baked into this harness's hot loops (before -> after):
 //  - workload::generate_feed reserved the "others" symbol index;
 //  - extractor gained extract_into/extract_wire (no per-message vector);
 //  - the batch path caches register snapshots (no per-message snapshot
 //    vector) and reuses frame/offset/bucket scratch across batches.
-#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "compiler/compile.hpp"
 #include "netsim/replay.hpp"
 #include "spec/itch_spec.hpp"
+#include "switchsim/parallel.hpp"
 #include "switchsim/switch.hpp"
 #include "workload/feed.hpp"
 #include "workload/itch_subs.hpp"
@@ -32,36 +41,20 @@ constexpr std::size_t kMsgsPerFrame = 4;
 constexpr std::size_t kBatchFrames = 64;
 constexpr std::size_t kRules = 1000;
 
-double quantile(std::vector<double> v, double q) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
-  return v[idx];
-}
-
 struct PathReport {
   double msgs_per_sec = 0;
   double ns_per_msg_p50 = 0;
   double ns_per_msg_p99 = 0;
 };
 
-// msgs_per_call[i] = messages covered by call_ns[i].
-PathReport summarize(const netsim::ReplayStats& st,
-                     const std::vector<std::size_t>& msgs_per_call,
-                     std::size_t n_msgs) {
+PathReport summarize(const netsim::ReplayStats& st) {
   PathReport r;
   if (st.wall_ns > 0)
-    r.msgs_per_sec = static_cast<double>(n_msgs) * 1e9 /
+    r.msgs_per_sec = static_cast<double>(st.messages) * 1e9 /
                      static_cast<double>(st.wall_ns);
-  std::vector<double> per_msg;
-  per_msg.reserve(st.call_ns.size());
-  for (std::size_t i = 0; i < st.call_ns.size(); ++i) {
-    const double m = static_cast<double>(
-        i < msgs_per_call.size() ? msgs_per_call[i] : 1);
-    per_msg.push_back(static_cast<double>(st.call_ns[i]) / std::max(m, 1.0));
-  }
-  r.ns_per_msg_p50 = quantile(per_msg, 0.50);
-  r.ns_per_msg_p99 = quantile(per_msg, 0.99);
+  const auto lat = netsim::per_message_latency(st);
+  r.ns_per_msg_p50 = lat.p50_ns;
+  r.ns_per_msg_p99 = lat.p99_ns;
   return r;
 }
 
@@ -74,17 +67,26 @@ bool counters_equal(const switchsim::SwitchCounters& a,
          a.state_updates == b.state_updates;
 }
 
+bool outputs_equal(const netsim::ReplayStats& a,
+                   const netsim::ReplayStats& b) {
+  return a.output_digest == b.output_digest && a.tx_packets == b.tx_packets &&
+         a.tx_bytes == b.tx_bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
+  std::size_t threads = 0;  // 0 = skip the multi-core sweep
   std::string json_path = "BENCH_throughput.json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--quick") quick = true;
     else if (a == "--json") json = true;
     else if (a == "--out" && i + 1 < argc) json_path = argv[++i];
+    else if (a == "--threads" && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::stoul(argv[++i]));
   }
   const std::size_t n = quick ? 40000 : 400000;
 
@@ -120,32 +122,18 @@ int main(int argc, char** argv) {
   auto feed = workload::generate_feed(fp);
   auto frames = pack_feed_frames(feed, kMsgsPerFrame);
 
-  std::vector<std::size_t> msgs_per_frame(frames.size());
-  for (std::size_t i = 0; i < frames.size(); ++i)
-    msgs_per_frame[i] =
-        std::min(kMsgsPerFrame, n - i * kMsgsPerFrame);
-  std::vector<std::size_t> msgs_per_batch;
-  for (std::size_t i = 0; i < frames.size(); i += kBatchFrames) {
-    std::size_t m = 0;
-    for (std::size_t j = i; j < std::min(i + kBatchFrames, frames.size());
-         ++j)
-      m += msgs_per_frame[j];
-    msgs_per_batch.push_back(m);
-  }
-
   switchsim::Switch sw_ref(schema, pipeline);
   switchsim::Switch sw_fast(schema, pipeline);
 
   const auto ref = netsim::replay_per_frame(sw_ref, frames);
   const auto fast = netsim::replay_batched(sw_fast, frames, kBatchFrames);
 
-  const bool outputs_match =
-      ref.output_digest == fast.output_digest &&
-      ref.tx_packets == fast.tx_packets && ref.tx_bytes == fast.tx_bytes &&
-      counters_equal(sw_ref.counters(), sw_fast.counters());
+  const bool outputs_match = outputs_equal(ref, fast) &&
+                             counters_equal(sw_ref.counters(),
+                                            sw_fast.counters());
 
-  const auto rr = summarize(ref, msgs_per_frame, n);
-  const auto fr = summarize(fast, msgs_per_batch, n);
+  const auto rr = summarize(ref);
+  const auto fr = summarize(fast);
   const double speedup =
       rr.msgs_per_sec > 0 ? fr.msgs_per_sec / rr.msgs_per_sec : 0;
   const auto& bs = sw_fast.batch_stats();
@@ -154,10 +142,11 @@ int main(int argc, char** argv) {
           ? static_cast<double>(bs.memo_hits) /
                 static_cast<double>(bs.memo_probes)
           : 0;
+  const unsigned hw_cores = std::thread::hardware_concurrency();
 
   std::printf("throughput_pipeline: %zu msgs, %zu frames, %zu rules, "
-              "batch=%zu frames\n",
-              n, frames.size(), kRules, kBatchFrames);
+              "batch=%zu frames, hw_cores=%u\n",
+              n, frames.size(), kRules, kBatchFrames, hw_cores);
   std::printf("  per-frame: %12.0f msgs/s   ns/msg p50=%.0f p99=%.0f\n",
               rr.msgs_per_sec, rr.ns_per_msg_p50, rr.ns_per_msg_p99);
   std::printf("  batched:   %12.0f msgs/s   ns/msg p50=%.0f p99=%.0f\n",
@@ -167,7 +156,47 @@ int main(int argc, char** argv) {
               speedup, 100 * hit_rate, sw_fast.compiled().arena_bytes(),
               outputs_match ? "IDENTICAL" : "MISMATCH");
 
+  // Multi-core sweep: pool sizes 1,2,4,...,threads. Every run gets a
+  // fresh Switch so counters are differential-comparable with the
+  // reference; the digest gate is what CI cares about.
+  struct ThreadedRun {
+    std::size_t threads = 0;
+    PathReport report;
+    bool match = false;
+    double speedup_vs_batched = 0;
+  };
+  std::vector<ThreadedRun> sweep;
+  bool threaded_match = true;
+  if (threads > 0) {
+    std::vector<std::size_t> sizes;
+    for (std::size_t t = 1; t < threads; t *= 2) sizes.push_back(t);
+    sizes.push_back(threads);
+    for (std::size_t t : sizes) {
+      switchsim::Switch sw_par(schema, pipeline);
+      switchsim::ParallelSwitch pool(sw_par, t);
+      const auto par = netsim::replay_batched_parallel(pool, frames,
+                                                       kBatchFrames);
+      ThreadedRun run;
+      run.threads = t;
+      run.report = summarize(par);
+      run.match = outputs_equal(ref, par) &&
+                  counters_equal(sw_ref.counters(), sw_par.counters());
+      run.speedup_vs_batched =
+          fr.msgs_per_sec > 0 ? run.report.msgs_per_sec / fr.msgs_per_sec
+                              : 0;
+      threaded_match = threaded_match && run.match;
+      std::printf(
+          "  threads=%-2zu %12.0f msgs/s   ns/msg p50=%.0f p99=%.0f   "
+          "%.2fx vs batched   outputs %s\n",
+          t, run.report.msgs_per_sec, run.report.ns_per_msg_p50,
+          run.report.ns_per_msg_p99, run.speedup_vs_batched,
+          run.match ? "IDENTICAL" : "MISMATCH");
+      sweep.push_back(run);
+    }
+  }
+
   if (json) {
+    std::ostringstream os;
     char buf[2048];
     std::snprintf(
         buf, sizeof(buf),
@@ -179,6 +208,8 @@ int main(int argc, char** argv) {
         "  \"rules\": %zu,\n"
         "  \"msgs_per_frame\": %zu,\n"
         "  \"batch_frames\": %zu,\n"
+        "  \"hw_cores\": %u,\n"
+        "  \"output_digest\": \"%016llx\",\n"
         "  \"per_frame\": {\"msgs_per_sec\": %.0f, \"ns_per_msg_p50\": "
         "%.1f, \"ns_per_msg_p99\": %.1f},\n"
         "  \"batched\": {\"msgs_per_sec\": %.0f, \"ns_per_msg_p50\": %.1f, "
@@ -186,15 +217,32 @@ int main(int argc, char** argv) {
         "  \"speedup\": %.3f,\n"
         "  \"memo_hit_rate\": %.4f,\n"
         "  \"arena_bytes\": %zu,\n"
-        "  \"outputs_match\": %s\n"
-        "}\n",
-        n, frames.size(), kRules, kMsgsPerFrame, kBatchFrames,
+        "  \"outputs_match\": %s",
+        n, frames.size(), kRules, kMsgsPerFrame, kBatchFrames, hw_cores,
+        static_cast<unsigned long long>(ref.output_digest),
         rr.msgs_per_sec, rr.ns_per_msg_p50, rr.ns_per_msg_p99,
         fr.msgs_per_sec, fr.ns_per_msg_p50, fr.ns_per_msg_p99, speedup,
         hit_rate, sw_fast.compiled().arena_bytes(),
         outputs_match ? "true" : "false");
-    std::ofstream(json_path) << buf;
-    std::printf("%s", buf);
+    os << buf;
+    if (!sweep.empty()) {
+      os << ",\n  \"threaded\": [";
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const ThreadedRun& run = sweep[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"threads\": %zu, \"msgs_per_sec\": %.0f, "
+                      "\"ns_per_msg_p50\": %.1f, \"ns_per_msg_p99\": %.1f, "
+                      "\"speedup_vs_batched\": %.3f, \"outputs_match\": %s}",
+                      i ? "," : "", run.threads, run.report.msgs_per_sec,
+                      run.report.ns_per_msg_p50, run.report.ns_per_msg_p99,
+                      run.speedup_vs_batched, run.match ? "true" : "false");
+        os << buf;
+      }
+      os << "\n  ]";
+    }
+    os << "\n}\n";
+    std::ofstream(json_path) << os.str();
+    std::printf("%s", os.str().c_str());
   }
-  return outputs_match ? 0 : 1;
+  return outputs_match && threaded_match ? 0 : 1;
 }

@@ -1,15 +1,17 @@
 // Trace-replay harness for the data-plane fast path: drives packed
-// market-data frames through a switch via either the per-frame reference
-// path (process_messages) or the batched path (process_batch), timing
-// only the switch work. Both paths fold their outputs into an
-// order-sensitive digest so bench harnesses can assert output equivalence
-// without keeping every egress frame alive.
+// market-data frames through a switch via the per-frame reference path
+// (process_messages), the batched path (process_batch), or the multi-core
+// front end (ParallelSwitch::process_batch), timing only the switch work.
+// All paths fold their outputs into an order-sensitive digest so bench
+// harnesses can assert output equivalence without keeping every egress
+// frame alive.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "switchsim/parallel.hpp"
 #include "switchsim/switch.hpp"
 #include "workload/feed.hpp"
 
@@ -17,15 +19,35 @@ namespace camus::netsim {
 
 struct ReplayStats {
   std::size_t frames = 0;      // ingress frames offered
+  std::size_t messages = 0;    // ingress messages offered (sum of n_msgs)
   std::size_t tx_packets = 0;  // egress packets produced
   std::uint64_t tx_bytes = 0;
   std::uint64_t wall_ns = 0;  // sum of the timed process calls
   // Elapsed ns of each process call (one per frame for the per-frame
   // path, one per batch for the batched path) for tail percentiles.
+  // call_msgs[i] is the number of ingress messages call i carried —
+  // weight percentiles by it, because the per-call series mixes full and
+  // partial batches (the trace tail) whose raw timings are not
+  // comparable per message.
   std::vector<std::uint64_t> call_ns;
+  std::vector<std::uint32_t> call_msgs;
   // FNV-1a over every egress (port, frame bytes) in emission order.
   std::uint64_t output_digest = 0;
 };
+
+// Message-normalized latency distribution of a replay: each timed call
+// contributes its per-message cost (call_ns / call_msgs) with weight
+// call_msgs, so a 3-frame trailing batch no longer reads as "3x faster"
+// than the full batches and p99 reflects what a message actually
+// experienced. Percentiles are weighted order statistics over the
+// normalized series; max_ns is the worst normalized call.
+struct LatencySummary {
+  double p50_ns = 0;
+  double p90_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+};
+LatencySummary per_message_latency(const ReplayStats& st);
 
 // Reference path: one process_messages call per frame.
 ReplayStats replay_per_frame(switchsim::Switch& sw,
@@ -35,5 +57,11 @@ ReplayStats replay_per_frame(switchsim::Switch& sw,
 ReplayStats replay_batched(switchsim::Switch& sw,
                            std::span<const workload::PackedFrame> frames,
                            std::size_t batch_size);
+
+// Multi-core fast path: ParallelSwitch::process_batch over the same
+// slices — digest-comparable with both paths above.
+ReplayStats replay_batched_parallel(
+    switchsim::ParallelSwitch& psw,
+    std::span<const workload::PackedFrame> frames, std::size_t batch_size);
 
 }  // namespace camus::netsim

@@ -1,0 +1,284 @@
+#include "switchsim/parallel.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "proto/packet.hpp"
+#include "util/flat_map.hpp"
+
+namespace camus::switchsim {
+
+using table::CompiledPipeline;
+
+ParallelSwitch::ParallelSwitch(Switch& sw, std::size_t n_threads) : sw_(sw) {
+  const std::size_t n = std::max<std::size_t>(1, n_threads);
+  workers_ = std::vector<Worker>(n);
+  // Worker 0 is the calling thread; only 1..n-1 get OS threads.
+  for (std::size_t w = 1; w < n; ++w)
+    workers_[w].th = std::thread(&ParallelSwitch::worker_loop, this, w);
+}
+
+ParallelSwitch::~ParallelSwitch() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (Worker& w : workers_)
+    if (w.th.joinable()) w.th.join();
+}
+
+bool ParallelSwitch::eligible() const {
+  const auto prog = sw_.pin_program();
+  return prog->compiled.valid() && prog->stateless;
+}
+
+void ParallelSwitch::worker_loop(std::size_t w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    run_worker(workers_[w]);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelSwitch::run_worker(Worker& wk) {
+  const CompiledPipeline& cp = prog_->compiled;
+  const std::size_t np = cp.prefix_stages();
+  constexpr std::size_t kW = CompiledPipeline::kBlockWidth;
+  constexpr std::size_t kP = CompiledPipeline::kMaxPrefix;
+  // Stateless program: classification never reads the register file, so
+  // an empty states span is exact (subject reads past the span code to 0,
+  // and eligibility guarantees no state subjects exist anyway).
+  const std::span<const std::uint64_t> no_states{};
+
+  if (np > 0) {
+    if (wk.memo.empty()) wk.memo.resize(Switch::kMemoSlots);
+    if (wk.memo_sig != prog_->prefix_sig) {
+      for (Switch::MemoSlot& s : wk.memo) s.used = false;
+      wk.memo_sig = prog_->prefix_sig;
+    }
+  }
+  if (wk.fields.size() < kW) wk.fields.resize(kW);
+
+  // --- classification pass: the worker's messages in blocks of kW ------
+  std::array<std::uint64_t, kW * kP> keys{};
+  std::array<std::uint32_t, kW> msg_idx;
+  std::size_t nblk = 0;
+
+  auto flush = [&](std::size_t n) {
+    std::uint32_t post[kW];
+    std::uint32_t leaf[kW];
+    if (np > 0) {
+      // Memo probe for the whole block first; prefix misses then run
+      // through the batched/SIMD probe in one lockstep call.
+      Switch::MemoSlot* slots[kW];
+      std::size_t miss[kW];
+      std::size_t n_miss = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        std::uint64_t h = 0;
+        for (std::size_t i = 0; i < np; ++i)
+          h = util::mix64(h ^ keys[j * kP + i]);
+        Switch::MemoSlot& slot = wk.memo[h & (Switch::kMemoSlots - 1)];
+        slots[j] = &slot;
+        ++wk.bstats.memo_probes;
+        const bool hit =
+            slot.used &&
+            std::equal(slot.key.begin(), slot.key.end(), &keys[j * kP]);
+        if (hit) {
+          post[j] = slot.state;
+          ++wk.bstats.memo_hits;
+        } else {
+          miss[n_miss++] = j;
+        }
+      }
+      if (n_miss > 0) {
+        std::uint64_t miss_keys[kW * kP];
+        std::uint32_t miss_state[kW];
+        for (std::size_t m = 0; m < n_miss; ++m)
+          for (std::size_t i = 0; i < kP; ++i)
+            miss_keys[m * kP + i] = keys[miss[m] * kP + i];
+        cp.run_prefix_block(miss_keys, n_miss, miss_state);
+        for (std::size_t m = 0; m < n_miss; ++m) {
+          const std::size_t j = miss[m];
+          post[j] = miss_state[m];
+          for (std::size_t i = 0; i < kP; ++i)
+            slots[j]->key[i] = keys[j * kP + i];
+          slots[j]->state = post[j];
+          slots[j]->used = true;
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        leaf[j] = cp.finish(post[j], wk.fields[j], no_states);
+        cp.prefetch_leaf(leaf[j]);
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        leaf[j] = cp.traverse(wk.fields[j], no_states);
+        cp.prefetch_leaf(leaf[j]);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      msg_actions_[msg_idx[j]] = cp.actions(leaf[j]);
+  };
+
+  for (const std::uint32_t f : wk.frames) {
+    const std::uint8_t* base = frames_[f].data.data();
+    for (std::uint32_t i = ranges_[f].first; i < ranges_[f].second; ++i) {
+      sw_.extractor_.extract_wire(base + offsets_[i], wk.fields[nblk]);
+      if (np > 0) {
+        std::uint64_t* row = &keys[nblk * kP];
+        for (std::size_t k = 0; k < kP; ++k) row[k] = 0;
+        cp.prefix_key(wk.fields[nblk], no_states, row);
+      }
+      msg_idx[nblk] = i;
+      if (++nblk == kW) {
+        flush(nblk);
+        nblk = 0;
+      }
+    }
+  }
+  if (nblk > 0) flush(nblk);
+
+  // --- re-frame pass: same bucketing and emission order as the
+  // single-threaded pass 3, accounted into the worker's counter shard.
+  for (const std::uint32_t f : wk.frames) {
+    for (auto& [port, v] : wk.buckets) v.clear();
+    for (std::uint32_t i = ranges_[f].first; i < ranges_[f].second; ++i) {
+      const lang::ActionSet* a = msg_actions_[i];
+      if (!a) continue;
+      for (std::uint16_t p : a->ports) {
+        auto it = std::lower_bound(
+            wk.buckets.begin(), wk.buckets.end(), p,
+            [](const auto& b, std::uint16_t port) { return b.first < port; });
+        if (it == wk.buckets.end() || it->first != p)
+          it = wk.buckets.emplace(it, p, std::vector<std::uint32_t>{});
+        it->second.push_back(i);
+      }
+    }
+    std::size_t nonempty = 0;
+    for (const auto& [port, v] : wk.buckets) nonempty += !v.empty();
+    Switch::account_frame(wk.counters, nonempty);
+    std::vector<Switch::TxPacket>& out = out_by_frame_[f];
+    out.clear();
+    if (nonempty == 0) continue;
+    for (const auto& [port, v] : wk.buckets) {
+      if (v.empty()) continue;
+      wk.msg_offsets.resize(v.size());
+      for (std::size_t k = 0; k < v.size(); ++k)
+        wk.msg_offsets[k] = offsets_[v[k]];
+      Switch::TxPacket tx;
+      tx.port = port;
+      proto::build_market_frame_raw(views_[f], frames_[f].data,
+                                    wk.msg_offsets, tx.frame);
+      out.push_back(std::move(tx));
+      ++wk.counters.tx_copies;
+    }
+  }
+}
+
+std::vector<Switch::TxPacket> ParallelSwitch::process_batch(
+    std::span<const Switch::Frame> frames) {
+  const auto prog = sw_.pin_program();
+  if (!prog->compiled.valid() || !prog->stateless) {
+    // Graceful degradation: stateful or non-flattenable programs need
+    // globally ordered register updates, which only the single-threaded
+    // path provides. Still bit-identical — it IS the reference path.
+    ++stats_.degraded_batches;
+    return sw_.process_batch(frames);
+  }
+  ++stats_.threaded_batches;
+
+  // Pass 1 (caller thread): zero-copy scan, identical accounting to the
+  // single-threaded pass 1 — every frame bumps rx_frames and malformed
+  // ones settle as parse_errors before any worker sees the batch.
+  views_.resize(frames.size());
+  offsets_.clear();
+  ranges_.resize(frames.size());
+  parsed_.assign(frames.size(), 0);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ++sw_.counters_.rx_frames;
+    const auto begin = static_cast<std::uint32_t>(offsets_.size());
+    const bool ok =
+        proto::scan_market_data_packet(frames[f].data, views_[f], offsets_);
+    const auto end = static_cast<std::uint32_t>(offsets_.size());
+    if (!ok || begin == end) {
+      ++sw_.counters_.parse_errors;
+      offsets_.resize(begin);
+      ranges_[f] = {begin, begin};
+    } else {
+      parsed_[f] = 1;
+      ranges_[f] = {begin, end};
+    }
+  }
+
+  // Shard by the leading symbol's hash. Frames stay in ascending batch
+  // order inside each shard, preserving per-symbol arrival order.
+  const std::size_t nw = workers_.size();
+  for (Worker& w : workers_) {
+    w.frames.clear();
+    w.counters = {};
+    w.bstats = {};
+  }
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (!parsed_[f]) continue;
+    const std::uint64_t sym = ItchFieldExtractor::wire_stock_key(
+        frames[f].data.data() + offsets_[ranges_[f].first]);
+    workers_[util::mix64(sym) % nw].frames.push_back(
+        static_cast<std::uint32_t>(f));
+    ++stats_.sharded_frames;
+  }
+
+  msg_actions_.assign(offsets_.size(), nullptr);
+  if (out_by_frame_.size() < frames.size()) out_by_frame_.resize(frames.size());
+  frames_ = frames;
+  prog_ = prog.get();
+
+  // Dispatch: workers 1..n-1 wake on the epoch bump; the caller runs
+  // worker 0's shard itself, then waits out the barrier.
+  if (nw > 1) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      pending_ = nw - 1;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+  }
+  run_worker(workers_[0]);
+  if (nw > 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  // Merge: counter shards are sums of per-frame outcomes, so the totals
+  // equal the sequential run's; egress is re-sequenced in ingress frame
+  // order (ports ascending within a frame), matching it byte for byte.
+  for (const Worker& w : workers_) {
+    sw_.counters_.dropped += w.counters.dropped;
+    sw_.counters_.matched += w.counters.matched;
+    sw_.counters_.multicast_frames += w.counters.multicast_frames;
+    sw_.counters_.tx_copies += w.counters.tx_copies;
+    sw_.batch_stats_.memo_probes += w.bstats.memo_probes;
+    sw_.batch_stats_.memo_hits += w.bstats.memo_hits;
+    stats_.memo_probes += w.bstats.memo_probes;
+    stats_.memo_hits += w.bstats.memo_hits;
+  }
+
+  std::vector<Switch::TxPacket> out;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (!parsed_[f]) continue;
+    for (Switch::TxPacket& tx : out_by_frame_[f])
+      out.push_back(std::move(tx));
+  }
+  return out;
+}
+
+}  // namespace camus::switchsim

@@ -1,0 +1,129 @@
+// RSS-style multi-core front end over one Switch: shards ingress frames
+// across N worker threads by the hash of each frame's leading stock
+// symbol, classifies the shards in parallel through the flattened
+// CompiledPipeline (block-probed, per-worker hot-key memo), and
+// re-sequences per-port egress deterministically so the output — packet
+// order, bytes, and SwitchCounters — is bit-identical to running
+// Switch::process_batch on the same frames single-threaded.
+//
+// Invariants (see DESIGN.md "Multi-core data plane"):
+//  - Sharding key: the raw 8-byte symbol of the frame's first add-order,
+//    so all frames led by one symbol land on one worker in arrival order
+//    (the NIC-RSS analogue of hashing the flow tuple). Messages for
+//    other symbols packed behind the leader ride along with the frame.
+//  - Eligibility: the pinned program must be flattenable AND stateless
+//    (Program::stateless — no state updates, no register subjects).
+//    Statelessness makes classification order-independent across
+//    messages, which is exactly what licenses out-of-global-order
+//    processing; anything else degrades to the single-threaded batched
+//    path on the caller thread, bit-identical by construction.
+//  - Program pinning: ONE RCU snapshot is pinned per batch and shared by
+//    every worker; a concurrent reprogram()/apply_delta() publishes a
+//    new generation that the NEXT batch picks up (same guarantee as the
+//    single-threaded path, TSAN-exercised).
+//  - Memo per worker: each worker owns a private hot-key memo reconciled
+//    against the pinned program's prefix signature, so workers never
+//    share mutable classification state.
+//  - Egress merge: workers emit per-frame packet lists into disjoint
+//    slots; the caller concatenates them in ingress frame order (ports
+//    sorted within a frame), matching the single-threaded emission order
+//    exactly. Counter deltas are per-worker shards summed at the barrier
+//    (sums are order-independent, so they equal the sequential counts).
+//
+// One ParallelSwitch serves one data-plane caller; process_batch is not
+// reentrant (the Switch's data plane is single-callered by contract, and
+// the pool is its extension).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "switchsim/switch.hpp"
+
+namespace camus::switchsim {
+
+class ParallelSwitch {
+ public:
+  // Telemetry; like BatchStats, never part of the differential contract.
+  struct Stats {
+    std::uint64_t threaded_batches = 0;  // dispatched across the pool
+    std::uint64_t degraded_batches = 0;  // fell back to sw.process_batch
+    std::uint64_t sharded_frames = 0;    // parsed frames routed to workers
+    std::uint64_t memo_probes = 0;       // summed over workers
+    std::uint64_t memo_hits = 0;
+  };
+
+  // Spawns n_threads - 1 worker threads; the calling thread doubles as
+  // worker 0 during a batch, so n_threads == 1 runs the whole threaded
+  // code path inline (useful for differential tests and for isolating
+  // the block-probe speedup from the parallel speedup).
+  ParallelSwitch(Switch& sw, std::size_t n_threads);
+  ~ParallelSwitch();
+  ParallelSwitch(const ParallelSwitch&) = delete;
+  ParallelSwitch& operator=(const ParallelSwitch&) = delete;
+
+  // Batched processing, bit-identical to sw.process_batch(frames) —
+  // including every SwitchCounters field, which is updated on the
+  // underlying Switch.
+  std::vector<Switch::TxPacket> process_batch(
+      std::span<const Switch::Frame> frames);
+
+  std::size_t threads() const noexcept { return workers_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+  // Whether the currently published program is eligible for sharding
+  // (flattenable + stateless); ineligible programs degrade gracefully.
+  bool eligible() const;
+
+ private:
+  struct Worker {
+    std::thread th;
+    // Caller-filled shard: batch frame indices, ascending (= arrival
+    // order, which preserves per-symbol order within the shard).
+    std::vector<std::uint32_t> frames;
+    // Thread-confined replicas of the Switch's data-plane state.
+    std::vector<Switch::MemoSlot> memo;
+    std::uint64_t memo_sig = 0;
+    SwitchCounters counters;  // per-batch delta, summed at the barrier
+    BatchStats bstats;
+    // Scratch (capacity persists across batches).
+    std::vector<std::vector<std::uint64_t>> fields;  // kBlockWidth rows
+    std::vector<std::pair<std::uint16_t, std::vector<std::uint32_t>>>
+        buckets;
+    std::vector<std::uint32_t> msg_offsets;
+  };
+
+  void worker_loop(std::size_t w);
+  // Classify + re-frame one worker's shard of the pinned batch.
+  void run_worker(Worker& wk);
+
+  Switch& sw_;
+  std::vector<Worker> workers_;
+  Stats stats_;
+
+  // Batch context shared caller -> workers (written before the epoch
+  // bump, read-only during the batch).
+  std::span<const Switch::Frame> frames_;
+  const Switch::Program* prog_ = nullptr;
+  std::vector<proto::MarketDataView> views_;
+  std::vector<std::uint32_t> offsets_;  // add-order offsets, all frames
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges_;
+  std::vector<unsigned char> parsed_;
+  // Disjoint-element writes: workers fill only their own messages/frames.
+  std::vector<const lang::ActionSet*> msg_actions_;
+  std::vector<std::vector<Switch::TxPacket>> out_by_frame_;
+
+  // Epoch-based dispatch: caller bumps epoch_ under mu_, workers run one
+  // batch per epoch, the last finisher signals cv_done_.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace camus::switchsim

@@ -28,6 +28,15 @@ std::shared_ptr<Switch::Program> Switch::make_program(
   prog->pipeline.finalize();
   prog->compiled = table::CompiledPipeline(prog->pipeline);
   prog->prefix_sig = prog->compiled.prefix_signature();
+  prog->stateless = [&] {
+    for (const table::LeafEntry& e : prog->pipeline.leaf.entries())
+      if (!e.actions.state_updates.empty()) return false;
+    for (const table::Table& t : prog->pipeline.tables)
+      if (t.subject().kind == lang::Subject::Kind::kState) return false;
+    for (const table::Table& t : prog->pipeline.value_maps)
+      if (t.subject().kind == lang::Subject::Kind::kState) return false;
+    return true;
+  }();
   return prog;
 }
 
@@ -79,6 +88,21 @@ const Switch::Program& Switch::current_data_plane() {
   // computed under a different prefix are garbage, entries computed under
   // a bit-identical prefix are still exact (prefix outcomes are a pure
   // function of the key), so a suffix-only update keeps the memo warm.
+  //
+  // Why keying on prefix_sig alone is sound even for stateful programs:
+  // a prefix stage may match on a REGISTER subject (an exact-match state
+  // table placed first by kExactFirst ordering), but prefix_key() copies
+  // that register's snapshot value into the memo key itself — the same
+  // snapshot run_prefix() would read (classify_fast refreshes snap_ on
+  // every register-version or timestamp change before probing). So a
+  // register update or window rollover never stales a memo entry; it
+  // changes the key, and the old entry remains a correct mapping for the
+  // old value if it ever recurs. The memoized function is
+  //   (key words) -> post-prefix state,
+  // fully determined by the prefix tables (pinned by memo_sig_) and the
+  // initial state (hashed into prefix_signature()). Regression:
+  // ProcessBatch.StatefulPrefixMemoAcrossRegisterRollover in
+  // tests/test_batch.cpp drives repeating keys across register rollovers.
   if (prog.prefix_sig != memo_sig_) {
     for (MemoSlot& s : memo_) s.used = false;
     memo_sig_ = prog.prefix_sig;
@@ -139,12 +163,10 @@ std::vector<Switch::TxCopy> Switch::process_generic(
 }
 
 std::vector<Switch::TxCopy> Switch::forward(const lang::ActionSet& actions) {
-  if (actions.ports.empty()) {
-    ++counters_.dropped;
-    return {};
-  }
-  ++counters_.matched;
-  if (actions.ports.size() > 1) ++counters_.multicast_frames;
+  // ActionSet::ports is sorted and unique, so its size is the frame's
+  // distinct egress port count.
+  account_frame(actions.ports.size());
+  if (actions.ports.empty()) return {};
   std::vector<TxCopy> out;
   out.reserve(actions.ports.size());
   for (std::uint16_t p : actions.ports) {
@@ -170,14 +192,10 @@ std::vector<Switch::TxPacket> Switch::process_messages(
     const lang::ActionSet& actions = classify(fields, now_us);
     for (std::uint16_t p : actions.ports) per_port[p].push_back(msg);
   }
-  if (per_port.empty()) {
-    ++counters_.dropped;
-    return {};
-  }
-  ++counters_.matched;
   // Per frame, like process(): the frame is replicated when its messages
   // collectively reach more than one distinct egress port.
-  if (per_port.size() > 1) ++counters_.multicast_frames;
+  account_frame(per_port.size());
+  if (per_port.empty()) return {};
 
   std::vector<TxPacket> out;
   out.reserve(per_port.size());
@@ -318,12 +336,8 @@ std::vector<Switch::TxPacket> Switch::process_batch(
     }
     std::size_t nonempty = 0;
     for (const auto& [port, v] : buckets_) nonempty += !v.empty();
-    if (nonempty == 0) {
-      ++counters_.dropped;
-      continue;
-    }
-    ++counters_.matched;
-    if (nonempty > 1) ++counters_.multicast_frames;
+    account_frame(nonempty);
+    if (nonempty == 0) continue;
     for (const auto& [port, v] : buckets_) {
       if (v.empty()) continue;
       msg_offsets_scratch_.resize(v.size());

@@ -28,11 +28,28 @@
 
 namespace camus::switchsim {
 
+class ParallelSwitch;
+
 // Per-switch counters. All frame-granularity counters count ingress
-// frames, uniformly across process(), process_generic(), and
-// process_messages(): every received frame increments rx_frames and then
+// frames, uniformly across process(), process_generic(),
+// process_messages(), process_batch(), and the multi-core front end
+// (ParallelSwitch): every received frame increments rx_frames and then
 // exactly one of parse_errors, dropped, or matched. tx_copies and
 // state_updates are event counters, not frame counters.
+//
+// multicast_frames semantics (one definition, shared by every path via
+// Switch::account_frame): a frame is multicast when it is replicated to
+// MORE THAN ONE DISTINCT egress port — for the single-classification
+// paths that is the matched ActionSet's (sorted, unique) port list; for
+// the message-level paths it is the union of ports over the frame's
+// matched messages. It is counted per ingress frame, never per message
+// and never per egress copy, so a frame whose every message is unicast
+// to the same port is NOT multicast, while a frame whose messages are
+// individually unicast to two different ports IS. The accounting lives
+// in one helper precisely so the per-frame, per-message, batched, and
+// sharded paths cannot drift apart again (they historically did; the
+// per-frame-vs-batched differential in tests/test_counters.cpp pins the
+// unified semantics).
 struct SwitchCounters {
   // Ingress frames offered to the switch (parseable or not).
   std::uint64_t rx_frames = 0;
@@ -177,6 +194,11 @@ class Switch {
   }
 
  private:
+  // The multi-core front end (parallel.hpp) shares the program slot, the
+  // memo layout, and the counter accounting, but keeps its own per-worker
+  // replicas of all data-plane-confined state.
+  friend class ParallelSwitch;
+
   // One immutable generation of the switch's program: the IR pipeline
   // (reference path + delta base) and its flattened fast path. Readers
   // hold a shared_ptr snapshot; updaters publish a wholly new Program.
@@ -187,11 +209,44 @@ class Switch {
     // Cached compiled.prefix_signature(): the per-message memo
     // reconciliation check must be O(1), not a rehash of the prefix.
     std::uint64_t prefix_sig = 0;
+    // True when classification can never touch the register file: no
+    // leaf ActionSet carries state updates and no table or value map
+    // matches on a state subject. Such a program is order-independent
+    // across messages, which is what licenses the sharded multi-core
+    // front end (ParallelSwitch) to classify frames out of global order.
+    bool stateless = false;
   };
   // Shared forwarding tail of process()/process_generic(): bumps
   // dropped/matched/multicast_frames/tx_copies and emits one TxCopy per
   // egress port.
   std::vector<TxCopy> forward(const lang::ActionSet& actions);
+
+  // THE frame-outcome accounting, shared by every processing path:
+  // `distinct_ports` is the number of distinct egress ports the frame is
+  // replicated to (0 = dropped). Bumps exactly one of dropped/matched
+  // and multicast_frames per the counters comment block above. tx_copies
+  // is charged separately, one per emitted copy. The static overload
+  // lets ParallelSwitch workers account into thread-local counter shards
+  // with the same single definition.
+  static void account_frame(SwitchCounters& c, std::size_t distinct_ports) {
+    if (distinct_ports == 0) {
+      ++c.dropped;
+      return;
+    }
+    ++c.matched;
+    if (distinct_ports > 1) ++c.multicast_frames;
+  }
+  void account_frame(std::size_t distinct_ports) {
+    account_frame(counters_, distinct_ports);
+  }
+
+  // Pins the currently published program without touching the
+  // data-plane-confined cache (cur_) — safe from any thread; used by the
+  // multi-core front end to pin one snapshot per batch.
+  std::shared_ptr<const Program> pin_program() const {
+    const std::lock_guard<std::mutex> lock(slot_->mu);
+    return slot_->published;
+  }
 
   // Batch-path classification: returns the matched ActionSet (nullptr on
   // drop) and applies state updates, bit-identical to classify() but

@@ -117,6 +117,7 @@ std::vector<PackedFrame> pack_feed_frames(const Feed& feed,
     sequence += msgs.size();
     PackedFrame pf;
     pf.t_us = feed.messages[end - 1].t_us;
+    pf.n_msgs = static_cast<std::uint32_t>(msgs.size());
     pf.bytes = proto::encode_market_data_packet(eth, kPublisherIp,
                                                 kFeedGroupIp, mold, msgs);
     out.push_back(std::move(pf));

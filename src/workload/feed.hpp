@@ -63,6 +63,10 @@ Feed generate_feed(const FeedParams& params);
 struct PackedFrame {
   std::uint64_t t_us = 0;
   std::vector<std::uint8_t> bytes;
+  // Messages packed into this frame (the trailing frame may carry fewer
+  // than msgs_per_frame). Latency harnesses weight per-call timings by
+  // this so partial batches don't skew per-message percentiles.
+  std::uint32_t n_msgs = 0;
 };
 
 // Packs the feed into MoldUDP64 market-data frames, msgs_per_frame

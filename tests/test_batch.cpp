@@ -328,4 +328,70 @@ TEST(ProcessBatch, FallbackWhenPipelineNotFlattenable) {
   expect_identical(ref, fast);
 }
 
+// The hot-key memo keys on the prefix signature plus the raw prefix key
+// words alone. When a prefix stage matches a REGISTER subject, soundness
+// relies on prefix_key() copying the register's snapshot value into the
+// key itself (see Switch::current_data_plane). This pipeline puts an
+// exact-match my_counter stage FIRST — so it lands inside the memo
+// prefix — has every matched message bump that counter, and replays
+// traffic long enough that counter values repeat across many 100us
+// window rollovers. A memo that ignored register state would replay
+// stale post-prefix states here and diverge from the reference path.
+TEST(ProcessBatch, StatefulPrefixMemoAcrossRegisterRollover) {
+  auto schema = spec::make_itch_schema();
+  const auto var = schema.resolve_state_var("my_counter");
+  ASSERT_TRUE(var.has_value());
+
+  // counter==0,1,2 -> distinct leaves (ports 1,2,3), each updating the
+  // counter; counter>=3 misses the table, reaches no leaf, and drops
+  // until the window rolls the counter back to 0.
+  table::Pipeline p;
+  table::Table t("count", lang::Subject::state(*var),
+                 table::MatchKind::kExact, 64);
+  for (std::uint64_t v = 0; v < 3; ++v)
+    t.add_entry({table::kInitialState, table::ValueMatch::exact(v),
+                 static_cast<table::StateId>(v + 1)});
+  p.tables.push_back(std::move(t));
+  for (std::uint32_t s = 1; s <= 3; ++s) {
+    table::LeafEntry e;
+    e.state = s;
+    e.actions.add_port(static_cast<std::uint16_t>(s));
+    e.actions.state_updates.push_back(*var);
+    p.leaf.add_entry(std::move(e));
+  }
+  p.finalize();
+
+  Switch sw_ref(schema, p);
+  Switch sw_fast(schema, p);
+  ASSERT_TRUE(sw_fast.compiled().valid());
+  ASSERT_EQ(sw_fast.compiled().prefix_stages(), 1u);
+
+  // One message per frame, 13us apart: the 100us counter window rolls
+  // over every ~8 frames, so the prefix key cycles 0,1,2 continuously.
+  std::vector<workload::PackedFrame> frames;
+  for (int i = 0; i < 600; ++i) {
+    proto::ItchAddOrder o;
+    o.stock = i % 2 ? "GOOGL" : "MSFT";
+    o.price = 100;
+    o.shares = 1;
+    proto::MoldUdp64Header mold;
+    mold.session = "CAMUS00001";
+    mold.sequence = static_cast<std::uint64_t>(i + 1);
+    workload::PackedFrame pf;
+    pf.t_us = static_cast<std::uint64_t>(i) * 13;
+    pf.bytes = proto::encode_market_data_packet(proto::EthernetHeader{}, 1,
+                                                2, mold, {o});
+    frames.push_back(std::move(pf));
+  }
+  const std::uint64_t final_time = frames.back().t_us + 1;
+  const auto ref = run_per_frame(sw_ref, frames, final_time);
+  const auto fast = run_batched(sw_fast, frames, 32, final_time);
+  ASSERT_GT(ref.counters.state_updates, 0u);
+  ASSERT_GT(ref.counters.dropped, 0u);  // counter saturates inside windows
+  expect_identical(ref, fast);
+  // The memo must actually be exercised: keys repeat across rollovers.
+  EXPECT_GT(sw_fast.batch_stats().memo_probes, 0u);
+  EXPECT_GT(sw_fast.batch_stats().memo_hits, 0u);
+}
+
 }  // namespace

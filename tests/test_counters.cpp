@@ -8,6 +8,7 @@
 #include "proto/generic.hpp"
 #include "proto/packet.hpp"
 #include "spec/itch_spec.hpp"
+#include "switchsim/parallel.hpp"
 #include "switchsim/switch.hpp"
 #include "util/intern.hpp"
 
@@ -152,6 +153,77 @@ TEST(Counters, PathsAgreeOnSingleMessageFrames) {
   EXPECT_EQ(a.matched, b.matched);
   EXPECT_EQ(a.dropped, b.dropped);
   EXPECT_EQ(a.multicast_frames, b.multicast_frames);
+}
+
+void expect_counters_equal(const switchsim::SwitchCounters& a,
+                           const switchsim::SwitchCounters& b) {
+  EXPECT_EQ(a.rx_frames, b.rx_frames);
+  EXPECT_EQ(a.parse_errors, b.parse_errors);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.matched, b.matched);
+  EXPECT_EQ(a.tx_copies, b.tx_copies);
+  EXPECT_EQ(a.multicast_frames, b.multicast_frames);
+  EXPECT_EQ(a.state_updates, b.state_updates);
+}
+
+// Full counter differential — per-frame reference vs batched vs the
+// multi-core front end — over a multicast-heavy workload: every
+// multicast shape the account_frame() helper distinguishes (replicated
+// ActionSet, cross-port unicast union, same-port unicast union, drop,
+// junk) interleaved. All three paths must land on identical counters,
+// because they share the one accounting definition.
+TEST(Counters, MulticastHeavyDifferentialAcrossPaths) {
+  auto schema = spec::make_itch_schema();
+  auto sw_ref = make_switch(schema);
+  auto sw_batch = make_switch(schema);
+  auto sw_thr = make_switch(schema);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 80; ++i) {
+    switch (i % 5) {
+      case 0:  // multicast ActionSet: one message reaching ports {1,2}
+        frames.push_back(batch_frame({order("GOOGL"), order("GOOGL")}));
+        break;
+      case 1:  // unicast + drop: single distinct port
+        frames.push_back(batch_frame({order("MSFT"), order("IBM")}));
+        break;
+      case 2:  // two individually-unicast messages, distinct ports: the
+               // frame is multicast even though no message is
+        frames.push_back(batch_frame({order("GOOGL"), order("MSFT")}));
+        break;
+      case 3:  // all-miss frame: dropped
+        frames.push_back(batch_frame({order("IBM")}));
+        break;
+      default:  // unparseable: parse_errors
+        frames.push_back(std::vector<std::uint8_t>(16, 0x77));
+        break;
+    }
+  }
+
+  std::vector<switchsim::Switch::TxPacket> out_ref;
+  for (const auto& f : frames)
+    for (auto& tx : sw_ref.process_messages(f, 0))
+      out_ref.push_back(std::move(tx));
+
+  std::vector<switchsim::Switch::Frame> batch;
+  for (const auto& f : frames) batch.push_back({f, 0});
+  auto out_batch = sw_batch.process_batch(batch);
+
+  switchsim::ParallelSwitch pool(sw_thr, 4);
+  ASSERT_TRUE(pool.eligible());
+  auto out_thr = pool.process_batch(batch);
+
+  ASSERT_GT(sw_ref.counters().multicast_frames, 0u);
+  expect_counters_equal(sw_ref.counters(), sw_batch.counters());
+  expect_counters_equal(sw_ref.counters(), sw_thr.counters());
+  expect_frame_invariant(sw_thr.counters());
+
+  ASSERT_EQ(out_ref.size(), out_batch.size());
+  ASSERT_EQ(out_ref.size(), out_thr.size());
+  for (std::size_t i = 0; i < out_ref.size(); ++i) {
+    EXPECT_EQ(out_ref[i].port, out_thr[i].port) << "packet " << i;
+    EXPECT_EQ(out_ref[i].frame, out_thr[i].frame) << "packet " << i;
+  }
 }
 
 }  // namespace
