@@ -1,0 +1,220 @@
+// camus-fuzz — generative differential-fuzzing campaign driver. Samples
+// the full subscription grammar (workload::GrammarFuzzer), compiles each
+// sample, and cross-checks the whole stack against a brute-force AST
+// oracle: NaiveMatcher, the interpreted pipeline, the flattened fast
+// path, the stateful switch, incremental-churn deltas, injected faults,
+// and the camus-lint diagnostics engine. Divergences are shrunk by a
+// delta-debugging minimizer into self-contained reproducer files.
+//
+//   camus-fuzz [--seed N] [--samples N] [--time-budget SECONDS] [options]
+//   camus-fuzz --replay FILE...          replay committed reproducers
+//
+// Options:
+//   --seed N            campaign seed (default 1)
+//   --samples N         samples to run (default 1000)
+//   --time-budget S     stop after S seconds even if samples remain
+//   --only I            run exactly sample index I (repro triage)
+//   --mode M            restrict to one mode: direct|churn|fault|lint
+//   --no-minimize       report raw failing samples without shrinking
+//   --corpus DIR        write each minimized reproducer to DIR/
+//   --json FILE|-       campaign summary as JSON ("-" = stdout)
+//   --quiet             suppress the text summary
+//   --replay FILE...    replay reproducer files instead of a campaign
+//
+// Exit codes: 0 no divergences, 1 divergences found, 2 usage/IO failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spec/itch_spec.hpp"
+#include "verify/fuzz_harness.hpp"
+#include "workload/fuzz.hpp"
+
+using namespace camus;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: camus-fuzz [--seed N] [--samples N] "
+               "[--time-budget S] [--only I]\n"
+               "                  [--mode direct|churn|fault|lint] "
+               "[--no-minimize]\n"
+               "                  [--corpus DIR] [--json FILE|-] [--quiet]\n"
+               "       camus-fuzz --replay FILE...\n";
+  return 2;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int replay_files(const spec::Schema& schema,
+                 const std::vector<std::string>& files, bool quiet) {
+  int failures = 0;
+  for (const auto& path : files) {
+    auto text = slurp(path);
+    if (!text) {
+      std::cerr << "camus-fuzz: cannot read " << path << "\n";
+      return 2;
+    }
+    auto repro = verify::parse_repro(*text);
+    if (!repro.ok()) {
+      std::cerr << "camus-fuzz: " << path << ": "
+                << repro.error().to_string() << "\n";
+      return 2;
+    }
+    const verify::FuzzCaseResult r =
+        verify::replay_repro(schema, repro.value());
+    if (r.diverged) {
+      ++failures;
+      std::cerr << "camus-fuzz: " << path << ": STILL DIVERGES: " << r.detail
+                << "\n";
+    } else if (!quiet) {
+      std::cout << "camus-fuzz: " << path << ": ok ("
+                << verify::to_string(repro.value().mode) << ", "
+                << r.probes_run << " probes)\n";
+    }
+  }
+  return failures ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify::CampaignOptions copts;
+  std::optional<std::uint64_t> only_index;
+  std::string corpus_dir, json_path;
+  std::vector<std::string> replay;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_u64 = [&](std::uint64_t& out) {
+      const char* v = next();
+      if (!v) return false;
+      out = std::strtoull(v, nullptr, 10);
+      return true;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--no-minimize") {
+      copts.minimize_failures = false;
+    } else if (arg == "--seed") {
+      if (!next_u64(copts.seed)) return usage();
+    } else if (arg == "--samples") {
+      if (!next_u64(n)) return usage();
+      copts.samples = n;
+    } else if (arg == "--time-budget") {
+      const char* v = next();
+      if (!v) return usage();
+      copts.time_budget_s = std::strtod(v, nullptr);
+    } else if (arg == "--only") {
+      if (!next_u64(n)) return usage();
+      only_index = n;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return usage();
+      auto m = verify::parse_fuzz_mode(v);
+      if (!m) return usage();
+      copts.harness.run_direct = *m == verify::FuzzMode::kDirect;
+      copts.harness.run_churn = *m == verify::FuzzMode::kChurn;
+      copts.harness.run_fault = *m == verify::FuzzMode::kFault;
+      copts.harness.run_lint = *m == verify::FuzzMode::kLint;
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (!v) return usage();
+      corpus_dir = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return usage();
+      json_path = v;
+    } else if (arg == "--replay") {
+      while (const char* v = next()) replay.emplace_back(v);
+      if (replay.empty()) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  const spec::Schema schema = spec::make_itch_schema();
+  if (!replay.empty()) return replay_files(schema, replay, quiet);
+
+  if (only_index) {
+    // Triage path: run exactly one (seed, index) pair and dump the sample.
+    workload::FuzzParams gp = copts.gen;
+    gp.seed = copts.seed;
+    const workload::GrammarFuzzer fuzzer(schema, gp);
+    const workload::FuzzSample s = fuzzer.sample(*only_index);
+    std::cout << "# " << workload::fuzz_repro_hint(copts.seed, *only_index)
+              << "\n"
+              << s.source();
+    const verify::FuzzCaseResult r =
+        verify::run_case(schema, s, copts.harness);
+    if (!r.diverged) {
+      std::cout << "ok (" << r.probes_run << " probes)\n";
+      return 0;
+    }
+    std::cout << "DIVERGENCE: " << r.detail << "\n";
+    const verify::FuzzRepro m = verify::minimize(schema, s, r.mode);
+    std::cout << verify::serialize_repro(m);
+    return 1;
+  }
+
+  const verify::CampaignResult res = verify::run_campaign(schema, copts);
+
+  if (!quiet) {
+    std::ostream& hout = json_path == "-" ? std::cerr : std::cout;
+    hout << "camus-fuzz: seed " << res.seed << ": " << res.samples_run << "/"
+         << res.samples_requested << " samples, " << res.probes_run
+         << " probes, " << res.divergences << " divergences in "
+         << res.seconds << "s"
+         << (res.time_exhausted ? " (time budget exhausted)" : "") << "\n";
+    for (const auto& f : res.failures) {
+      hout << "--- divergence at index " << f.index << " ("
+           << verify::to_string(f.mode) << ")\n"
+           << f.detail << "\n"
+           << verify::serialize_repro(f.minimized);
+    }
+  }
+
+  if (!corpus_dir.empty()) {
+    for (const auto& f : res.failures) {
+      const std::string path = corpus_dir + "/seed" +
+                               std::to_string(res.seed) + "_idx" +
+                               std::to_string(f.index) + "_" +
+                               std::string(verify::to_string(f.mode)) +
+                               ".repro";
+      std::ofstream out(path);
+      out << verify::serialize_repro(f.minimized);
+      if (!out) {
+        std::cerr << "camus-fuzz: cannot write " << path << "\n";
+        return 2;
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      std::cout << res.to_json() << "\n";
+    } else {
+      std::ofstream out(json_path);
+      out << res.to_json() << "\n";
+      if (!out) {
+        std::cerr << "camus-fuzz: cannot write " << json_path << "\n";
+        return 2;
+      }
+    }
+  }
+
+  return res.divergences ? 1 : 0;
+}

@@ -304,4 +304,30 @@ TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
   return result;
 }
 
+void materialize_stages(table::Pipeline& pipe, const BddManager& mgr,
+                        const spec::Schema& schema) {
+  // pipe.tables is already in rank order (bdd_to_tables emits components
+  // in BDD order), so one forward merge pass places every missing stage.
+  std::size_t pos = 0;
+  for (const Subject s : mgr.order().subjects()) {
+    const SubjectInfo info = subject_info(s, schema);
+    if (pos < pipe.tables.size() && pipe.tables[pos].name() == info.name) {
+      ++pos;
+      continue;
+    }
+    table::Table t(info.name, s,
+                   info.hint == spec::MatchHint::kExact
+                       ? table::MatchKind::kExact
+                       : table::MatchKind::kRange,
+                   info.width_bits);
+    t.set_symbol(info.symbol);
+    pipe.tables.insert(pipe.tables.begin() + static_cast<std::ptrdiff_t>(pos),
+                       std::move(t));
+    ++pos;
+  }
+  // Index the inserted stages eagerly: lazy finalization mutates shared
+  // state under a const API, a data race for concurrent evaluators.
+  pipe.finalize();
+}
+
 }  // namespace camus::compiler

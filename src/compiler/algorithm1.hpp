@@ -64,4 +64,15 @@ TableGenResult bdd_to_tables(const bdd::BddManager& mgr, bdd::NodeRef root,
                              const CompileOptions& opts,
                              StateAllocator* states = nullptr);
 
+// Structural stability for entry-level deltas: inserts an empty table for
+// every order subject that has none, keeping rank order. An empty stage is
+// semantically neutral — a lookup miss passes the state through — but its
+// presence guarantees that a later commit whose function starts depending
+// on the subject can ship entries to a stage the switch already has,
+// instead of targeting an unknown table (U001). The incremental compiler
+// calls this on every commit; the batch compiler does not, so Figure-4
+// pipelines stay minimal.
+void materialize_stages(table::Pipeline& pipe, const bdd::BddManager& mgr,
+                        const spec::Schema& schema);
+
 }  // namespace camus::compiler

@@ -114,6 +114,8 @@ std::string IncrementalCompiler::Delta::to_json() const {
      << "  \"total_entries\": " << total_entries << ",\n"
      << "  \"reuse_fraction\": " << util::json::format_double(reuse_fraction())
      << ",\n"
+     << "  \"requires_reprogram\": " << (requires_reprogram ? "true" : "false")
+     << ",\n"
      << "  \"compile_seconds\": "
      << util::json::format_double(compile_seconds) << ",\n"
      << "  \"stats\": " << stats.to_json() << "\n"
@@ -184,6 +186,7 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   }
   if (opts_.domain_compression)
     compress_domains(gen.pipeline, opts_);
+  materialize_stages(gen.pipeline, *manager_, schema_);
   delta.stats.t_tables = phase.seconds();
   delta.stats.tablegen = gen.stats;
   delta.stats.cache = manager_->cache_stats();
@@ -245,6 +248,31 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   }
 
   delta.total_entries = new_field.size() + new_leaf.size();
+
+  // Structural applicability of the delta against the diff base: every op
+  // must target a stage the base (= what the switch runs) already has, and
+  // the mapping-stage list must be unchanged — an empty value map is not
+  // neutral (it would re-code its field to 0), so a map appearing or
+  // retiring forces a full reprogram.
+  if (installed_) {
+    for (const auto& op : delta.ops) {
+      if (!op.is_leaf() && !installed_->find_table(op.table)) {
+        delta.requires_reprogram = true;
+        break;
+      }
+    }
+    if (!delta.requires_reprogram) {
+      auto map_names = [](const table::Pipeline& p) {
+        std::vector<std::string> names;
+        names.reserve(p.value_maps.size());
+        for (const auto& m : p.value_maps) names.push_back(m.name());
+        return names;
+      };
+      if (map_names(*installed_) != map_names(gen.pipeline))
+        delta.requires_reprogram = true;
+    }
+  }
+
   installed_ = std::move(gen.pipeline);
   delta.compile_seconds = timer.seconds();
   delta.stats.t_total = delta.compile_seconds;

@@ -60,6 +60,15 @@ class IncrementalCompiler {
     std::size_t total_entries = 0;   // entries in the new pipeline
     double compile_seconds = 0;
 
+    // Entry-level deltas presuppose that every targeted stage exists in
+    // the program the switch runs. Stage materialization keeps that true
+    // for plain commits, but domain compression can create or retire
+    // mapping stages mid-churn (a table crossing the compression
+    // threshold), and the diff base may have been re-seeded from a batch
+    // compile without materialized stages. Such commits cannot ship as
+    // ops — install pipeline() with a full reprogram instead.
+    bool requires_reprogram = false;
+
     // Compile-phase telemetry for this commit (same schema as the batch
     // compiler; t_flatten covers only newly added subscriptions — cached
     // rule BDDs skip flattening entirely).

@@ -1,0 +1,54 @@
+#include "lang/eval.hpp"
+
+namespace camus::lang {
+
+bool env_has_subject(const Env& env, Subject s) {
+  const auto& vec =
+      s.kind == Subject::Kind::kField ? env.fields : env.states;
+  return s.id < vec.size();
+}
+
+bool brute_eval_pred(const BoundPredicate& p, const Env& env) {
+  if (!env_has_subject(env, p.subject)) return false;
+  const std::uint64_t v = p.subject.kind == Subject::Kind::kField
+                              ? env.fields[p.subject.id]
+                              : env.states[p.subject.id];
+  switch (p.op) {
+    case RelOp::kEq:
+      return v == p.value;
+    case RelOp::kLt:
+      return v < p.value;
+    case RelOp::kGt:
+      return v > p.value;
+  }
+  return false;
+}
+
+bool brute_eval_cond(const BoundCond& c, const Env& env) {
+  switch (c.kind) {
+    case BoundCond::Kind::kTrue:
+      return true;
+    case BoundCond::Kind::kFalse:
+      return false;
+    case BoundCond::Kind::kAtom:
+      return brute_eval_pred(c.atom, env);
+    case BoundCond::Kind::kNot:
+      return !brute_eval_cond(*c.lhs, env);
+    case BoundCond::Kind::kAnd:
+      return brute_eval_cond(*c.lhs, env) && brute_eval_cond(*c.rhs, env);
+    case BoundCond::Kind::kOr:
+      return brute_eval_cond(*c.lhs, env) || brute_eval_cond(*c.rhs, env);
+  }
+  return false;
+}
+
+ActionSet brute_eval_rules(const std::vector<BoundRule>& rules,
+                           const Env& env) {
+  ActionSet out;
+  for (const BoundRule& r : rules) {
+    if (r.cond && brute_eval_cond(*r.cond, env)) out.merge(r.actions);
+  }
+  return out;
+}
+
+}  // namespace camus::lang

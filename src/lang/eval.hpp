@@ -1,0 +1,38 @@
+// Brute-force reference evaluator for bound subscription rules — the
+// ground-truth oracle of the generative fuzzing harness.
+//
+// Deliberately shares no code with the compilation pipeline: it walks the
+// raw BoundCond AST with its own recursion and its own predicate compare,
+// so a bug in DNF normalization, BDD construction, table generation, or
+// the flattened fast path cannot cancel out against the oracle. The only
+// shared vocabulary is the data types (BoundRule/Env/ActionSet).
+//
+// Missing-attribute semantics: when the environment does not carry a
+// subject (the fields/states vector is shorter than the subject id), every
+// comparison on that subject evaluates to FALSE — the message simply lacks
+// the attribute — and a negation above it is therefore TRUE. This mirrors
+// content-based pub/sub matching semantics (Siena) and never throws, so
+// the oracle is total over arbitrary environments.
+#pragma once
+
+#include <vector>
+
+#include "lang/bound.hpp"
+
+namespace camus::lang {
+
+// True when the environment carries the subject (vector long enough).
+bool env_has_subject(const Env& env, Subject s);
+
+// One predicate under the missing-attribute semantics above.
+bool brute_eval_pred(const BoundPredicate& p, const Env& env);
+
+// Full condition walk (kTrue/kFalse/kAtom/kNot/kAnd/kOr).
+bool brute_eval_cond(const BoundCond& c, const Env& env);
+
+// The packet's merged ActionSet: union of the actions of every rule whose
+// condition holds (paper semantics; empty set == drop).
+ActionSet brute_eval_rules(const std::vector<BoundRule>& rules,
+                           const Env& env);
+
+}  // namespace camus::lang

@@ -1,0 +1,340 @@
+#include "workload/fuzz.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/intern.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace camus::workload {
+
+namespace {
+
+// Mixes (seed, index) into one xoshiro seed. Index is stretched through
+// SplitMix so neighbouring indices produce unrelated streams.
+std::uint64_t sample_seed(std::uint64_t seed, std::uint64_t index) {
+  util::SplitMix64 sm(seed ^ (index * 0x9e3779b97f4a7c15ULL) ^
+                      0xc6a4a7935bd1e995ULL);
+  (void)sm.next();
+  return sm.next();
+}
+
+// Collects every constant a bound rule set tests, per subject.
+std::map<lang::Subject, std::vector<std::uint64_t>> collect_constants(
+    const std::vector<lang::BoundRule>& bound) {
+  std::map<lang::Subject, std::vector<std::uint64_t>> out;
+  auto walk = [&](auto&& self, const lang::BoundCond& c) -> void {
+    switch (c.kind) {
+      case lang::BoundCond::Kind::kAtom:
+        out[c.atom.subject].push_back(c.atom.value);
+        return;
+      case lang::BoundCond::Kind::kNot:
+        self(self, *c.lhs);
+        return;
+      case lang::BoundCond::Kind::kAnd:
+      case lang::BoundCond::Kind::kOr:
+        self(self, *c.lhs);
+        self(self, *c.rhs);
+        return;
+      default:
+        return;
+    }
+  };
+  for (const auto& r : bound)
+    if (r.cond) walk(walk, *r.cond);
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzSample::source() const {
+  std::string s;
+  for (const auto& r : rules) {
+    s += r.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+GrammarFuzzer::GrammarFuzzer(const spec::Schema& schema, FuzzParams params)
+    : schema_(&schema), params_(params) {
+  symbols_ = itch_symbols(params_.n_symbols);
+  // Adversarial pool members: 1-char and full-width 8-char symbols.
+  symbols_.push_back("A");
+  symbols_.push_back("ZZZZZZZZ");
+  queryable_ = schema.query_order();
+  for (const auto& sv : schema.state_vars()) {
+    if (sv.window_us > 0 &&
+        (min_window_us_ == 0 || sv.window_us < min_window_us_))
+      min_window_us_ = sv.window_us;
+  }
+}
+
+std::uint64_t GrammarFuzzer::gen_numeric_const(
+    util::Rng& rng, std::uint64_t umax,
+    const std::vector<std::uint64_t>& shared) const {
+  const std::uint64_t r = rng.uniform(0, 99);
+  auto clamp = [&](std::uint64_t v) { return v > umax ? umax : v; };
+  if (r < 35 && !shared.empty()) return clamp(rng.pick(shared));
+  if (r < 45 && !shared.empty()) {
+    const std::uint64_t base = clamp(rng.pick(shared));
+    return rng.chance(0.5) ? (base == 0 ? 1 : base - 1) : clamp(base + 1);
+  }
+  if (r < 55) return rng.uniform(0, 1);
+  if (r < 65) return umax - rng.uniform(0, 1);
+  if (r < 75 && umax < (1ULL << 62)) {
+    // Out-of-width literal: the binder must constant-fold, not wrap.
+    return umax + 1 + rng.uniform(0, umax);
+  }
+  return rng.uniform(0, umax);
+}
+
+lang::PredExpr GrammarFuzzer::gen_atom(
+    util::Rng& rng, const std::vector<std::uint64_t>& shared) const {
+  static constexpr lang::CmpOp kOps[] = {
+      lang::CmpOp::kEq, lang::CmpOp::kNe, lang::CmpOp::kLt,
+      lang::CmpOp::kGt, lang::CmpOp::kLe, lang::CmpOp::kGe};
+
+  lang::PredExpr p;
+  const bool has_state = !schema_->state_vars().empty();
+  if (has_state && rng.chance(params_.p_stateful * 0.5)) {
+    // Stateful atom: register value against a small threshold.
+    const auto& sv =
+        schema_->state_vars()[rng.uniform(0, schema_->state_vars().size() - 1)];
+    const bool macro_form =
+        (sv.func == spec::StateFunc::kAvg || sv.func == spec::StateFunc::kSum) &&
+        sv.src_field != spec::kInvalidField && rng.chance(0.5);
+    if (macro_form) {
+      p.subject = schema_->field(sv.src_field).name;
+      p.macro = sv.func == spec::StateFunc::kAvg ? lang::AggMacro::kAvg
+                                                 : lang::AggMacro::kSum;
+    } else {
+      p.subject = sv.name;
+    }
+    p.op = kOps[rng.uniform(0, 5)];
+    p.literal.kind = lang::Literal::Kind::kInt;
+    // Thresholds a tumbling-window counter/average actually crosses.
+    static constexpr std::uint64_t kStateConsts[] = {0, 1, 2, 3, 5, 8, 100};
+    p.literal.int_value =
+        rng.chance(0.8) ? kStateConsts[rng.uniform(0, 6)]
+                        : gen_numeric_const(rng, sv.umax(), shared);
+    return p;
+  }
+
+  const auto& f = schema_->field(
+      queryable_[rng.uniform(0, queryable_.size() - 1)]);
+  p.subject = f.name;
+  if (f.kind == spec::FieldKind::kSymbol) {
+    p.op = rng.chance(0.7) ? lang::CmpOp::kEq : lang::CmpOp::kNe;
+    p.literal.kind = lang::Literal::Kind::kSymbol;
+    p.literal.text = rng.pick(symbols_);
+  } else {
+    p.op = kOps[rng.uniform(0, 5)];
+    p.literal.kind = lang::Literal::Kind::kInt;
+    p.literal.int_value = gen_numeric_const(rng, f.umax(), shared);
+  }
+  return p;
+}
+
+lang::CondPtr GrammarFuzzer::gen_cond(
+    util::Rng& rng, std::size_t depth, std::size_t& atom_budget,
+    const std::vector<std::uint64_t>& shared) const {
+  if (depth == 0 || atom_budget <= 1 || rng.chance(0.35)) {
+    if (atom_budget > 0) --atom_budget;
+    return lang::Cond::make_atom(gen_atom(rng, shared));
+  }
+  const std::uint64_t r = rng.uniform(0, 9);
+  if (r < 4) {
+    auto a = gen_cond(rng, depth - 1, atom_budget, shared);
+    auto b = gen_cond(rng, depth - 1, atom_budget, shared);
+    return lang::Cond::make_and(std::move(a), std::move(b));
+  }
+  if (r < 8) {
+    auto a = gen_cond(rng, depth - 1, atom_budget, shared);
+    auto b = gen_cond(rng, depth - 1, atom_budget, shared);
+    return lang::Cond::make_or(std::move(a), std::move(b));
+  }
+  return lang::Cond::make_not(gen_cond(rng, depth - 1, atom_budget, shared));
+}
+
+lang::Rule GrammarFuzzer::gen_rule(
+    util::Rng& rng, const std::vector<lang::Rule>& earlier,
+    std::vector<std::uint64_t>& shared_consts) const {
+  lang::Rule rule;
+
+  auto gen_actions = [&]() {
+    std::vector<lang::Action> acts;
+    if (rng.chance(0.07)) {
+      lang::Action drop;
+      drop.kind = lang::Action::Kind::kDrop;
+      acts.push_back(std::move(drop));
+      return acts;
+    }
+    lang::Action fwd;
+    fwd.kind = lang::Action::Kind::kFwd;
+    const std::size_t n_ports = 1 + (rng.chance(0.3) ? rng.uniform(1, 2) : 0);
+    for (std::size_t i = 0; i < n_ports; ++i)
+      fwd.fwd.ports.push_back(
+          static_cast<std::uint16_t>(1 + rng.uniform(0, 7)));
+    acts.push_back(std::move(fwd));
+    if (!schema_->state_vars().empty() && rng.chance(params_.p_stateful)) {
+      lang::Action upd;
+      upd.kind = lang::Action::Kind::kUpdate;
+      upd.update.state_var =
+          schema_->state_vars()[rng.uniform(0,
+                                            schema_->state_vars().size() - 1)]
+              .name;
+      acts.push_back(std::move(upd));
+    }
+    return acts;
+  };
+
+  if (!earlier.empty() && rng.chance(params_.p_derived)) {
+    // Engineered relations against an earlier rule: subsumption in either
+    // direction, repeated conditions, and complements.
+    const lang::Rule& base = rng.pick(earlier);
+    switch (rng.uniform(0, 3)) {
+      case 0:  // strictly narrower: base_cond AND extra atom
+        rule.cond = lang::Cond::make_and(
+            base.cond, lang::Cond::make_atom(gen_atom(rng, shared_consts)));
+        break;
+      case 1:  // identical condition (duplicate / same-condition lint)
+        rule.cond = base.cond;
+        break;
+      case 2:  // strictly wider: base_cond OR extra atom
+        rule.cond = lang::Cond::make_or(
+            base.cond, lang::Cond::make_atom(gen_atom(rng, shared_consts)));
+        break;
+      default:  // complement: together with base covers everything
+        rule.cond = lang::Cond::make_not(base.cond);
+        break;
+    }
+    // Half the time inherit the base rule's actions so subsumption is
+    // real (cond ⊆ AND actions ⊆); otherwise fresh actions (overlap
+    // without subsumption).
+    rule.actions = rng.chance(0.5) ? base.actions : gen_actions();
+    return rule;
+  }
+
+  std::size_t budget = params_.max_atoms;
+  const std::size_t depth = 1 + rng.uniform(0, params_.max_depth - 1);
+  rule.cond = gen_cond(rng, depth, budget, shared_consts);
+  rule.actions = gen_actions();
+  return rule;
+}
+
+FuzzSample GrammarFuzzer::sample(std::uint64_t index) const {
+  FuzzSample s;
+  s.seed = params_.seed;
+  s.index = index;
+  util::Rng rng(sample_seed(params_.seed, index));
+
+  // Shared constants engineered to collide/overlap across the sample's
+  // rules (adjacent thresholds, duplicated range endpoints).
+  std::vector<std::uint64_t> shared = {
+      rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(90, 110),
+      rng.uniform(0, 0xffffffffULL)};
+
+  const std::size_t n_rules = 1 + rng.uniform(0, params_.max_rules - 1);
+  for (std::size_t i = 0; i < n_rules; ++i)
+    s.rules.push_back(gen_rule(rng, s.rules, shared));
+
+  for (const auto& r : s.rules) {
+    auto b = lang::bind_rule(r, *schema_);
+    // Samples are valid by construction; a bind failure is a generator or
+    // binder bug and is surfaced by the harness (bound.size() mismatch).
+    if (b.ok()) s.bound.push_back(std::move(b).take());
+  }
+
+  s.compress = params_.vary_compression && rng.chance(0.5);
+  s.probes = make_probes(s.bound, rng);
+  return s;
+}
+
+std::vector<FuzzProbe> GrammarFuzzer::make_probes(
+    const std::vector<lang::BoundRule>& bound, util::Rng& rng) const {
+  const auto consts = collect_constants(bound);
+
+  // Per-field candidate pools: every tested constant and its neighbours,
+  // plus domain boundaries; symbol fields additionally get unreferenced
+  // pool symbols (exact-table miss) and off-by-one non-symbol encodings
+  // (hash/probe adjacency).
+  const auto& fields = schema_->fields();
+  std::vector<std::vector<std::uint64_t>> pools(fields.size());
+  for (const auto& f : fields) {
+    auto& pool = pools[f.id];
+    const std::uint64_t umax = f.umax();
+    auto it = consts.find(lang::Subject::field(f.id));
+    if (it != consts.end()) {
+      for (std::uint64_t c : it->second) {
+        const std::uint64_t cc = c > umax ? umax : c;
+        pool.push_back(cc);
+        if (cc > 0) pool.push_back(cc - 1);
+        if (cc < umax) pool.push_back(cc + 1);
+        if (f.kind == spec::FieldKind::kSymbol) pool.push_back(cc ^ 1);
+      }
+    }
+    if (f.kind == spec::FieldKind::kSymbol) {
+      pool.push_back(util::encode_symbol(rng.pick(symbols_)));
+      pool.push_back(util::encode_symbol(rng.pick(symbols_)));
+      pool.push_back(util::encode_symbol("MISS"));
+    } else {
+      pool.push_back(0);
+      pool.push_back(umax);
+    }
+  }
+
+  // Stateful decision boundaries are reached through time: advance the
+  // clock by window fractions/multiples so tumbling windows accumulate,
+  // sit at their last microsecond, and roll over mid-corpus.
+  const std::uint64_t w = min_window_us_ ? min_window_us_ : 100;
+  const std::uint64_t steps[] = {0, 0, 1, w / 2, w - 1, w, w + 1, 3 * w};
+
+  std::vector<FuzzProbe> probes;
+  std::uint64_t now = 0;
+  for (std::size_t i = 0; i < params_.max_probes; ++i) {
+    FuzzProbe p;
+    p.fields.resize(fields.size());
+    for (const auto& f : fields) {
+      const auto& pool = pools[f.id];
+      p.fields[f.id] = (!pool.empty() && rng.chance(0.75))
+                           ? rng.pick(pool)
+                           : rng.uniform(0, f.umax());
+    }
+    now += steps[rng.uniform(0, std::size(steps) - 1)];
+    p.now_us = now;
+    probes.push_back(std::move(p));
+  }
+  return probes;
+}
+
+// --- byte-level helpers ------------------------------------------------
+
+std::string random_text(util::Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcz_ABCZ019 ().,:;<>=!&|\"\n\t#/*+-@[]{}";
+  std::string s;
+  const std::size_t n = rng.uniform(0, max_len);
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(kAlphabet[rng.uniform(0, sizeof(kAlphabet) - 2)]);
+  return s;
+}
+
+std::string token_soup(util::Rng& rng,
+                       std::span<const std::string_view> tokens,
+                       std::size_t min_tokens, std::size_t max_tokens) {
+  std::string s;
+  const std::size_t n = rng.uniform(min_tokens, max_tokens);
+  for (std::size_t i = 0; i < n; ++i) {
+    s += tokens[rng.uniform(0, tokens.size() - 1)];
+    s += ' ';
+  }
+  return s;
+}
+
+std::string fuzz_repro_hint(std::uint64_t seed, std::uint64_t index) {
+  return "camus-fuzz --seed " + std::to_string(seed) + " --only " +
+         std::to_string(index);
+}
+
+}  // namespace camus::workload

@@ -1,0 +1,131 @@
+// Grammar-driven subscription fuzzer: a seeded, deterministic sampler of
+// the full Figure-1 subscription grammar — deep and/or/! nesting, mixed
+// exact (symbol), range (numeric) and stateful (register) atoms,
+// adversarial constants (domain boundaries, out-of-width literals, shared
+// overlapping thresholds), engineered subsumption/duplication between the
+// rules of one sample, and multi-action rules with state updates — plus a
+// paired adversarial message corpus that targets each sample's decision
+// boundaries (values at and adjacent to every constant that appears in the
+// sample, window-rollover timestamps for stateful atoms).
+//
+// Determinism contract: sample(index) is a pure function of
+// (params.seed, index) — independent of call order, so campaigns can be
+// resumed, sharded, or replayed one index at a time (`camus-fuzz --only`).
+//
+// The byte-level fuzz helpers (random_text/token_soup) live here too so
+// the grammar-level and byte-level fuzzers share one Rng seeding and one
+// repro-hint convention (tests/test_fuzz.cpp and camus-fuzz both use
+// them).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+#include "util/rng.hpp"
+
+namespace camus::workload {
+
+struct FuzzParams {
+  std::uint64_t seed = 1;
+  // Rules per sample: uniform in [1, max_rules].
+  std::size_t max_rules = 5;
+  // Maximum boolean nesting depth of a generated condition.
+  std::size_t max_depth = 4;
+  // Atom budget per rule (keeps the DNF expansion far from the guard).
+  std::size_t max_atoms = 10;
+  // Adversarial probes generated per sample.
+  std::size_t max_probes = 40;
+  // Probability that a rule derives from an earlier rule of the same
+  // sample (engineered subsumption / same-condition / overlap).
+  double p_derived = 0.30;
+  // Probability that a rule carries an update(state_var) action, and that
+  // atoms may test state variables (requires schema state vars).
+  double p_stateful = 0.35;
+  // Symbol pool size for exact-match atoms.
+  std::size_t n_symbols = 12;
+  // Half the samples compile with domain compression (value-map stages).
+  bool vary_compression = true;
+};
+
+// One adversarial probe: a full field environment (indexed by FieldId)
+// plus the classification timestamp. Probe times within a sample are
+// nondecreasing so stateful windows evolve like a real feed.
+struct FuzzProbe {
+  std::vector<std::uint64_t> fields;
+  std::uint64_t now_us = 0;
+};
+
+struct FuzzSample {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+  std::vector<lang::Rule> rules;       // unbound AST (printable source)
+  std::vector<lang::BoundRule> bound;  // same rules bound to the schema
+  std::vector<FuzzProbe> probes;       // decision-boundary corpus
+  bool compress = false;               // compile with domain compression
+
+  // Parseable subscription source, one rule per line — what a reproducer
+  // file stores and what the parser round-trip oracle re-reads.
+  std::string source() const;
+};
+
+class GrammarFuzzer {
+ public:
+  GrammarFuzzer(const spec::Schema& schema, FuzzParams params = {});
+
+  // Pure function of (params.seed, index); see the determinism contract.
+  FuzzSample sample(std::uint64_t index) const;
+
+  // Rebuilds the boundary-targeted probe corpus for an arbitrary bound
+  // rule set — the minimizer re-targets the corpus after a structural
+  // shrink changes which constants exist.
+  std::vector<FuzzProbe> make_probes(
+      const std::vector<lang::BoundRule>& bound, util::Rng& rng) const;
+
+  const spec::Schema& schema() const noexcept { return *schema_; }
+  const FuzzParams& params() const noexcept { return params_; }
+  const std::vector<std::string>& symbol_pool() const noexcept {
+    return symbols_;
+  }
+
+ private:
+  lang::Rule gen_rule(util::Rng& rng,
+                      const std::vector<lang::Rule>& earlier,
+                      std::vector<std::uint64_t>& shared_consts) const;
+  lang::CondPtr gen_cond(util::Rng& rng, std::size_t depth,
+                         std::size_t& atom_budget,
+                         const std::vector<std::uint64_t>& shared) const;
+  lang::PredExpr gen_atom(util::Rng& rng,
+                          const std::vector<std::uint64_t>& shared) const;
+  std::uint64_t gen_numeric_const(util::Rng& rng, std::uint64_t umax,
+                                  const std::vector<std::uint64_t>&
+                                      shared) const;
+
+  const spec::Schema* schema_;
+  FuzzParams params_;
+  std::vector<std::string> symbols_;       // exact-match symbol pool
+  std::vector<spec::FieldId> queryable_;   // schema query order
+  std::uint64_t min_window_us_ = 0;        // smallest state window (0=none)
+};
+
+// --- byte-level fuzz helpers (shared with tests/test_fuzz.cpp) ---------
+
+// Random printable garbage of length <= max_len.
+std::string random_text(util::Rng& rng, std::size_t max_len);
+
+// Token soup: min_tokens..max_tokens draws from `tokens`, space-joined —
+// input that is lexically plausible but structurally random.
+std::string token_soup(util::Rng& rng,
+                       std::span<const std::string_view> tokens,
+                       std::size_t min_tokens, std::size_t max_tokens);
+
+// One-line repro command for a failing (seed, index) pair — the single
+// convention every fuzz failure message uses, grammar- or byte-level.
+std::string fuzz_repro_hint(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace camus::workload

@@ -1,0 +1,198 @@
+// Unit tests for the brute-force AST oracle (lang/eval.hpp) — the ground
+// truth every fuzzing oracle is compared against, so it gets its own
+// direct tests: operator precedence, negation over ranges, the
+// missing-attribute semantics (Siena-style: a predicate over an absent
+// subject is false, so its negation is true), and a differential run
+// against baseline::NaiveMatcher on the Figure-5c ITCH workload.
+#include <gtest/gtest.h>
+
+#include "baseline/matcher.hpp"
+#include "lang/dnf.hpp"
+#include "lang/eval.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "util/intern.hpp"
+#include "util/rng.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  spec::Schema schema_ = spec::make_itch_schema();
+
+  lang::BoundCondPtr bind(const std::string& cond_src) {
+    auto parsed = lang::parse_condition(cond_src);
+    EXPECT_TRUE(parsed.ok()) << cond_src;
+    lang::Rule r;
+    r.cond = std::move(parsed).take();
+    auto bound = lang::bind_rule(r, schema_);
+    EXPECT_TRUE(bound.ok()) << cond_src << ": "
+                            << (bound.ok() ? "" : bound.error().to_string());
+    return bound.value().cond;
+  }
+
+  // Env over the ITCH schema: shares (field 0), stock (field 1, symbol),
+  // price (field 2).
+  static lang::Env env(std::uint64_t shares, const std::string& stock,
+                       std::uint64_t price) {
+    lang::Env e;
+    e.fields = {shares, util::encode_symbol(stock), price};
+    return e;
+  }
+
+  bool eval(const std::string& cond_src, const lang::Env& e) {
+    auto c = bind(cond_src);
+    EXPECT_TRUE(c) << cond_src;
+    return lang::brute_eval_cond(*c, e);
+  }
+};
+
+TEST_F(EvalTest, AtomComparisons) {
+  const lang::Env e = env(500, "GOOGL", 100);
+  EXPECT_TRUE(eval("price == 100", e));
+  EXPECT_FALSE(eval("price == 101", e));
+  EXPECT_TRUE(eval("price < 101", e));
+  EXPECT_FALSE(eval("price < 100", e));
+  EXPECT_TRUE(eval("price > 99", e));
+  EXPECT_FALSE(eval("price > 100", e));
+  EXPECT_TRUE(eval("price <= 100", e));
+  EXPECT_TRUE(eval("price >= 100", e));
+  EXPECT_TRUE(eval("price != 99", e));
+  EXPECT_FALSE(eval("price != 100", e));
+  EXPECT_TRUE(eval("stock == GOOGL", e));
+  EXPECT_FALSE(eval("stock == AAPL", e));
+  EXPECT_TRUE(eval("stock != AAPL", e));
+}
+
+TEST_F(EvalTest, PrecedenceAndBindsTighterThanOr) {
+  // a or b and c  ==  a or (b and c): true when only a holds, false when
+  // only b holds.
+  const std::string c = "price == 1 or price > 10 and shares == 7";
+  EXPECT_TRUE(eval(c, env(0, "A", 1)));     // a alone
+  EXPECT_FALSE(eval(c, env(0, "A", 11)));   // b alone
+  EXPECT_TRUE(eval(c, env(7, "A", 11)));    // b and c
+  // If precedence were (a or b) and c, env(0,_,1) would be false.
+}
+
+TEST_F(EvalTest, NegationBindsTighterThanAnd) {
+  // !a and b  ==  (!a) and b.
+  const std::string c = "!price == 5 and shares == 7";
+  EXPECT_TRUE(eval(c, env(7, "A", 6)));
+  EXPECT_FALSE(eval(c, env(7, "A", 5)));
+  EXPECT_FALSE(eval(c, env(8, "A", 6)));
+}
+
+TEST_F(EvalTest, NegationOverRanges) {
+  // !(price > lo and price < hi) is the complement on the whole domain,
+  // endpoints included.
+  const std::string c = "!(price > 10 and price < 20)";
+  EXPECT_TRUE(eval(c, env(0, "A", 10)));
+  EXPECT_FALSE(eval(c, env(0, "A", 11)));
+  EXPECT_FALSE(eval(c, env(0, "A", 19)));
+  EXPECT_TRUE(eval(c, env(0, "A", 20)));
+  EXPECT_TRUE(eval(c, env(0, "A", 0)));
+
+  // De Morgan: !(a or b) == !a and !b, checked pointwise.
+  for (std::uint64_t p : {0ULL, 5ULL, 10ULL, 15ULL, 100ULL}) {
+    EXPECT_EQ(eval("!(price < 10 or price > 14)", env(0, "A", p)),
+              eval("!(price < 10) and !(price > 14)", env(0, "A", p)))
+        << "price=" << p;
+  }
+
+  // Double negation is the identity.
+  for (std::uint64_t p : {0ULL, 10ULL, 11ULL, 19ULL, 20ULL}) {
+    EXPECT_EQ(eval("!(!(price < 15))", env(0, "A", p)),
+              eval("price < 15", env(0, "A", p)))
+        << "price=" << p;
+  }
+}
+
+TEST_F(EvalTest, MissingAttributeIsFalseAndNegationTrue) {
+  // Env with only shares and stock: price (field 2) is absent. Any
+  // comparison over an absent subject is false; a negation above it is
+  // therefore true (Siena semantics), keeping the evaluator total over
+  // arbitrary environments.
+  lang::Env e;
+  e.fields = {500, util::encode_symbol("GOOGL")};
+
+  EXPECT_FALSE(eval("price == 0", e));
+  EXPECT_FALSE(eval("price < 100", e));
+  EXPECT_TRUE(eval("!(price == 0)", e));
+  // Out-of-domain comparisons fold to constants at BIND time (price is a
+  // 32-bit field, so `< 2^64-1` is vacuously true over its domain) — the
+  // fold wins over missing-attribute falsity, by design.
+  EXPECT_TRUE(eval("price < 18446744073709551615", e));
+  EXPECT_TRUE(eval("!(price == 0) and stock == GOOGL", e));
+  EXPECT_FALSE(eval("price > 0 or price < 1", e));
+  EXPECT_TRUE(eval("!(price > 0 or price < 1)", e));
+
+  // State variables follow the same rule: empty state vector.
+  EXPECT_FALSE(eval("my_counter > 0", e));
+  EXPECT_TRUE(eval("!(my_counter > 0)", e));
+
+  auto c = bind("price == 5");
+  EXPECT_FALSE(lang::env_has_subject(e, c->atom.subject));
+}
+
+TEST_F(EvalTest, RuleMergeUnionsActions) {
+  auto rules = lang::parse_rules(
+      "price > 10 : fwd(1)\n"
+      "price > 20 : fwd(2); update(my_counter)\n"
+      "price > 99999 : fwd(7)\n");
+  ASSERT_TRUE(rules.ok());
+  auto bound = lang::bind_rules(rules.value(), schema_);
+  ASSERT_TRUE(bound.ok());
+
+  const lang::ActionSet at25 =
+      lang::brute_eval_rules(bound.value(), env(0, "A", 25));
+  EXPECT_EQ(at25.ports, (std::vector<std::uint16_t>{1, 2}));
+  EXPECT_EQ(at25.state_updates.size(), 1u);
+
+  const lang::ActionSet at15 =
+      lang::brute_eval_rules(bound.value(), env(0, "A", 15));
+  EXPECT_EQ(at15.ports, (std::vector<std::uint16_t>{1}));
+  EXPECT_TRUE(at15.state_updates.empty());
+
+  EXPECT_TRUE(lang::brute_eval_rules(bound.value(), env(0, "A", 5)).is_drop());
+}
+
+// Differential gate: on the Figure-5c ITCH workload the brute-force
+// evaluator and the DNF-based NaiveMatcher are independent implementations
+// of the same semantics — they must agree on every probe.
+TEST_F(EvalTest, AgreesWithNaiveMatcherOnItchWorkload) {
+  workload::ItchSubsParams params;
+  params.seed = 7;
+  params.n_subscriptions = 300;
+  params.n_symbols = 20;
+  params.price_max = 1000;
+  const auto subs = workload::generate_itch_subscriptions(schema_, params);
+  ASSERT_FALSE(subs.rules.empty());
+
+  auto flat = lang::flatten_rules(subs.rules, schema_);
+  ASSERT_TRUE(flat.ok());
+  const baseline::NaiveMatcher naive(flat.value());
+
+  util::Rng rng(99);
+  const auto symbols = workload::itch_symbols(params.n_symbols + 2);
+  std::size_t matched = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lang::Env e;
+    e.fields = {rng.uniform(0, 1000),
+                util::encode_symbol(symbols[rng.uniform(0, symbols.size() - 1)]),
+                rng.uniform(0, params.price_max + 50)};
+    e.states = {rng.uniform(0, 200), rng.uniform(0, 2000)};
+    const lang::ActionSet brute = lang::brute_eval_rules(subs.rules, e);
+    const lang::ActionSet got = naive.match(e);
+    ASSERT_EQ(got, brute) << "probe " << i << ": naive=" << got.to_string()
+                          << " brute=" << brute.to_string();
+    if (!brute.is_drop()) ++matched;
+  }
+  // The workload must actually exercise both outcomes.
+  EXPECT_GT(matched, 0u);
+  EXPECT_LT(matched, 2000u);
+}
+
+}  // namespace

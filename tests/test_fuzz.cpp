@@ -1,45 +1,50 @@
-// Robustness fuzzing: random and mutated inputs must never crash the
-// front-ends — parsers return errors, decoders return nullopt, and valid
-// inputs keep round-tripping.
+// Robustness and differential fuzzing.
+//
+// Byte-level: random and mutated inputs must never crash the front-ends —
+// parsers return errors, decoders return nullopt, valid inputs keep
+// round-tripping. The generators (workload::random_text / token_soup)
+// and the repro-hint convention are shared with camus-fuzz, so a failing
+// seed here reproduces from the command line.
+//
+// Grammar-level: workload::GrammarFuzzer samples the full subscription
+// grammar and verify::run_case cross-checks the compiled artifacts
+// against the brute-force AST oracle in all four modes (direct, churn,
+// fault, lint). The committed reproducers under tests/corpus/ — minimized
+// divergences from past campaigns — are replayed forever, and campaign
+// determinism (same seed => same verdict digest) is asserted directly.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/compile.hpp"
+#include "compiler/incremental.hpp"
+#include "lang/eval.hpp"
 #include "lang/parser.hpp"
 #include "proto/packet.hpp"
 #include "proto/pcap.hpp"
+#include "spec/itch_spec.hpp"
 #include "spec/spec_parser.hpp"
+#include "switchsim/switch.hpp"
 #include "table/serialize.hpp"
 #include "util/rng.hpp"
+#include "verify/fuzz_harness.hpp"
+#include "workload/fuzz.hpp"
 
 namespace {
 
 using namespace camus;
 
-// Random printable garbage.
-std::string random_text(util::Rng& rng, std::size_t max_len) {
-  static constexpr char kAlphabet[] =
-      "abcz_ABCZ019 ().,:;<>=!&|\"\n\t#/*+-@[]{}";
-  std::string s;
-  const std::size_t n = rng.uniform(0, max_len);
-  for (std::size_t i = 0; i < n; ++i)
-    s.push_back(kAlphabet[rng.uniform(0, sizeof(kAlphabet) - 2)]);
-  return s;
-}
-
 // Token soup that looks more like real rules.
 std::string rule_soup(util::Rng& rng) {
-  static const std::vector<std::string> kTokens = {
+  static constexpr std::string_view kTokens[] = {
       "stock",  "price",   "shares", "==",   "!=",   "<",     ">",
       "<=",     ">=",      "and",    "or",   "not",  "!",     "(",
       ")",      ":",       "fwd",    "drop", "update", ",",   ";",
       "GOOGL",  "42",      "avg",    "in",   "my_counter", "1.2.3.4",
       "\"X\"",  "0",       "18446744073709551615"};
-  std::string s;
-  const std::size_t n = rng.uniform(1, 25);
-  for (std::size_t i = 0; i < n; ++i) {
-    s += kTokens[rng.uniform(0, kTokens.size() - 1)];
-    s += ' ';
-  }
-  return s;
+  return workload::token_soup(rng, kTokens, 1, 25);
 }
 
 class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
@@ -48,7 +53,7 @@ TEST_P(FuzzSeeds, RuleParserNeverCrashes) {
   util::Rng rng(GetParam());
   for (int i = 0; i < 2000; ++i) {
     const std::string text =
-        rng.chance(0.5) ? random_text(rng, 120) : rule_soup(rng);
+        rng.chance(0.5) ? workload::random_text(rng, 120) : rule_soup(rng);
     (void)lang::parse_rules(text);   // must not crash or hang
     (void)lang::parse_condition(text);
   }
@@ -56,21 +61,14 @@ TEST_P(FuzzSeeds, RuleParserNeverCrashes) {
 
 TEST_P(FuzzSeeds, SpecParserNeverCrashes) {
   util::Rng rng(GetParam() ^ 0xabcdef);
-  static const std::vector<std::string> kTokens = {
+  static constexpr std::string_view kTokens[] = {
       "header_type", "header", "fields", "{", "}", ";", ":", "(",
       ")",           ",",      "t",      "x", "32", "64", "symbol",
       "@query_field", "@query_counter", "@query_avg", "100"};
   for (int i = 0; i < 2000; ++i) {
-    std::string text;
-    if (rng.chance(0.5)) {
-      text = random_text(rng, 150);
-    } else {
-      const std::size_t n = rng.uniform(1, 30);
-      for (std::size_t k = 0; k < n; ++k) {
-        text += kTokens[rng.uniform(0, kTokens.size() - 1)];
-        text += ' ';
-      }
-    }
+    const std::string text = rng.chance(0.5)
+                                 ? workload::random_text(rng, 150)
+                                 : workload::token_soup(rng, kTokens, 1, 30);
     (void)spec::parse_spec(text);
   }
 }
@@ -92,7 +90,7 @@ TEST_P(FuzzSeeds, PipelineDeserializerNeverCrashes) {
     (void)table::deserialize_pipeline(text);
   }
   for (int i = 0; i < 500; ++i)
-    (void)table::deserialize_pipeline(random_text(rng, 300));
+    (void)table::deserialize_pipeline(workload::random_text(rng, 300));
 }
 
 // Builds a structurally valid MoldUDP64 market-data frame to mutate.
@@ -208,7 +206,8 @@ TEST(FuzzRoundTrip, ValidRulesSurviveReprinting) {
       static const char* kOps[] = {"==", "!=", "<", ">", "<=", ">="};
       text += " ";
       text += kOps[rng.uniform(0, 5)];
-      text += " " + std::to_string(rng.uniform(0, 999));
+      text += ' ';
+      text += std::to_string(rng.uniform(0, 999));
     }
     text += " : fwd(" + std::to_string(1 + rng.uniform(0, 9)) + ")";
     auto r1 = lang::parse_rule(text);
@@ -218,6 +217,300 @@ TEST(FuzzRoundTrip, ValidRulesSurviveReprinting) {
     ASSERT_TRUE(r2.ok()) << p1;
     EXPECT_EQ(r2.value().to_string(), p1);
   }
+}
+
+// --- grammar-level fuzzing ---------------------------------------------
+
+class GrammarFuzz : public ::testing::Test {
+ protected:
+  spec::Schema schema_ = spec::make_itch_schema();
+};
+
+TEST_F(GrammarFuzz, SampleIsPureFunctionOfSeedAndIndex) {
+  workload::FuzzParams params;
+  params.seed = 11;
+  const workload::GrammarFuzzer a(schema_, params);
+  const workload::GrammarFuzzer b(schema_, params);
+
+  // Same (seed, index) from a fresh fuzzer, out of order, must match.
+  const auto s1 = a.sample(5);
+  (void)a.sample(7);
+  const auto s2 = a.sample(5);
+  const auto s3 = b.sample(5);
+  EXPECT_EQ(s1.source(), s2.source());
+  EXPECT_EQ(s1.source(), s3.source());
+  ASSERT_EQ(s1.probes.size(), s3.probes.size());
+  for (std::size_t i = 0; i < s1.probes.size(); ++i) {
+    EXPECT_EQ(s1.probes[i].fields, s3.probes[i].fields) << i;
+    EXPECT_EQ(s1.probes[i].now_us, s3.probes[i].now_us) << i;
+  }
+  EXPECT_EQ(s1.compress, s3.compress);
+
+  // A different seed must actually change the stream.
+  params.seed = 12;
+  const workload::GrammarFuzzer c(schema_, params);
+  bool any_diff = false;
+  for (std::uint64_t i = 0; i < 10 && !any_diff; ++i)
+    any_diff = a.sample(i).source() != c.sample(i).source();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GrammarFuzz, SamplesAreValidByConstruction) {
+  const workload::GrammarFuzzer fuzzer(schema_);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto s = fuzzer.sample(i);
+    EXPECT_EQ(s.bound.size(), s.rules.size())
+        << "a generated rule failed to bind; "
+        << workload::fuzz_repro_hint(s.seed, i);
+    auto reparsed = lang::parse_rules(s.source());
+    ASSERT_TRUE(reparsed.ok())
+        << workload::fuzz_repro_hint(s.seed, i) << ": "
+        << reparsed.error().to_string();
+    EXPECT_EQ(reparsed.value().size(), s.rules.size());
+    EXPECT_FALSE(s.probes.empty());
+    for (std::size_t p = 1; p < s.probes.size(); ++p)
+      EXPECT_LE(s.probes[p - 1].now_us, s.probes[p].now_us)
+          << "probe times must be nondecreasing";
+  }
+}
+
+TEST_F(GrammarFuzz, ReproSerializationRoundTrips) {
+  const workload::GrammarFuzzer fuzzer(schema_);
+  const auto s = fuzzer.sample(3);
+  verify::FuzzRepro r;
+  r.seed = s.seed;
+  r.index = s.index;
+  r.mode = verify::FuzzMode::kLint;
+  r.compress = s.compress;
+  r.notes = {"a note", "another note"};
+  r.rules = s.rules;
+  r.probes = s.probes;
+
+  const std::string text = verify::serialize_repro(r);
+  auto parsed = verify::parse_repro(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const verify::FuzzRepro& q = parsed.value();
+  EXPECT_EQ(q.seed, r.seed);
+  EXPECT_EQ(q.index, r.index);
+  EXPECT_EQ(q.mode, r.mode);
+  EXPECT_EQ(q.compress, r.compress);
+  EXPECT_EQ(q.notes, r.notes);
+  ASSERT_EQ(q.rules.size(), r.rules.size());
+  for (std::size_t i = 0; i < r.rules.size(); ++i)
+    EXPECT_EQ(q.rules[i].to_string(), r.rules[i].to_string()) << i;
+  ASSERT_EQ(q.probes.size(), r.probes.size());
+  for (std::size_t i = 0; i < r.probes.size(); ++i) {
+    EXPECT_EQ(q.probes[i].fields, r.probes[i].fields) << i;
+    EXPECT_EQ(q.probes[i].now_us, r.probes[i].now_us) << i;
+  }
+
+  EXPECT_FALSE(verify::parse_repro("garbage").ok());
+  EXPECT_FALSE(verify::parse_repro("camus-fuzz repro v1\n").ok());
+}
+
+TEST_F(GrammarFuzz, MinimizerShrinksAFailingCase) {
+  // A sample whose rule set cannot fully bind is the one divergence we can
+  // construct deterministically post-fix: run_case flags it in every mode,
+  // and the minimizer must strip the healthy rules and probes around it.
+  const workload::GrammarFuzzer fuzzer(schema_);
+  workload::FuzzSample s = fuzzer.sample(0);
+  lang::Rule broken;
+  lang::PredExpr p;
+  p.subject = "no_such_field";
+  p.op = lang::CmpOp::kEq;
+  p.literal.kind = lang::Literal::Kind::kInt;
+  p.literal.int_value = 1;
+  broken.cond = lang::Cond::make_atom(std::move(p));
+  broken.actions.push_back([] {
+    lang::Action a;
+    a.kind = lang::Action::Kind::kFwd;
+    a.fwd.ports = {1, 2, 3};
+    return a;
+  }());
+  s.rules.push_back(broken);  // s.bound stays as-is: sizes now differ
+
+  const verify::FuzzCaseResult r = verify::run_case(schema_, s);
+  ASSERT_TRUE(r.diverged);
+
+  const verify::FuzzRepro m = verify::minimize(schema_, s, r.mode);
+  EXPECT_EQ(m.rules.size(), 1u) << "minimizer kept healthy rules";
+  EXPECT_TRUE(m.probes.empty()) << "minimizer kept irrelevant probes";
+  // The broken rule's multi-port fwd shrinks to a single port.
+  ASSERT_FALSE(m.rules[0].actions.empty());
+  EXPECT_LE(m.rules[0].actions[0].fwd.ports.size(), 1u);
+  // The reproducer must still reproduce.
+  const verify::FuzzCaseResult again = verify::replay_repro(schema_, m);
+  EXPECT_TRUE(again.diverged);
+}
+
+TEST_F(GrammarFuzz, CampaignIsDeterministic) {
+  verify::CampaignOptions opts;
+  opts.seed = 21;
+  opts.samples = 40;
+  const auto r1 = verify::run_campaign(schema_, opts);
+  const auto r2 = verify::run_campaign(schema_, opts);
+  EXPECT_EQ(r1.samples_run, 40u);
+  EXPECT_EQ(r1.verdict_digest, r2.verdict_digest);
+  EXPECT_EQ(r1.probes_run, r2.probes_run);
+  EXPECT_EQ(r1.divergences, r2.divergences);
+  EXPECT_EQ(r1.divergences, 0u)
+      << "campaign divergence: " << (r1.failures.empty()
+                                         ? ""
+                                         : r1.failures.front().detail);
+
+  // Different seed, different digest (the seed is folded in).
+  opts.seed = 22;
+  const auto r3 = verify::run_campaign(schema_, opts);
+  EXPECT_NE(r1.verdict_digest, r3.verdict_digest);
+}
+
+TEST_F(GrammarFuzz, CommittedCorpusReplaysGreen) {
+  const std::filesystem::path dir = CAMUS_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".repro") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto repro = verify::parse_repro(ss.str());
+    ASSERT_TRUE(repro.ok())
+        << entry.path() << ": " << repro.error().to_string();
+    const verify::FuzzCaseResult r =
+        verify::replay_repro(schema_, repro.value());
+    EXPECT_FALSE(r.diverged)
+        << entry.path() << " regressed: " << r.detail;
+    ++replayed;
+  }
+  // The corpus ships with the repo; an empty directory means the corpus
+  // went missing (wrong CAMUS_CORPUS_DIR), not that all bugs are fixed.
+  EXPECT_GE(replayed, 2u);
+}
+
+// Regression for the first campaign's finding (tests/corpus/seed1_idx29,
+// seed1_idx37): a rule set whose union MTBDD stops testing a field mid-
+// churn used to shed that stage entirely, and the next commit's entry
+// delta targeted a table the switch did not run (U001). Stage
+// materialization keeps the stage list stable, so remove/re-add churn
+// round-trips through Switch::apply_delta.
+TEST_F(GrammarFuzz, ChurnDeltasSurviveStructuralCollapse) {
+  auto rules = lang::parse_rules(
+      "shares == 410 : fwd(2,6)\n"
+      "!(shares == 410) : fwd(2,6)\n");
+  ASSERT_TRUE(rules.ok());
+  auto bound = lang::bind_rules(rules.value(), schema_);
+  ASSERT_TRUE(bound.ok());
+
+  compiler::IncrementalCompiler inc(schema_);
+  const auto id0 = inc.add(bound.value()[0]);
+  inc.add(bound.value()[1]);
+  ASSERT_TRUE(inc.commit().ok());
+  switchsim::Switch sw(schema_, table::Pipeline(inc.pipeline()));
+
+  // With both rules live the union is constant — but the shares stage must
+  // still exist (empty), or the re-add below cannot ship as a delta.
+  EXPECT_NE(inc.pipeline().find_table("add_order.shares"), nullptr);
+
+  inc.remove(id0);
+  auto d1 = inc.commit();
+  ASSERT_TRUE(d1.ok());
+  EXPECT_FALSE(d1.value().requires_reprogram);
+  ASSERT_TRUE(sw.apply_delta(d1.value().ops).ok());
+
+  inc.add(bound.value()[0]);
+  auto d2 = inc.commit();
+  ASSERT_TRUE(d2.ok());
+  EXPECT_FALSE(d2.value().requires_reprogram);
+  ASSERT_TRUE(sw.apply_delta(d2.value().ops).ok());
+
+  // The delta-patched switch equals the brute-force oracle everywhere.
+  for (std::uint64_t v : {0ULL, 409ULL, 410ULL, 411ULL, 1ULL << 40}) {
+    lang::Env e;
+    e.fields = {v, 0, 0};
+    EXPECT_EQ(sw.classify(e.fields, 0),
+              lang::brute_eval_rules(bound.value(), e))
+        << "shares=" << v;
+  }
+}
+
+// Domain compression can create or retire a mapping stage mid-churn (a
+// table crossing the compression threshold). An empty mapping stage is not
+// pass-through — it would re-code the field to 0 — so such commits must be
+// flagged requires_reprogram instead of shipping inapplicable entry ops.
+TEST_F(GrammarFuzz, CompressionStructureChangeForcesReprogram) {
+  compiler::CompileOptions opts;
+  opts.domain_compression = true;
+  opts.compression_min_entries = 2;  // tiny threshold to cross both ways
+  compiler::IncrementalCompiler inc(schema_, opts);
+
+  auto add_rule = [&](const std::string& src) {
+    auto r = inc.add_source(src);
+    EXPECT_TRUE(r.ok()) << src;
+    return r.ok() ? r.value() : 0;
+  };
+
+  // One range rule: below the threshold, no mapping stage.
+  const auto id0 = add_rule("price > 100 : fwd(1)");
+  ASSERT_TRUE(inc.commit().ok());
+  const bool had_map = !inc.pipeline().value_maps.empty();
+  switchsim::Switch sw(schema_, table::Pipeline(inc.pipeline()));
+
+  // Grow the price table past the threshold: a mapping stage appears, and
+  // the commit must demand a reprogram.
+  add_rule("price > 200 : fwd(2)");
+  add_rule("price > 300 : fwd(3)");
+  add_rule("price < 50 : fwd(4)");
+  auto d = inc.commit();
+  ASSERT_TRUE(d.ok());
+  ASSERT_FALSE(inc.pipeline().value_maps.empty())
+      << "test premise: compression must kick in";
+  if (!had_map) {
+    EXPECT_TRUE(d.value().requires_reprogram);
+    sw.reprogram(table::Pipeline(inc.pipeline()));
+  }
+
+  // Shrink back below the threshold: the mapping stage retires, which must
+  // again be a reprogram (an empty map would zero the field).
+  inc.remove(id0);
+  // Leave one range rule so the table itself survives.
+  auto d2 = inc.commit();
+  ASSERT_TRUE(d2.ok());
+  if (d2.value().requires_reprogram)
+    sw.reprogram(table::Pipeline(inc.pipeline()));
+  else
+    ASSERT_TRUE(sw.apply_delta(d2.value().ops).ok());
+
+  // However it shipped, the switch matches a from-scratch compile.
+  auto scratch_rules = lang::parse_rules(
+      "price > 200 : fwd(2)\n"
+      "price > 300 : fwd(3)\n"
+      "price < 50 : fwd(4)\n");
+  ASSERT_TRUE(scratch_rules.ok());
+  auto scratch_bound = lang::bind_rules(scratch_rules.value(), schema_);
+  ASSERT_TRUE(scratch_bound.ok());
+  for (std::uint64_t v : {0ULL, 49ULL, 50ULL, 150ULL, 250ULL, 350ULL}) {
+    lang::Env e;
+    e.fields = {0, 0, v};
+    EXPECT_EQ(sw.classify(e.fields, 0),
+              lang::brute_eval_rules(scratch_bound.value(), e))
+        << "price=" << v;
+  }
+}
+
+// A short four-mode campaign as part of the default suite: 25 samples
+// through direct + churn + fault + lint. The CI fuzz-campaign job runs the
+// long version; this keeps every local `ctest` a miniature campaign.
+TEST_F(GrammarFuzz, ShortCampaignFindsNoDivergence) {
+  verify::CampaignOptions opts;
+  opts.seed = 4242;
+  opts.samples = 25;
+  const auto res = verify::run_campaign(schema_, opts);
+  EXPECT_EQ(res.samples_run, 25u);
+  EXPECT_EQ(res.divergences, 0u)
+      << (res.failures.empty() ? "" : res.failures.front().detail);
+  EXPECT_GT(res.probes_run, 0u);
+  // The JSON summary must serialize (consumed by the CI job).
+  EXPECT_NE(res.to_json().find("\"divergences\":0"), std::string::npos);
 }
 
 }  // namespace
