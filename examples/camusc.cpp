@@ -19,6 +19,16 @@
 //   --stats            print compile statistics
 //   --stats-json FILE  write the compile-stats JSON profile ("-" = stdout)
 //   --threads N        parallel sharded compilation (0 = hardware threads)
+//   --partition M      partitioned compilation: auto | force | off.
+//                      Shards the rule set by its dominant exact-match
+//                      attribute, compiles each shard independently, and
+//                      stitches the sub-pipelines behind a dispatch stage
+//   --intern           minimize the stitched/monolithic pipeline by
+//                      interning behaviorally equivalent states
+//   --explore          run the cost-model layout search on a sample of the
+//                      rule set and compile the full set with the winner
+//   --explore-json F   write the explore candidate scores as JSON
+//                      ("-" = stdout); implies --explore
 //   --lint             run the static verifier (camus::verify) on the rules
 //                      and the compiled pipeline; exit 1 on error-severity
 //                      findings
@@ -42,6 +52,7 @@
 
 #include "compiler/analysis.hpp"
 #include "compiler/compile.hpp"
+#include "compiler/explore.hpp"
 #include "compiler/incremental.hpp"
 #include "compiler/p4gen.hpp"
 #include "table/serialize.hpp"
@@ -63,7 +74,9 @@ int usage() {
                "[--no-prune] [--compress] [--emit-drop] [--stats]\n"
                "              [--stats-json FILE|-] [--threads N] [--lint] "
                "[--lint-json FILE|-]\n              [--base FILE] "
-               "[--delta-json FILE|-]\n";
+               "[--delta-json FILE|-] [--partition auto|force|off]\n"
+               "              [--intern] [--explore] "
+               "[--explore-json FILE|-]\n";
   return 2;
 }
 
@@ -87,10 +100,12 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> files;
   bool want_tables = false, want_analyze = false, want_stats = false;
   bool want_lint = false;
+  bool want_explore = false;
   std::string explain_assign;
   std::string stats_json_path;
   std::string lint_json_path;
   std::string delta_json_path;
+  std::string explore_json_path;
   compiler::CompileOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +144,25 @@ int main(int argc, char** argv) {
       if (!v) return usage();
       lint_json_path = v;
       want_lint = true;
+    } else if (arg == "--partition") {
+      const char* v = next();
+      if (!v) return usage();
+      const std::string mode = v;
+      if (mode == "auto") opts.partition = compiler::PartitionMode::kAuto;
+      else if (mode == "force")
+        opts.partition = compiler::PartitionMode::kForce;
+      else if (mode == "off")
+        opts.partition = compiler::PartitionMode::kOff;
+      else return usage();
+    } else if (arg == "--intern") {
+      opts.intern_entries = true;
+    } else if (arg == "--explore") {
+      want_explore = true;
+    } else if (arg == "--explore-json") {
+      const char* v = next();
+      if (!v) return usage();
+      explore_json_path = v;
+      want_explore = true;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return usage();
@@ -208,6 +242,42 @@ int main(int argc, char** argv) {
     }
     std::cout << report.value().to_string(schema);
   }
+
+  // Cost-model layout search: score candidate layouts on a sample, then
+  // compile the full set with the winner. User-chosen flags seed the
+  // search (threads, guard rails) but the winner owns order/partition/
+  // intern/compression.
+  if (want_explore) {
+    compiler::ExploreParams ep;
+    ep.base = opts;
+    auto searched = compiler::explore(schema, bound.value(), ep);
+    if (!searched.ok()) {
+      std::cerr << "camusc: explore: " << searched.error().to_string() << "\n";
+      return 1;
+    }
+    if (!explore_json_path.empty()) {
+      if (explore_json_path == "-") {
+        std::cout << searched.value().to_json() << "\n";
+      } else if (!spill(explore_json_path,
+                        searched.value().to_json() + "\n")) {
+        std::cerr << "camusc: cannot write " << explore_json_path << "\n";
+        return 1;
+      }
+    }
+    if (want_stats)
+      std::cout << "explore: best=" << searched.value().best_label
+                << " cost=" << searched.value().best_cost << " ("
+                << searched.value().candidates.size() << " candidates, "
+                << searched.value().sampled << "/"
+                << searched.value().total_rules << " rules sampled)\n";
+    opts = searched.value().best;
+  }
+
+  // The partitioned path normally skips the monolithic union BDD; --dot
+  // and --lint need it (to draw, and for the checker's reference side).
+  if (opts.partition != compiler::PartitionMode::kOff &&
+      (files.count("--dot") || want_lint))
+    opts.partition_reference = true;
 
   auto compiled = compiler::compile_rules(schema, bound.value(), opts);
   if (!compiled.ok()) {
@@ -318,10 +388,16 @@ int main(int argc, char** argv) {
     std::cerr << "camusc: cannot write " << files["--pipeline"] << "\n";
     return 1;
   }
-  if (files.count("--dot") &&
-      !spill(files["--dot"], c.manager->to_dot(c.root, &schema))) {
-    std::cerr << "camusc: cannot write " << files["--dot"] << "\n";
-    return 1;
+  if (files.count("--dot")) {
+    if (!c.manager) {
+      std::cerr << "camusc: --dot: no BDD available on the partitioned "
+                   "path\n";
+      return 1;
+    }
+    if (!spill(files["--dot"], c.manager->to_dot(c.root, &schema))) {
+      std::cerr << "camusc: cannot write " << files["--dot"] << "\n";
+      return 1;
+    }
   }
   if (!explain_assign.empty()) {
     // Parse "field=value,field=value" against the schema.

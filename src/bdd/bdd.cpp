@@ -509,6 +509,23 @@ CacheStats BddManager::cache_stats() const {
   return s;
 }
 
+std::size_t BddManager::memory_bytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node);
+  bytes += vars_.capacity() * sizeof(BoundPredicate);
+  bytes += terminals_.capacity() * sizeof(ActionSet);
+  for (const ActionSet& t : terminals_)
+    bytes += t.ports.capacity() * sizeof(t.ports[0]) +
+             t.state_updates.capacity() * sizeof(t.state_updates[0]);
+  bytes += unique_.memory_bytes();
+  bytes += unite_cache_.memory_bytes();
+  bytes += unite_res_cache_.memory_bytes();
+  bytes += split_cache_.memory_bytes();
+  for (const util::IntervalSet& s : sets_)
+    bytes += s.intervals().capacity() * sizeof(s.intervals()[0]);
+  bytes += sets_.capacity() * sizeof(util::IntervalSet);
+  return bytes;
+}
+
 std::string BddManager::to_dot(NodeRef root,
                                const spec::Schema* schema) const {
   auto subj_name = [&](Subject s) -> std::string {

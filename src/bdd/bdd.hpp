@@ -191,6 +191,12 @@ class BddManager {
   // Unique-table size and memo probe/hit totals (compile telemetry).
   CacheStats cache_stats() const;
 
+  // Heap footprint of the manager's arenas (node table, unique table,
+  // union/split memos, residual-set pool) in bytes. This is the quantity
+  // the partitioned compile bounds per shard: the memory-ceiling gate in
+  // bench/compile_scale compares it against peak RSS.
+  std::size_t memory_bytes() const;
+
   // GraphViz rendering of the reachable subgraph (for docs and debugging).
   std::string to_dot(NodeRef root, const spec::Schema* schema = nullptr) const;
 

@@ -5,9 +5,11 @@
 #include "compiler/compress.hpp"
 #include "compiler/field_order.hpp"
 #include "compiler/parallel.hpp"
+#include "compiler/partition.hpp"
 #include "lang/dnf.hpp"
 #include "lang/parser.hpp"
 #include "util/json.hpp"
+#include "util/mem.hpp"
 #include "util/timer.hpp"
 
 namespace camus::compiler {
@@ -26,12 +28,24 @@ std::string CompileStats::to_string() const {
      << " (flatten=" << t_flatten << " build=" << t_build
      << " union=" << t_union << " prune=" << t_prune
      << " tables=" << t_tables << ")";
+  if (partition_groups > 0) {
+    os << " partition=" << partition_subject << "/" << partition_groups
+       << " stitch=" << t_stitch << "s";
+  }
+  if (interned) {
+    os << " intern=" << intern.entries_before << "->" << intern.entries_after
+       << " (states " << intern.states_before << "->" << intern.states_after
+       << ", " << intern.iterations << " rounds)";
+  }
   if (threads_used > 1) {
     os << " threads=" << threads_used << " shards=[";
     for (std::size_t i = 0; i < shards.size(); ++i)
       os << (i ? "," : "") << shards[i].rules;
     os << "]";
   }
+  if (mem.peak_rss > 0)
+    os << " peak_rss_mb=" << (mem.peak_rss >> 20)
+       << " bdd_mb=" << (mem.bdd_bytes >> 20);
   const std::uint64_t probes = cache.unite_probes + cache.unite_res_probes;
   if (probes > 0) os << " memo_hit_rate=" << cache.memo_hit_rate();
   return os.str();
@@ -48,8 +62,25 @@ std::string CompileStats::to_json() const {
      << ",\"build\":" << format_double(t_build)
      << ",\"union\":" << format_double(t_union)
      << ",\"prune\":" << format_double(t_prune)
+     << ",\"stitch\":" << format_double(t_stitch)
      << ",\"tables\":" << format_double(t_tables)
      << ",\"total\":" << format_double(t_total) << "}";
+  os << ",\"partition\":{"
+     << "\"groups\":" << partition_groups
+     << ",\"subject\":\"" << util::json::escape(partition_subject) << "\"}";
+  os << ",\"intern\":{"
+     << "\"applied\":" << (interned ? "true" : "false")
+     << ",\"states_before\":" << intern.states_before
+     << ",\"states_after\":" << intern.states_after
+     << ",\"entries_before\":" << intern.entries_before
+     << ",\"entries_after\":" << intern.entries_after
+     << ",\"iterations\":" << intern.iterations << "}";
+  os << ",\"mem\":{"
+     << "\"rss_before\":" << mem.rss_before
+     << ",\"rss_after_build\":" << mem.rss_after_build
+     << ",\"rss_after_tables\":" << mem.rss_after_tables
+     << ",\"peak_rss\":" << mem.peak_rss
+     << ",\"bdd_bytes\":" << mem.bdd_bytes << "}";
   os << ",\"bdd\":{"
      << "\"nodes_before_prune\":" << bdd_before_prune.node_count
      << ",\"nodes_after_prune\":" << bdd_after_prune.node_count
@@ -89,6 +120,7 @@ std::string CompileStats::to_json() const {
     const auto& s = shards[i];
     os << (i ? "," : "") << "{\"rules\":" << s.rules
        << ",\"bdd_nodes\":" << s.bdd_nodes
+       << ",\"manager_bytes\":" << s.manager_bytes
        << ",\"seconds\":" << format_double(s.t_seconds) << "}";
   }
   os << "]}";
@@ -101,6 +133,7 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
   Timer total;
   Compiled out;
   out.stats.rule_count = rules.size();
+  out.stats.mem.rss_before = util::current_rss_bytes();
 
   // 1. Normalize every rule into disjunctive form.
   Timer t;
@@ -108,6 +141,24 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
   if (!flat.ok()) return flat.error();
   for (const auto& r : flat.value()) out.stats.dnf_terms += r.terms.size();
   out.stats.t_flatten = t.seconds();
+
+  // 1.5. Partitioned-output path: when a dominant point-constrained
+  // attribute exists and the mode/threshold gate passes, compile each
+  // value slice to an independent sub-pipeline and stitch behind a
+  // dispatch stage (compiler/partition.*). Peak BDD size and memory then
+  // scale with the largest shard, not the union.
+  if (opts.partition != PartitionMode::kOff) {
+    bdd::VarOrder probe_order = choose_order(schema, flat.value(), opts.order);
+    PartitionPlan plan = plan_partition(flat.value(), probe_order);
+    if (partition_applies(plan, opts, flat.value().size())) {
+      auto part = compile_partitioned(schema, flat.value(), plan, opts);
+      if (!part.ok()) return part.error();
+      part.value().stats.t_flatten = out.stats.t_flatten;
+      part.value().stats.mem.rss_before = out.stats.mem.rss_before;
+      part.value().stats.t_total = total.seconds();
+      return part;
+    }
+  }
 
   // 2+3. Build one BDD per rule under the chosen variable order and union
   // them all (overlapping rules merge their ActionSets at the terminals).
@@ -145,6 +196,7 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
     out.stats.t_union = t.seconds();
   }
   out.stats.bdd_before_prune = mgr.stats(out.root);
+  out.stats.mem.rss_after_build = util::current_rss_bytes();
 
   // 4. Reduction (iii): remove predicates implied by ancestors.
   t.reset();
@@ -162,13 +214,21 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
     return util::Error{e.what()};
   }
 
-  // 6. Optional resource optimization: domain compression.
+  // 6. Optional table-level rewrites: entry interning (state-machine
+  // minimization), then domain compression.
+  if (opts.intern_entries) {
+    out.stats.intern = intern_entries(out.pipeline);
+    out.stats.interned = true;
+  }
   if (opts.domain_compression) compress_domains(out.pipeline, opts);
   out.stats.t_tables = t.seconds();
 
   out.stats.cache.accumulate(mgr.cache_stats());
   out.stats.total_entries = out.pipeline.total_entries();
   out.stats.multicast_groups = out.pipeline.mcast.size();
+  out.stats.mem.rss_after_tables = util::current_rss_bytes();
+  out.stats.mem.peak_rss = util::peak_rss_bytes();
+  out.stats.mem.bdd_bytes = mgr.memory_bytes();
   out.stats.t_total = total.seconds();
   return out;
 }

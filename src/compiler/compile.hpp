@@ -9,6 +9,7 @@
 
 #include "bdd/bdd.hpp"
 #include "compiler/algorithm1.hpp"
+#include "compiler/compress.hpp"
 #include "compiler/options.hpp"
 #include "lang/bound.hpp"
 #include "spec/schema.hpp"
@@ -22,6 +23,19 @@ struct ShardStats {
   std::size_t rules = 0;      // flat rules assigned to this shard
   std::size_t bdd_nodes = 0;  // shard-local manager node-table size
   double t_seconds = 0;       // shard build+union wall time on its worker
+  std::size_t manager_bytes = 0;  // shard manager arena footprint
+};
+
+// Process/arena memory telemetry (the compile-scale memory gate).
+struct MemStats {
+  std::uint64_t rss_before = 0;       // current RSS at compile entry
+  std::uint64_t rss_after_build = 0;  // after BDD build+union (or shards)
+  std::uint64_t rss_after_tables = 0; // after table generation + rewrites
+  std::uint64_t peak_rss = 0;         // process high-water mark at exit
+  // Master-manager arena bytes on the monolithic path; the *largest
+  // single shard's* arena on the partitioned path (that is the quantity
+  // partitioning bounds).
+  std::uint64_t bdd_bytes = 0;
 };
 
 // Compile-phase telemetry: per-phase wall time, BDD node counts,
@@ -47,9 +61,29 @@ struct CompileStats {
   std::size_t threads_used = 1;
   std::vector<ShardStats> shards;
 
+  // Partitioned-output path (compiler/partition.*): shard count (value
+  // shards + default), the dispatch attribute's display name, and the
+  // stitch wall time. partition_groups == 0 means the monolithic path ran.
+  std::size_t partition_groups = 0;
+  std::string partition_subject;
+  double t_stitch = 0;
+
+  // Entry interning (intern_entries); interned == false when the pass did
+  // not run and the counters are zero.
+  bool interned = false;
+  InternStats intern;
+
+  // Peak-RSS and arena-bytes telemetry (always collected; zeros only on
+  // platforms without a measurement).
+  MemStats mem;
+
   // Wall-clock breakdown in seconds. On the parallel path t_build covers
   // the concurrent shard phase and t_union the import + pairwise merge
-  // into the master manager.
+  // into the master manager. On the partitioned path t_build covers the
+  // concurrent per-shard compiles (build+union+prune+tables inside each
+  // shard), t_stitch the deterministic merge, t_tables the post-stitch
+  // rewrites (interning, domain compression), and t_union the optional
+  // reference-MTBDD build (partition_reference).
   double t_flatten = 0;
   double t_build = 0;
   double t_union = 0;
@@ -69,7 +103,10 @@ struct Compiled {
   CompileStats stats;
 
   // The BDD is kept alive so callers can render it (quickstart example,
-  // debugging) without recompiling.
+  // debugging) without recompiling. On the partitioned path no monolithic
+  // MTBDD exists — manager is null unless partition_reference asked for
+  // one (root is then the reference the equivalence checker verifies the
+  // stitched pipeline against).
   std::shared_ptr<bdd::BddManager> manager;
   bdd::NodeRef root;
 };

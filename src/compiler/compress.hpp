@@ -11,6 +11,8 @@
 // need far fewer TCAM bits.
 #pragma once
 
+#include <cstddef>
+
 #include "compiler/options.hpp"
 #include "table/pipeline.hpp"
 
@@ -21,5 +23,36 @@ namespace camus::compiler {
 // compressed.
 std::size_t compress_domains(table::Pipeline& pipeline,
                              const CompileOptions& opts);
+
+// Telemetry for intern_entries (CompileStats::to_json "intern" block).
+struct InternStats {
+  std::size_t states_before = 0;
+  std::size_t states_after = 0;   // equivalence classes kept
+  std::size_t entries_before = 0; // field-table + leaf entries
+  std::size_t entries_after = 0;
+  std::size_t iterations = 0;     // refinement rounds to fixpoint
+};
+
+// Entry interning: partition-refinement minimization of the pipeline's
+// state machine (Moore-style DFA minimization adapted to the
+// miss-passes-through walk). Two states merge when they carry the same
+// leaf observation and, table by table, the same (match -> class of next
+// state) transition lists — the table-level analogue of the BDD's
+// isomorphic-node sharing, applied across sub-pipelines the stitched
+// partitioned compile glued together with disjoint state ranges.
+//
+// Sound under the pipeline semantics because a lookup miss keeps the
+// current state: within one class a miss sends every member to the same
+// class (its own), and equal transition lists induce the same hit regions
+// with class-equal successors, so by backwards induction over the stages
+// equal-class states reach leaf-equal observations on every packet.
+// Dedupe of isomorphic leaf regions and shared ActionSet suffixes falls
+// out: identical-action terminals collapse first, then the chains feeding
+// them collapse level by level.
+//
+// Value-map stages are untouched (their entries are keyed on the constant
+// kInitialState, not on pipeline states). Tables left with no entries are
+// removed — an empty stage is pass-through. Re-finalizes the pipeline.
+InternStats intern_entries(table::Pipeline& pipeline);
 
 }  // namespace camus::compiler

@@ -1,0 +1,168 @@
+#include "compiler/explore.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace camus::compiler {
+
+namespace {
+
+const char* order_name(bdd::OrderHeuristic h) {
+  switch (h) {
+    case bdd::OrderHeuristic::kDeclared: return "declared";
+    case bdd::OrderHeuristic::kExactFirst: return "exact_first";
+    case bdd::OrderHeuristic::kSelectivityAsc: return "selectivity_asc";
+    case bdd::OrderHeuristic::kSelectivityDesc: return "selectivity_desc";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExploreResult::to_json() const {
+  using util::json::format_double;
+  std::ostringstream os;
+  os << "{\"sampled\":" << sampled << ",\"total_rules\":" << total_rules
+     << ",\"best\":\"" << util::json::escape(best_label) << "\""
+     << ",\"best_cost\":" << format_double(best_cost) << ",\"candidates\":[";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ExploreCandidate& c = candidates[i];
+    os << (i ? "," : "") << "{\"label\":\"" << util::json::escape(c.label)
+       << "\",\"ok\":" << (c.ok ? "true" : "false")
+       << ",\"feasible\":" << (c.feasible ? "true" : "false")
+       << ",\"cost\":" << format_double(c.cost)
+       << ",\"seconds\":" << format_double(c.t_compile)
+       << ",\"entries\":" << c.entries
+       << ",\"sram\":" << c.usage.sram_entries
+       << ",\"tcam\":" << c.usage.tcam_entries
+       << ",\"stages\":" << c.usage.stages << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+util::Result<ExploreResult> explore(const spec::Schema& schema,
+                                    const std::vector<lang::BoundRule>& rules,
+                                    const ExploreParams& params) {
+  if (rules.empty()) return util::Error{"explore: empty rule set"};
+  ExploreResult out;
+  out.total_rules = rules.size();
+
+  // Deterministic stride sample: every k-th rule, preserving relative
+  // order, so symbol/host diversity in generated workloads survives.
+  std::vector<lang::BoundRule> sample;
+  const std::size_t want = std::max<std::size_t>(1, params.sample_rules);
+  if (rules.size() <= want) {
+    sample = rules;
+  } else {
+    const std::size_t stride = rules.size() / want;
+    for (std::size_t i = 0; i < rules.size() && sample.size() < want;
+         i += stride)
+      sample.push_back(rules[i]);
+  }
+  out.sampled = sample.size();
+  const double scale =
+      static_cast<double>(rules.size()) / static_cast<double>(sample.size());
+
+  auto evaluate = [&](std::string label,
+                      const CompileOptions& opts) -> const ExploreCandidate& {
+    ExploreCandidate c;
+    c.label = std::move(label);
+    c.opts = opts;
+    util::Timer t;
+    auto compiled = compile_rules(schema, sample, opts);
+    c.t_compile = t.seconds();
+    if (compiled.ok()) {
+      c.ok = true;
+      c.entries = compiled.value().stats.total_entries;
+      c.usage = compiled.value().pipeline.resources();
+      // Linear extrapolation of the sample usage to the full set — an
+      // upper bound for layouts whose entries grow sublinearly, which is
+      // exactly the conservative direction for a feasibility gate.
+      table::ResourceUsage scaled = c.usage;
+      scaled.sram_entries =
+          static_cast<std::uint64_t>(static_cast<double>(scaled.sram_entries) * scale);
+      scaled.tcam_entries =
+          static_cast<std::uint64_t>(static_cast<double>(scaled.tcam_entries) * scale);
+      scaled.logical_entries = static_cast<std::uint64_t>(
+          static_cast<double>(scaled.logical_entries) * scale);
+      c.feasible = params.budget.fits(scaled);
+      c.cost = params.weights.sram_entry * static_cast<double>(scaled.sram_entries) +
+               params.weights.tcam_entry * static_cast<double>(scaled.tcam_entries) +
+               params.weights.stage * static_cast<double>(c.usage.stages) +
+               params.weights.compile_second * c.t_compile * scale;
+      if (!c.feasible) c.cost += params.weights.infeasible;
+    } else {
+      c.cost = params.weights.infeasible * 2;  // never preferred
+    }
+    out.candidates.push_back(std::move(c));
+    return out.candidates.back();
+  };
+
+  // Phase 1: race the order heuristics with every rewrite off.
+  CompileOptions probe = params.base;
+  probe.partition = PartitionMode::kOff;
+  probe.intern_entries = false;
+  probe.domain_compression = false;
+  const bdd::OrderHeuristic orders[] = {
+      bdd::OrderHeuristic::kDeclared, bdd::OrderHeuristic::kExactFirst,
+      bdd::OrderHeuristic::kSelectivityAsc,
+      bdd::OrderHeuristic::kSelectivityDesc};
+  bdd::OrderHeuristic best_order = probe.order;
+  double best_cost = 0;
+  bool have = false;
+  for (bdd::OrderHeuristic h : orders) {
+    CompileOptions o = probe;
+    o.order = h;
+    const ExploreCandidate& c =
+        evaluate(std::string("order:") + order_name(h), o);
+    if (c.ok && (!have || c.cost < best_cost)) {
+      best_order = h;
+      best_cost = c.cost;
+      have = true;
+    }
+  }
+  if (!have) return util::Error{"explore: every order-probe compile failed"};
+
+  // Phase 2: layout knobs under the winning order. kForce (not kAuto) so
+  // the sample actually exercises the partitioned path the full compile
+  // would take; compile_rules still falls back when no partition subject
+  // exists, in which case the pair of candidates just ties.
+  out.best = probe;
+  out.best.order = best_order;
+  out.best_label = std::string("order:") + order_name(best_order);
+  out.best_cost = best_cost;
+  for (int part = 0; part <= 1; ++part) {
+    for (int intern = 0; intern <= 1; ++intern) {
+      for (std::uint32_t regions : {std::uint32_t{0}, std::uint32_t{64},
+                                    params.base.compression_max_regions}) {
+        if (part == 0 && intern == 0 && regions == 0) continue;  // scored
+        if (regions == 64 && params.base.compression_max_regions == 64)
+          continue;  // duplicate of the base-regions candidate
+        CompileOptions o = probe;
+        o.order = best_order;
+        o.partition = part ? PartitionMode::kForce : PartitionMode::kOff;
+        o.intern_entries = intern != 0;
+        o.domain_compression = regions != 0;
+        if (regions != 0) o.compression_max_regions = regions;
+        std::ostringstream label;
+        label << "layout:part=" << part << ",intern=" << intern
+              << ",regions=" << regions;
+        const ExploreCandidate& c = evaluate(label.str(), o);
+        if (c.ok && c.cost < out.best_cost) {
+          // Keep kForce: the search already decided partitioning pays for
+          // this workload; kAuto would re-gate the full compile on size.
+          out.best = o;
+          out.best_label = c.label;
+          out.best_cost = c.cost;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace camus::compiler

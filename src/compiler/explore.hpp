@@ -1,0 +1,79 @@
+// Cost-model design-space exploration (the Kugelblitz-inspired pass): the
+// ablation benches measure every layout knob — variable-order heuristic,
+// partitioned vs monolithic output, entry interning, domain compression —
+// but a human had to read the plots. explore() closes the loop: compile a
+// deterministic sample of the rule set under each candidate layout, score
+// the result against a resource model (SRAM entries, TCAM entries,
+// stages, projected compile time, hard budget feasibility), and return
+// the CompileOptions the full compile should use.
+//
+// Two-phase greedy search keeps the candidate count bounded: first the
+// four order heuristics are raced with all rewrites off (the order
+// decides BDD sharing, which dominates everything downstream), then the
+// layout knobs are enumerated under the winning order. Sampling is a
+// fixed stride over the rule list — no RNG, so two runs over the same
+// rule set pick the same layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "compiler/options.hpp"
+#include "table/table.hpp"
+#include "util/result.hpp"
+
+namespace camus::compiler {
+
+// Linear resource model. Units are arbitrary; only ratios matter. TCAM
+// is weighted well above SRAM (it is the scarce resource on a Tofino-like
+// ASIC), stages above entries (a stage is a pipeline pass), and projected
+// compile seconds convert wall time into the same scale.
+struct CostWeights {
+  double sram_entry = 1.0;
+  double tcam_entry = 8.0;
+  double stage = 2000.0;
+  double compile_second = 5000.0;
+  double infeasible = 1e12;  // added when the scaled usage busts the budget
+};
+
+struct ExploreParams {
+  // Sample size for candidate compiles (stride-sampled, deterministic).
+  std::size_t sample_rules = 2000;
+  CostWeights weights;
+  table::ResourceBudget budget;
+  // Starting options: threads, guard rails, and any knob the search does
+  // not own are inherited by every candidate and by the returned best.
+  CompileOptions base;
+};
+
+struct ExploreCandidate {
+  std::string label;
+  CompileOptions opts;
+  bool ok = false;        // candidate compile succeeded
+  bool feasible = false;  // scaled usage fits the budget
+  double cost = 0;
+  double t_compile = 0;       // sample compile seconds
+  std::uint64_t entries = 0;  // sample pipeline entries
+  table::ResourceUsage usage;
+};
+
+struct ExploreResult {
+  CompileOptions best;
+  std::string best_label;
+  double best_cost = 0;
+  std::size_t sampled = 0;      // rules actually compiled per candidate
+  std::size_t total_rules = 0;  // full set size (extrapolation factor)
+  std::vector<ExploreCandidate> candidates;  // in evaluation order
+
+  std::string to_json() const;
+};
+
+// Runs the search over already-bound rules. Errors only when every
+// candidate compile fails; individual candidate failures are recorded
+// (ok=false) and skipped.
+util::Result<ExploreResult> explore(const spec::Schema& schema,
+                                    const std::vector<lang::BoundRule>& rules,
+                                    const ExploreParams& params = {});
+
+}  // namespace camus::compiler

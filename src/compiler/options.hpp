@@ -9,6 +9,13 @@
 
 namespace camus::compiler {
 
+// Partitioned-output compilation (compile-at-scale path; see
+// compiler/partition.hpp). kOff keeps the single master-BDD pipeline;
+// kAuto partitions when a dominant exact-match attribute covers enough of
+// the rule set; kForce partitions whenever any partition subject exists
+// (tests and the DSE use it to pin the layout).
+enum class PartitionMode : std::uint8_t { kOff, kAuto, kForce };
+
 struct CompileOptions {
   // Field ordering heuristic for the BDD variable order.
   bdd::OrderHeuristic order = bdd::OrderHeuristic::kDeclared;
@@ -52,6 +59,30 @@ struct CompileOptions {
   // path is semantically identical to the serial one (differential-tested
   // on switchsim); state numbering and table layout may differ.
   std::size_t threads = 1;
+
+  // Partitioned compilation: shard the rule set by the dominant
+  // point-constrained attribute, compile every shard to an independent
+  // sub-pipeline (own BddManager, own state range), and stitch the shards
+  // behind a generated dispatch stage. Peak BDD size and compile memory
+  // then scale with the largest shard instead of the whole union. The
+  // stitched pipeline is equivalent to the monolithic one (proved by
+  // camus::verify; see DESIGN.md "Compiling at scale").
+  PartitionMode partition = PartitionMode::kOff;
+  // kAuto only partitions rule sets at least this large; below it the
+  // monolithic path is both faster and smaller.
+  std::size_t partition_min_rules = 4096;
+  // Also build the monolithic reference MTBDD (Compiled::manager/root) so
+  // callers can run the equivalence checker against the stitched pipeline.
+  // Costs the full union; off by default — without it a partitioned
+  // Compiled carries a null manager.
+  bool partition_reference = false;
+
+  // Entry interning: after table generation, merge behaviourally
+  // equivalent pipeline states (partition-refinement minimization of the
+  // table state machine). Recovers the cross-shard suffix sharing that
+  // hash-consing gives the monolithic BDD but partitioned compilation
+  // loses, so stitched entry counts return to the monolithic scale.
+  bool intern_entries = false;
 
   // Guard rails.
   std::size_t max_dnf_terms = 1 << 16;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "compiler/partition.hpp"
 #include "util/timer.hpp"
 
 namespace camus::compiler {
@@ -20,27 +21,6 @@ std::size_t resolve_threads(std::size_t requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? hw : 1;
 }
-
-namespace {
-
-// The single value `s` is constrained to across every term of the rule, or
-// nullopt when any term leaves it unconstrained, non-point, or the terms
-// disagree.
-std::optional<std::uint64_t> point_value(const FlatRule& r, Subject s) {
-  if (r.terms.empty()) return std::nullopt;
-  std::optional<std::uint64_t> v;
-  for (const auto& term : r.terms) {
-    const auto it = term.constraints.find(s);
-    if (it == term.constraints.end()) return std::nullopt;
-    const auto& ivs = it->second.intervals();
-    if (ivs.size() != 1 || ivs[0].lo != ivs[0].hi) return std::nullopt;
-    if (v && *v != ivs[0].lo) return std::nullopt;
-    v = ivs[0].lo;
-  }
-  return v;
-}
-
-}  // namespace
 
 ShardPlan plan_shards(const std::vector<FlatRule>& rules,
                       const bdd::VarOrder& order, std::size_t n_shards) {
@@ -56,7 +36,7 @@ ShardPlan plan_shards(const std::vector<FlatRule>& rules,
   for (Subject s : order.subjects()) {
     std::size_t covered = 0;
     for (const auto& r : rules)
-      if (point_value(r, s)) ++covered;
+      if (point_constrained_value(r, s)) ++covered;
     if (covered * 2 >= rules.size()) {
       part = s;
       break;
@@ -72,7 +52,7 @@ ShardPlan plan_shards(const std::vector<FlatRule>& rules,
   if (part) {
     std::vector<std::size_t> rest;
     for (std::size_t i = 0; i < rules.size(); ++i) {
-      if (auto v = point_value(rules[i], *part))
+      if (auto v = point_constrained_value(rules[i], *part))
         by_value[*v].push_back(i);
       else
         rest.push_back(i);
@@ -86,18 +66,30 @@ ShardPlan plan_shards(const std::vector<FlatRule>& rules,
   }
   plan.groups = groups.size();
 
-  // LPT bin packing: largest group first onto the lightest shard.
-  std::sort(groups.begin(), groups.end(),
-            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  // LPT bin packing by estimated work (per-rule predicate counts), not
+  // raw rule count: under Zipf symbol skew the head group's rules also
+  // carry the long predicate chains, and counting rules used to hand one
+  // shard most of the union work — a straggler that serialized the whole
+  // build phase.
+  std::vector<std::size_t> group_work(groups.size(), 0);
+  std::vector<std::size_t> by_work(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    by_work[g] = g;
+    for (std::size_t i : groups[g]) group_work[g] += rule_work(rules[i]);
+  }
+  std::sort(by_work.begin(), by_work.end(), [&](std::size_t a, std::size_t b) {
+    return group_work[a] != group_work[b] ? group_work[a] > group_work[b]
+                                          : a < b;
+  });
   const std::size_t shard_count = std::min(n_shards, groups.size());
   plan.shards.assign(shard_count, {});
   std::vector<std::size_t> load(shard_count, 0);
-  for (auto& g : groups) {
+  for (std::size_t g : by_work) {
     const std::size_t lightest = static_cast<std::size_t>(
         std::min_element(load.begin(), load.end()) - load.begin());
-    load[lightest] += g.size();
+    load[lightest] += group_work[g];
     auto& shard = plan.shards[lightest];
-    shard.insert(shard.end(), g.begin(), g.end());
+    shard.insert(shard.end(), groups[g].begin(), groups[g].end());
   }
   return plan;
 }
@@ -144,6 +136,7 @@ util::Result<ShardedBuild> build_sharded(bdd::BddManager& master,
       }
       wr.stats.rules = plan.shards[s].size();
       wr.stats.bdd_nodes = wr.mgr->node_table_size();
+      wr.stats.manager_bytes = wr.mgr->memory_bytes();
       wr.stats.t_seconds = t.seconds();
     }
   };

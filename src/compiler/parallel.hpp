@@ -32,8 +32,10 @@ std::size_t resolve_threads(std::size_t requested);
 
 struct ShardPlan {
   // Rule indices per shard. Partition groups are kept intact and packed
-  // into at most n_shards shards, largest group first onto the currently
-  // lightest shard (LPT).
+  // into at most n_shards shards, heaviest group first onto the currently
+  // lightest shard (LPT by estimated work: rule_work sums 1 + constraint
+  // count per DNF term, so a few high-predicate rules cannot hide behind
+  // a flat rule count).
   std::vector<std::vector<std::size_t>> shards;
   std::size_t groups = 0;  // distinct partition groups (incl. catch-all)
 };

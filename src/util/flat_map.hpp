@@ -47,6 +47,15 @@ class FlatMap {
 
   std::size_t size() const noexcept { return size_; }
 
+  // Allocated slot count (memory accounting, not occupancy).
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Heap footprint of the backing arrays in bytes.
+  std::size_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(std::pair<K, V>) +
+           used_.capacity() * sizeof(std::uint8_t);
+  }
+
   // Lifetime totals across clear()s — the compile-telemetry memo hit rate.
   std::uint64_t probes() const noexcept { return probes_; }
   std::uint64_t hits() const noexcept { return hits_; }

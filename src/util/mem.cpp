@@ -1,0 +1,46 @@
+#include "util/mem.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace camus::util {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kib));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return peak_rss_bytes();
+#endif
+}
+
+}  // namespace camus::util

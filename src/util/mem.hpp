@@ -1,0 +1,18 @@
+// Process-memory telemetry for the compile-at-scale gates: the bench
+// memory ceiling only means something if it measures real RSS, not a
+// hand-maintained byte count.
+#pragma once
+
+#include <cstdint>
+
+namespace camus::util {
+
+// High-water-mark resident set size of this process in bytes (Linux:
+// getrusage ru_maxrss). 0 when the platform offers no measurement.
+std::uint64_t peak_rss_bytes();
+
+// Current resident set size in bytes (Linux: /proc/self/status VmRSS).
+// 0 when unavailable. Cheap enough to snapshot per compile phase.
+std::uint64_t current_rss_bytes();
+
+}  // namespace camus::util

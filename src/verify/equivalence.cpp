@@ -74,15 +74,21 @@ struct Checker {
   EquivalenceResult result;
 
   std::size_t n_ranks = 0;
-  // Per rank: the pipeline stage for that subject (or nullptr) and the
+  // Per rank: the pipeline stages for that subject in pipeline order
+  // (several stages per subject occur on the stitched partitioned path:
+  // the dispatch table plus the default shard's own table), and the
   // value-map stage when the subject was domain-compressed.
-  std::vector<const Table*> table_at;
+  std::vector<std::vector<const Table*>> tables_at;
   std::vector<const Table*> map_at;
   std::vector<std::uint64_t> umax_at;
   // Per rank: cuts shared by every state — value-map boundaries (the main
-  // table then matches codes, constant within a map region).
+  // table then matches codes, constant within a map region) and, for
+  // second-and-later same-rank stages, every entry boundary (the entry
+  // state there depends on the first stage's outcome, so per-state cuts
+  // would be unsound; the all-entry set over-approximates).
   std::vector<std::vector<std::uint64_t>> shared_cuts;
-  // Per rank: per-state entry cuts (raw domain, uncompressed subjects).
+  // Per rank: per-state entry cuts of the *first* stage (raw domain,
+  // uncompressed subjects).
   std::vector<std::unordered_map<StateId, std::vector<std::uint64_t>>>
       state_cuts;
   // Predicate cuts reachable from a BDD node inside its component.
@@ -94,7 +100,7 @@ struct Checker {
   bool setup() {
     const auto& subjects = mgr.order().subjects();
     n_ranks = subjects.size();
-    table_at.assign(n_ranks, nullptr);
+    tables_at.assign(n_ranks, {});
     map_at.assign(n_ranks, nullptr);
     umax_at.assign(n_ranks, 0);
     shared_cuts.assign(n_ranks, {});
@@ -104,10 +110,12 @@ struct Checker {
       umax_at[k] = mgr.domains().umax(subjects[k]);
 
     // The co-traversal replays stages in rank order, so it is only sound
-    // when the pipeline's stage order follows the reference variable
-    // order with at most one stage per subject — true of every compiled
-    // pipeline. Anything else is reported as unverifiable, never as
-    // (non-)equivalent.
+    // when the pipeline's stage sequence follows the reference variable
+    // order with non-decreasing ranks — true of every compiled pipeline,
+    // including the stitched partitioned layout whose dispatch stage and
+    // default-shard stage share rank 0. Consecutive same-rank stages are
+    // applied in pipeline order against the same field value. Anything
+    // else is reported as unverifiable, never as (non-)equivalent.
     std::size_t prev_rank = 0;
     bool first = true;
     for (const auto& t : pipe.tables) {
@@ -118,7 +126,7 @@ struct Checker {
         return false;
       }
       const std::size_t k = mgr.order().rank(t.subject());
-      if (table_at[k] || (!first && k <= prev_rank)) {
+      if (!first && k < prev_rank) {
         result.detail =
             "pipeline stage order does not follow the reference variable "
             "order; cannot co-traverse";
@@ -126,10 +134,20 @@ struct Checker {
       }
       prev_rank = k;
       first = false;
-      table_at[k] = &t;
-      for (const auto& e : t.entries())
-        entry_cuts(e.match, umax_at[k], state_cuts[k][e.state]);
-      for (auto& [s, cuts] : state_cuts[k]) sort_unique(cuts);
+      if (tables_at[k].empty()) {
+        // First stage at this rank: the entry state is known exactly, so
+        // its cuts can stay per-state.
+        for (const auto& e : t.entries())
+          entry_cuts(e.match, umax_at[k], state_cuts[k][e.state]);
+        for (auto& [s, cuts] : state_cuts[k]) sort_unique(cuts);
+      } else {
+        // Later same-rank stages see a state produced by the earlier ones
+        // at this very rank, so their cuts join the rank-wide shared set.
+        for (const auto& e : t.entries())
+          entry_cuts(e.match, umax_at[k], shared_cuts[k]);
+        sort_unique(shared_cuts[k]);
+      }
+      tables_at[k].push_back(&t);
     }
     for (const auto& m : pipe.value_maps) {
       if (!mgr.order().contains(m.subject())) {
@@ -144,7 +162,17 @@ struct Checker {
                         "' has two value-map stages; cannot co-traverse";
         return false;
       }
+      if (tables_at[k].size() > 1) {
+        // A value map rewrites the field for *every* stage on the
+        // subject; with several stages (stitched dispatch layouts) the
+        // raw-vs-code domains cannot be told apart here. compress_domains
+        // refuses to create this shape; reject it defensively.
+        result.detail = "subject of value map '" + m.name() +
+                        "' has multiple stages; cannot co-traverse";
+        return false;
+      }
       map_at[k] = &m;
+      shared_cuts[k].clear();
       for (const auto& e : m.entries())
         entry_cuts(e.match, umax_at[k], shared_cuts[k]);
       sort_unique(shared_cuts[k]);
@@ -236,12 +264,15 @@ struct Checker {
       return report_divergence();
     }
 
-    const Table* tbl = table_at[k];
+    const auto& stages = tables_at[k];
     const Table* map = map_at[k];
     const bool bdd_here =
         !u.is_terminal() && mgr.order().rank(mgr.subject_of(u)) == k;
 
-    // Region starts: 0 plus every boundary either side distinguishes.
+    // Region starts: 0 plus every boundary either side distinguishes —
+    // the BDD component's predicate cuts, the first stage's cuts for the
+    // entry state (or the map boundaries), and the rank-wide shared cuts
+    // of any later same-rank stages.
     std::vector<std::uint64_t> cuts{0};
     if (bdd_here) {
       const auto& b = cuts_below(u, k);
@@ -249,10 +280,14 @@ struct Checker {
     }
     if (map) {
       cuts.insert(cuts.end(), shared_cuts[k].begin(), shared_cuts[k].end());
-    } else if (tbl) {
-      auto it = state_cuts[k].find(state);
-      if (it != state_cuts[k].end())
-        cuts.insert(cuts.end(), it->second.begin(), it->second.end());
+    } else {
+      if (!stages.empty()) {
+        auto it = state_cuts[k].find(state);
+        if (it != state_cuts[k].end())
+          cuts.insert(cuts.end(), it->second.begin(), it->second.end());
+      }
+      if (stages.size() > 1)
+        cuts.insert(cuts.end(), shared_cuts[k].begin(), shared_cuts[k].end());
     }
     sort_unique(cuts);
 
@@ -261,8 +296,9 @@ struct Checker {
       path[k] = rep;
       const std::uint64_t key =
           map ? map->lookup(table::kInitialState, rep).value_or(0) : rep;
-      const StateId next = tbl ? tbl->lookup(state, key).value_or(state)
-                               : state;  // no stage: state passes through
+      StateId next = state;  // no stage: state passes through
+      for (const Table* tbl : stages)
+        next = tbl->lookup(next, key).value_or(next);
       if (!walk(next, descend(u, k, rep), k + 1)) return false;
     }
     path[k] = 0;

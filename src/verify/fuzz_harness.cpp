@@ -120,6 +120,33 @@ void run_direct(const spec::Schema& schema, const FuzzSample& s,
   }
   const compiler::Compiled& c = compiled.value();
 
+  // Scale-out rewrites under the same oracle: the interned (state-
+  // minimized) pipeline and the partitioned/stitched pipeline must
+  // classify every probe exactly like the plain compile. kForce with
+  // partition_min_rules=0 takes the partitioned path whenever the sample
+  // has any dominant point-constrained attribute and silently degenerates
+  // to the monolithic pipeline otherwise — both outcomes are probed.
+  compiler::CompileOptions intern_opts = compile_opts(s);
+  intern_opts.intern_entries = true;
+  auto interned = compiler::compile_rules(schema, s.bound, intern_opts);
+  if (!interned.ok()) {
+    diverge(res, FuzzMode::kDirect,
+            "intern_entries compile failed on a valid sample: " +
+                interned.error().to_string() + "; repro: " + hint(s));
+    return;
+  }
+  compiler::CompileOptions part_opts = compile_opts(s);
+  part_opts.partition = compiler::PartitionMode::kForce;
+  part_opts.partition_min_rules = 0;
+  part_opts.intern_entries = true;
+  auto part = compiler::compile_rules(schema, s.bound, part_opts);
+  if (!part.ok()) {
+    diverge(res, FuzzMode::kDirect,
+            "partitioned compile failed on a valid sample: " +
+                part.error().to_string() + "; repro: " + hint(s));
+    return;
+  }
+
   auto flat = lang::flatten_rules(s.bound, schema);
   if (!flat.ok()) {
     diverge(res, FuzzMode::kDirect,
@@ -153,6 +180,25 @@ void run_direct(const spec::Schema& schema, const FuzzSample& s,
     if (pipe_got != want) {
       diverge(res, FuzzMode::kDirect,
               mismatch_str("Pipeline::evaluate", pipe_got, want, i, env,
+                           schema, s),
+              i);
+      return;
+    }
+
+    const lang::ActionSet& intern_got =
+        interned.value().pipeline.evaluate_actions(env);
+    if (intern_got != want) {
+      diverge(res, FuzzMode::kDirect,
+              mismatch_str("interned pipeline", intern_got, want, i, env,
+                           schema, s),
+              i);
+      return;
+    }
+    const lang::ActionSet& part_got =
+        part.value().pipeline.evaluate_actions(env);
+    if (part_got != want) {
+      diverge(res, FuzzMode::kDirect,
+              mismatch_str("partitioned pipeline", part_got, want, i, env,
                            schema, s),
               i);
       return;
@@ -254,6 +300,20 @@ void run_churn(const spec::Schema& schema, const FuzzSample& s,
                 "; repro: " + hint(s));
     return;
   }
+  // The partitioned+interned layout must agree with the churned state
+  // too: the post-churn semantic rule set equals s.bound, so a scale-
+  // layout compile of it is a fourth oracle for the same function.
+  compiler::CompileOptions scale_opts = compile_opts(s);
+  scale_opts.partition = compiler::PartitionMode::kForce;
+  scale_opts.partition_min_rules = 0;
+  scale_opts.intern_entries = true;
+  auto scale = compiler::compile_rules(schema, s.bound, scale_opts);
+  if (!scale.ok()) {
+    diverge(res, FuzzMode::kChurn,
+            "partitioned from-scratch compile failed: " +
+                scale.error().to_string() + "; repro: " + hint(s));
+    return;
+  }
 
   switchsim::StateRegisters mirror(schema);
   for (std::size_t i = 0; i < s.probes.size(); ++i) {
@@ -279,6 +339,15 @@ void run_churn(const spec::Schema& schema, const FuzzSample& s,
       diverge(res, FuzzMode::kChurn,
               mismatch_str("from-scratch pipeline", scratch_got, want, i, env,
                            schema, s),
+              i);
+      return;
+    }
+    const lang::ActionSet& scale_got =
+        scale.value().pipeline.evaluate_actions(env);
+    if (scale_got != want) {
+      diverge(res, FuzzMode::kChurn,
+              mismatch_str("partitioned from-scratch pipeline", scale_got,
+                           want, i, env, schema, s),
               i);
       return;
     }

@@ -1,0 +1,431 @@
+// Compile-at-scale paths: symbol-partitioned compilation (partition.*),
+// entry interning (compress.*), work-balanced shard packing, the
+// cost-model layout search (explore.*), and the memory telemetry — each
+// proven against the monolithic compile and the brute-force evaluator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "compiler/compile.hpp"
+#include "compiler/explore.hpp"
+#include "compiler/field_order.hpp"
+#include "compiler/parallel.hpp"
+#include "compiler/partition.hpp"
+#include "lang/eval.hpp"
+#include "lang/parser.hpp"
+#include "spec/itch_spec.hpp"
+#include "table/serialize.hpp"
+#include "util/intern.hpp"
+#include "verify/equivalence.hpp"
+#include "workload/fuzz.hpp"
+#include "workload/itch_subs.hpp"
+
+namespace {
+
+using namespace camus;
+
+workload::ItchSubscriptions make_subs(std::size_t n, std::size_t symbols = 20,
+                                      std::size_t hosts = 8) {
+  workload::ItchSubsParams p;
+  p.seed = 42;
+  p.n_subscriptions = n;
+  p.n_symbols = symbols;
+  p.n_hosts = hosts;
+  p.price_max = 1000;
+  return workload::generate_itch_subscriptions(spec::make_itch_schema(), p);
+}
+
+std::vector<lang::BoundRule> parse_bound(const spec::Schema& schema,
+                                         const std::string& src) {
+  auto parsed = lang::parse_rules(src);
+  EXPECT_TRUE(parsed.ok()) << parsed.error().to_string();
+  auto bound = lang::bind_rules(parsed.value(), schema);
+  EXPECT_TRUE(bound.ok()) << bound.error().to_string();
+  return bound.value();
+}
+
+// Sweep a deterministic grid of environments through both pipelines and
+// the brute-force AST evaluator.
+void expect_same_classification(const spec::Schema& schema,
+                                const std::vector<lang::BoundRule>& rules,
+                                const table::Pipeline& a,
+                                const table::Pipeline& b) {
+  const auto stock = schema.resolve_field("stock");
+  const auto price = schema.resolve_field("price");
+  const auto shares = schema.resolve_field("shares");
+  ASSERT_TRUE(stock && price && shares);
+  for (std::size_t sym = 0; sym < 24; ++sym) {
+    for (std::uint64_t pr : {0ull, 1ull, 99ull, 500ull, 501ull, 999ull,
+                             100000ull}) {
+      lang::Env env;
+      env.fields.assign(schema.fields().size(), 0);
+      env.states.assign(schema.state_vars().size(), 0);
+      env.fields[*stock] =
+          util::encode_symbol("STK" + std::to_string(sym));
+      env.fields[*price] = pr;
+      env.fields[*shares] = pr * 3;
+      const lang::ActionSet want = lang::brute_eval_rules(rules, env);
+      EXPECT_EQ(a.evaluate_actions(env), want)
+          << "pipeline A diverges at sym=" << sym << " price=" << pr;
+      EXPECT_EQ(b.evaluate_actions(env), want)
+          << "pipeline B diverges at sym=" << sym << " price=" << pr;
+    }
+  }
+}
+
+// --- partition planning ------------------------------------------------
+
+TEST(PartitionPlan, FindsDominantSubjectAndSlicesRules) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(400);
+  auto flat = lang::flatten_rules(subs.rules, schema);
+  ASSERT_TRUE(flat.ok());
+  bdd::VarOrder order =
+      compiler::choose_order(schema, flat.value(), bdd::OrderHeuristic{});
+
+  const auto plan = compiler::plan_partition(flat.value(), order);
+  ASSERT_TRUE(plan.subject.has_value());
+  EXPECT_EQ(plan.pinned_rules, flat.value().size());  // every rule pins stock
+  EXPECT_EQ(plan.values.size(), plan.groups.size());
+  EXPECT_GE(plan.values.size(), 2u);
+  EXPECT_TRUE(plan.catch_all.empty());
+  EXPECT_TRUE(std::is_sorted(plan.values.begin(), plan.values.end()));
+  std::size_t sliced = 0;
+  for (const auto& g : plan.groups) {
+    EXPECT_FALSE(g.empty());
+    sliced += g.size();
+    // The pin was stripped: no term in a value shard constrains stock.
+    for (const auto& r : g)
+      for (const auto& t : r.terms)
+        EXPECT_EQ(t.constraints.count(*plan.subject), 0u);
+  }
+  EXPECT_EQ(sliced, flat.value().size());
+}
+
+TEST(PartitionPlan, SpecializesCatchAllsIntoEveryValueShard) {
+  auto schema = spec::make_itch_schema();
+  auto bound = parse_bound(schema,
+                           "stock == AAPL and price > 10 : fwd(1)\n"
+                           "stock == MSFT and price > 20 : fwd(2)\n"
+                           "stock == AAPL and shares > 5 : fwd(3)\n"
+                           "price > 900 : fwd(4)\n"
+                           "stock != AAPL and price > 50 : fwd(5)\n");
+  auto flat = lang::flatten_rules(bound, schema);
+  ASSERT_TRUE(flat.ok());
+  bdd::VarOrder order =
+      compiler::choose_order(schema, flat.value(), bdd::OrderHeuristic{});
+  const auto plan = compiler::plan_partition(flat.value(), order);
+  ASSERT_TRUE(plan.subject.has_value());
+  EXPECT_EQ(plan.values.size(), 2u);  // AAPL, MSFT
+  EXPECT_EQ(plan.pinned_rules, 3u);
+  // The two catch-alls ride in the default shard unchanged...
+  EXPECT_EQ(plan.catch_all.size(), 2u);
+  // ...and were specialized into each value shard: "price > 900" into
+  // both; "stock != AAPL and price > 50" only where AAPL is excluded.
+  const std::size_t aapl =
+      plan.values[0] == util::encode_symbol("AAPL") ? 0 : 1;
+  const std::size_t msft = 1 - aapl;
+  EXPECT_EQ(plan.groups[aapl].size(), 2u + 1u);  // 2 pinned + price>900
+  EXPECT_EQ(plan.groups[msft].size(), 1u + 2u);  // 1 pinned + both
+}
+
+TEST(PartitionPlan, DegeneratesWithoutPointConstraints) {
+  auto schema = spec::make_itch_schema();
+  auto bound = parse_bound(schema,
+                           "price > 10 : fwd(1)\n"
+                           "shares > 20 : fwd(2)\n"
+                           "price < 5 and shares < 3 : fwd(3)\n");
+  auto flat = lang::flatten_rules(bound, schema);
+  ASSERT_TRUE(flat.ok());
+  bdd::VarOrder order =
+      compiler::choose_order(schema, flat.value(), bdd::OrderHeuristic{});
+  const auto plan = compiler::plan_partition(flat.value(), order);
+  EXPECT_FALSE(plan.subject.has_value());
+  compiler::CompileOptions force;
+  force.partition = compiler::PartitionMode::kForce;
+  EXPECT_FALSE(
+      compiler::partition_applies(plan, force, flat.value().size()));
+  // And compile_rules falls back to the monolithic path without error.
+  auto compiled = compiler::compile_rules(schema, bound, force);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  EXPECT_EQ(compiled.value().stats.partition_groups, 0u);
+  EXPECT_NE(compiled.value().manager, nullptr);
+}
+
+// --- partitioned compile vs monolithic ---------------------------------
+
+TEST(PartitionedCompile, SymbolicallyEquivalentToMonolithicReference) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(500);
+  compiler::CompileOptions opts;
+  opts.partition = compiler::PartitionMode::kForce;
+  opts.partition_min_rules = 0;
+  opts.partition_reference = true;  // keep the monolithic MTBDD
+  auto compiled = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  const compiler::Compiled& c = compiled.value();
+  ASSERT_GT(c.stats.partition_groups, 1u);
+  ASSERT_NE(c.manager, nullptr);
+
+  const auto eq =
+      verify::check_equivalence(*c.manager, c.root, c.pipeline, schema);
+  EXPECT_TRUE(eq.completed) << eq.detail;
+  EXPECT_TRUE(eq.equivalent) << eq.detail;
+}
+
+TEST(PartitionedCompile, DifferentialAgainstMonolithicAndOracle) {
+  auto schema = spec::make_itch_schema();
+  auto bound = parse_bound(schema,
+                           "stock == STK0 and price > 100 : fwd(1)\n"
+                           "stock == STK0 and price > 500 : fwd(2)\n"
+                           "stock == STK1 and price > 100 : fwd(3)\n"
+                           "stock == STK2 and shares >= 30 : fwd(4)\n"
+                           "stock == STK3 : fwd(5)\n"
+                           "price > 500 : fwd(6)\n"
+                           "stock != STK1 and price > 999 : fwd(7)\n");
+  auto mono = compiler::compile_rules(schema, bound, {});
+  ASSERT_TRUE(mono.ok());
+  compiler::CompileOptions popts;
+  popts.partition = compiler::PartitionMode::kForce;
+  popts.partition_min_rules = 0;
+  auto part = compiler::compile_rules(schema, bound, popts);
+  ASSERT_TRUE(part.ok()) << part.error().to_string();
+  EXPECT_GT(part.value().stats.partition_groups, 1u);
+  // Partitioned path skips the union MTBDD entirely.
+  EXPECT_EQ(part.value().manager, nullptr);
+  expect_same_classification(schema, bound, mono.value().pipeline,
+                             part.value().pipeline);
+}
+
+TEST(PartitionedCompile, DeterministicAcrossThreadCounts) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(300);
+  compiler::CompileOptions base;
+  base.partition = compiler::PartitionMode::kForce;
+  base.partition_min_rules = 0;
+  compiler::CompileOptions t1 = base, t4 = base;
+  t1.threads = 1;
+  t4.threads = 4;
+  auto a = compiler::compile_rules(schema, subs.rules, t1);
+  auto b = compiler::compile_rules(schema, subs.rules, t4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(table::serialize_pipeline(a.value().pipeline),
+            table::serialize_pipeline(b.value().pipeline));
+}
+
+TEST(PartitionedCompile, AutoModeGatesOnRuleCount) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(200);
+  compiler::CompileOptions opts;
+  opts.partition = compiler::PartitionMode::kAuto;
+  opts.partition_min_rules = 100000;  // way above the set size
+  auto compiled = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.value().stats.partition_groups, 0u);  // monolithic
+  opts.partition_min_rules = 10;
+  auto again = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again.value().stats.partition_groups, 1u);
+}
+
+// --- entry interning ---------------------------------------------------
+
+TEST(InternEntries, CollapsesIsomorphicShardChains) {
+  // Per-host thresholds are identical across symbols (round-robin
+  // generator), so every value shard compiles to an isomorphic price
+  // chain; interning must collapse them to ~one chain.
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(2000, 50, 8);
+  compiler::CompileOptions popts;
+  popts.partition = compiler::PartitionMode::kForce;
+  popts.partition_min_rules = 0;
+  auto plain = compiler::compile_rules(schema, subs.rules, popts);
+  ASSERT_TRUE(plain.ok());
+  compiler::CompileOptions iopts = popts;
+  iopts.intern_entries = true;
+  auto interned = compiler::compile_rules(schema, subs.rules, iopts);
+  ASSERT_TRUE(interned.ok());
+
+  const auto& st = interned.value().stats;
+  EXPECT_TRUE(st.interned);
+  EXPECT_LT(st.intern.states_after, st.intern.states_before);
+  EXPECT_LT(st.intern.entries_after, st.intern.entries_before);
+  // The 50 isomorphic per-symbol chains must fold into far fewer states:
+  // at least a 5x reduction on this workload (observed: ~50x).
+  EXPECT_LT(st.intern.states_after * 5, st.intern.states_before);
+  EXPECT_EQ(st.total_entries, st.intern.entries_after);
+
+  expect_same_classification(schema, subs.rules, plain.value().pipeline,
+                             interned.value().pipeline);
+}
+
+TEST(InternEntries, PropertyFuzzedRuleSetsClassifyIdentically) {
+  auto schema = spec::make_itch_schema();
+  workload::FuzzParams fp;
+  fp.seed = 2026;
+  const workload::GrammarFuzzer fuzzer(schema, fp);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const auto s = fuzzer.sample(i);
+    if (s.bound.empty()) continue;
+    auto plain = compiler::compile_rules(schema, s.bound, {});
+    compiler::CompileOptions iopts;
+    iopts.intern_entries = true;
+    auto interned = compiler::compile_rules(schema, s.bound, iopts);
+    ASSERT_TRUE(plain.ok() && interned.ok()) << "sample " << i;
+    EXPECT_LE(interned.value().stats.intern.entries_after,
+              interned.value().stats.intern.entries_before);
+    for (const auto& p : s.probes) {
+      lang::Env env;
+      env.fields = p.fields;
+      env.states.assign(schema.state_vars().size(), 0);
+      EXPECT_EQ(plain.value().pipeline.evaluate_actions(env),
+                interned.value().pipeline.evaluate_actions(env))
+          << "sample " << i;
+    }
+  }
+}
+
+TEST(InternEntries, InternedPartitionedPipelineStillVerifies) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(600);
+  compiler::CompileOptions opts;
+  opts.partition = compiler::PartitionMode::kForce;
+  opts.partition_min_rules = 0;
+  opts.partition_reference = true;
+  opts.intern_entries = true;
+  auto compiled = compiler::compile_rules(schema, subs.rules, opts);
+  ASSERT_TRUE(compiled.ok());
+  const compiler::Compiled& c = compiled.value();
+  ASSERT_NE(c.manager, nullptr);
+  const auto eq =
+      verify::check_equivalence(*c.manager, c.root, c.pipeline, schema);
+  EXPECT_TRUE(eq.proven_equivalent()) << eq.detail;
+}
+
+// --- S1: work-balanced shard packing -----------------------------------
+
+TEST(ShardPlanBalance, PacksByEstimatedWorkNotRuleCount) {
+  auto schema = spec::make_itch_schema();
+  // Symbol STK0 gets few, very heavy rules; STK1..STK7 get many trivial
+  // ones. Count-based packing would pair heavy groups together.
+  std::string src;
+  for (int i = 0; i < 8; ++i)
+    src += "stock == STK0 and price > " + std::to_string(10 + i) +
+           " and shares > 1 and price < 900 and shares < 500 and "
+           "price != 77 : fwd(1)\n";
+  for (int s = 1; s < 8; ++s)
+    for (int i = 0; i < 8; ++i)
+      src += "stock == STK" + std::to_string(s) + " : fwd(" +
+             std::to_string(s * 10 + i) + ")\n";
+  auto bound = parse_bound(schema, src);
+  auto flat = lang::flatten_rules(bound, schema);
+  ASSERT_TRUE(flat.ok());
+  bdd::VarOrder order =
+      compiler::choose_order(schema, flat.value(), bdd::OrderHeuristic{});
+  const auto plan = compiler::plan_shards(flat.value(), order, 4);
+  ASSERT_EQ(plan.shards.size(), 4u);
+
+  std::vector<std::size_t> work(plan.shards.size(), 0);
+  for (std::size_t i = 0; i < plan.shards.size(); ++i)
+    for (std::size_t ri : plan.shards[i])
+      work[i] += compiler::rule_work(flat.value()[ri]);
+  const std::size_t wmax = *std::max_element(work.begin(), work.end());
+  std::size_t total = 0;
+  for (std::size_t w : work) total += w;
+  // LPT over group work: no shard may exceed the ideal share by more than
+  // the heaviest single group (STK0's 8 heavy rules).
+  std::size_t heaviest_group = 0;
+  std::map<std::uint64_t, std::size_t> group_work;
+  for (const auto& r : flat.value()) {
+    auto v = compiler::point_constrained_value(
+        r, lang::Subject::field(*schema.resolve_field("stock")));
+    ASSERT_TRUE(v.has_value());
+    group_work[*v] += compiler::rule_work(r);
+  }
+  for (const auto& [v, w] : group_work)
+    heaviest_group = std::max(heaviest_group, w);
+  EXPECT_LE(wmax, total / plan.shards.size() + heaviest_group);
+}
+
+TEST(ShardPlanBalance, RuleWorkCountsPredicates) {
+  auto schema = spec::make_itch_schema();
+  auto bound = parse_bound(schema,
+                           "stock == AAPL : fwd(1)\n"
+                           "stock == AAPL and price > 1 and shares > 2 and "
+                           "price < 9 : fwd(2)\n");
+  auto flat = lang::flatten_rules(bound, schema);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_LT(compiler::rule_work(flat.value()[0]),
+            compiler::rule_work(flat.value()[1]));
+}
+
+// --- cost-model exploration --------------------------------------------
+
+TEST(Explore, PicksBestScoredLayoutAndCompilesWithIt) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(800);
+  compiler::ExploreParams params;
+  params.sample_rules = 200;
+  auto res = compiler::explore(schema, subs.rules, params);
+  ASSERT_TRUE(res.ok()) << res.error().to_string();
+  const auto& r = res.value();
+  EXPECT_EQ(r.sampled, 200u);
+  EXPECT_EQ(r.total_rules, 800u);
+  // 4 order probes + the layout grid.
+  EXPECT_GE(r.candidates.size(), 8u);
+  EXPECT_FALSE(r.best_label.empty());
+  double min_cost = 1e300;
+  for (const auto& c : r.candidates)
+    if (c.ok) min_cost = std::min(min_cost, c.cost);
+  EXPECT_DOUBLE_EQ(r.best_cost, min_cost);
+
+  // The winning options must drive a successful, equivalent full compile.
+  auto mono = compiler::compile_rules(schema, subs.rules, {});
+  auto best = compiler::compile_rules(schema, subs.rules, r.best);
+  ASSERT_TRUE(mono.ok() && best.ok());
+  expect_same_classification(schema, subs.rules, mono.value().pipeline,
+                             best.value().pipeline);
+
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"candidates\""), std::string::npos);
+  EXPECT_NE(json.find("\"best\""), std::string::npos);
+}
+
+TEST(Explore, ErrorsOnEmptyRuleSet) {
+  auto schema = spec::make_itch_schema();
+  EXPECT_FALSE(compiler::explore(schema, {}, {}).ok());
+}
+
+// --- S2: memory telemetry ----------------------------------------------
+
+TEST(MemStats, PopulatedOnBothCompilePaths) {
+  auto schema = spec::make_itch_schema();
+  auto subs = make_subs(300);
+  auto mono = compiler::compile_rules(schema, subs.rules, {});
+  ASSERT_TRUE(mono.ok());
+  const auto& ms = mono.value().stats.mem;
+#if defined(__linux__) || defined(__APPLE__)
+  EXPECT_GT(ms.peak_rss, 0u);
+#endif
+  EXPECT_GT(ms.bdd_bytes, 0u);
+
+  compiler::CompileOptions popts;
+  popts.partition = compiler::PartitionMode::kForce;
+  popts.partition_min_rules = 0;
+  auto part = compiler::compile_rules(schema, subs.rules, popts);
+  ASSERT_TRUE(part.ok());
+  EXPECT_GT(part.value().stats.mem.bdd_bytes, 0u);
+  // Partitioned: bdd_bytes tracks the *largest shard*, which must be far
+  // below the monolithic manager for a 20-symbol partition.
+  EXPECT_LT(part.value().stats.mem.bdd_bytes, ms.bdd_bytes);
+
+  const std::string json = mono.value().stats.to_json();
+  EXPECT_NE(json.find("\"mem\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss\""), std::string::npos);
+  EXPECT_NE(json.find("\"partition\""), std::string::npos);
+  EXPECT_NE(json.find("\"intern\""), std::string::npos);
+}
+
+}  // namespace
