@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
   const double initial_ms = t0.seconds() * 1e3;
   const std::size_t initial_entries = first.value().total_entries;
 
-  switchsim::Switch sw(schema, inc.pipeline());
+  switchsim::Switch sw(schema, *inc.pipeline().value());
   pubsub::TwoPhaseInstaller installer(sw);
 
   // Churn loop: one commit + delta install per op.
@@ -257,7 +257,7 @@ int main(int argc, char** argv) {
         << util::json::format_double(probe_del_reuse) << "}\n"
         << "  },\n"
         << "  \"final\": {\"subscriptions\": " << inc.subscription_count()
-        << ", \"entries\": " << inc.pipeline().total_entries()
+        << ", \"entries\": " << inc.pipeline().value()->total_entries()
         << ", \"switch_program_version\": " << sw.program_version()
         << "}\n"
         << "}\n";

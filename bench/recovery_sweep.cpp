@@ -1,0 +1,313 @@
+// Crash-recovery benchmark (ISSUE 9 satellite): quantifies the durable
+// control plane's recovery story on a seeded churn history.
+//
+//   1. Recovery time vs history length: the journal of an N-commit churn
+//      run is truncated at milestone fractions and a fresh
+//      DurableController open()s each prefix (exact replay — every commit
+//      boundary recompiled and digest-checked). The full-depth replay
+//      must reproduce the pre-crash intended pipeline bit-identically.
+//   2. Checkpoint recovery: the same history compacted to one snapshot
+//      record, then reopened — O(live state) instead of O(history).
+//   3. Repair delta vs full reprogram: a switch that missed exactly one
+//      install is reconciled (entry ops; --gate-reuse exits non-zero when
+//      entry reuse drops below the floor — the paper's re-use claim
+//      carried over to crash repair), and a cold-rebooted switch is
+//      reconciled (full re-image), with wire bytes for both.
+//
+// Hard assertions (exit status) regardless of flags: exact replay is
+// digest-identical with zero mismatches, the missed-install repair ships
+// as ops (not a re-image) and lands, and the cold reboot converges.
+//
+// CI runs this with --quick --gate-reuse 0.8 as the recovery-smoke job;
+// the committed BENCH_recovery.json is the full run. Seeds are explicit.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "fault/plan.hpp"
+#include "pubsub/durable.hpp"
+#include "pubsub/install.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "table/delta.hpp"
+#include "util/journal.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace camus;
+
+namespace {
+
+constexpr std::uint64_t kChurnSeed = 20260808;
+constexpr std::uint16_t kPorts = 8;
+
+compiler::CompileOptions bench_opts() {
+  // Exact-match field first: new-symbol churn then grows the automaton at
+  // the edge, which is what makes one missed install repairable as a
+  // sliver of the program (same choice as the churn bench's reuse gate).
+  compiler::CompileOptions opts;
+  opts.order = bdd::OrderHeuristic::kExactFirst;
+  return opts;
+}
+
+std::string churn_rule(util::Rng& rng, int symbol) {
+  return "stock == SYM" + std::to_string(symbol) + " and price > " +
+         std::to_string(rng.uniform(1, 400) * 100);
+}
+
+struct MilestoneRow {
+  double fraction = 0;
+  std::size_t journal_bytes = 0;
+  std::size_t records = 0;
+  std::uint64_t commits = 0;
+  std::size_t subscriptions = 0;
+  double open_ms = 0;
+};
+
+// Opens a fresh controller over a byte-for-byte copy of `log` and times
+// the replay.
+struct ReplayProbe {
+  util::MemStorage storage;
+  pubsub::DurableController ctl;
+  double open_ms = 0;
+  bool ok = false;
+
+  ReplayProbe(const spec::Schema& schema, const std::string& log)
+      : ctl(schema, storage, bench_opts()) {
+    storage.replace(log);
+    util::Timer t;
+    ok = ctl.open().ok();
+    open_ms = t.seconds() * 1e3;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_recovery.json";
+  double gate_reuse = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--quick") quick = true;
+    else if (a == "--json") json = true;
+    else if (a == "--out" && i + 1 < argc) json_path = argv[++i];
+    else if (a == "--gate-reuse" && i + 1 < argc)
+      gate_reuse = std::strtod(argv[++i], nullptr);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json] [--out FILE] "
+                   "[--gate-reuse F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int n_commits = quick ? 40 : 150;
+
+  auto schema = spec::make_itch_schema();
+  util::MemStorage storage;
+  pubsub::DurableController ctl(schema, storage, bench_opts());
+  if (!ctl.open().ok()) {
+    std::fprintf(stderr, "open failed\n");
+    return 1;
+  }
+  switchsim::Switch sw(spec::make_itch_schema(), table::Pipeline{});
+  pubsub::TwoPhaseInstaller installer(sw);
+
+  // --- 1. Build the churn history, installing every commit but the last.
+  util::Rng rng(kChurnSeed);
+  int next_symbol = 0;
+  std::vector<std::size_t> commit_offsets;  // journal bytes after commit i
+  util::Timer wall;
+  for (int c = 0; c < n_commits; ++c) {
+    const bool last = c == n_commits - 1;
+    const int adds = last ? 1 : 2;
+    for (int k = 0; k < adds; ++k) {
+      // A fresh symbol most of the time, so the history keeps growing at
+      // the automaton's edge; occasional repeats tighten existing ones.
+      const int sym = rng.chance(0.8) ? next_symbol++
+                                      : rng.uniform(0, next_symbol);
+      const auto port = static_cast<std::uint16_t>(1 + rng.uniform(0, kPorts - 1));
+      if (!ctl.subscribe(port, churn_rule(rng, sym)).ok()) {
+        std::fprintf(stderr, "subscribe failed at commit %d\n", c);
+        return 1;
+      }
+    }
+    if (!last && c > 0 && c % 7 == 0)
+      ctl.unsubscribe(static_cast<std::uint16_t>(1 + rng.uniform(0, kPorts - 1)));
+    auto delta = ctl.commit();
+    if (!delta.ok()) {
+      std::fprintf(stderr, "commit %d failed: %s\n", c,
+                   delta.error().to_string().c_str());
+      return 1;
+    }
+    if (!last) {
+      auto rep = ctl.install(installer, delta.value());
+      if (!rep.ok() || !rep.value().committed) {
+        std::fprintf(stderr, "install %d failed\n", c);
+        return 1;
+      }
+    } else {
+      // The last install is eaten by a total partition: the commit is
+      // journaled and intended, the switch never sees it.
+      fault::FaultSpec dead;
+      dead.drop = 1.0;
+      const fault::Plan plan(dead, 2);
+      auto rep = ctl.install(installer, delta.value(), &plan);
+      if (!rep.ok() || rep.value().committed) {
+        std::fprintf(stderr, "partitioned install unexpectedly landed\n");
+        return 1;
+      }
+    }
+    commit_offsets.push_back(storage.size());
+  }
+  const double history_s = wall.seconds();
+  const std::string log = storage.load().value();
+  const table::Pipeline intended = *ctl.intended().value();
+  const std::uint64_t intended_digest = table::pipeline_digest(intended);
+  const std::size_t total_entries = intended.total_entries();
+
+  // --- 2. Exact-replay recovery time at milestone depths.
+  std::vector<MilestoneRow> milestones;
+  bool replay_ok = true;
+  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(commit_offsets.size())) - 1;
+    const std::string prefix = log.substr(0, commit_offsets[idx]);
+    ReplayProbe probe(schema, prefix);
+    MilestoneRow row;
+    row.fraction = frac;
+    row.journal_bytes = prefix.size();
+    row.records = probe.ctl.recovery().records_replayed;
+    row.commits = probe.ctl.recovery().commits_replayed;
+    row.subscriptions = probe.ctl.subscription_count();
+    row.open_ms = probe.open_ms;
+    milestones.push_back(row);
+    if (!probe.ok || probe.ctl.recovery().digest_mismatches != 0) {
+      std::fprintf(stderr, "FAIL: exact replay at %.2f not clean\n", frac);
+      replay_ok = false;
+    }
+    if (frac == 1.0) {
+      auto recovered = probe.ctl.intended();
+      if (!recovered.ok() ||
+          table::pipeline_digest(*recovered.value()) != intended_digest) {
+        std::fprintf(stderr, "FAIL: full replay is not digest-identical\n");
+        replay_ok = false;
+      }
+    }
+  }
+
+  // --- 3. Checkpoint recovery: compact, then reopen from the snapshot.
+  double checkpoint_open_ms = 0;
+  std::size_t checkpoint_bytes = 0;
+  std::size_t checkpoint_subs = 0;
+  bool checkpoint_ok = true;
+  {
+    ReplayProbe full(schema, log);
+    checkpoint_ok = full.ok && full.ctl.checkpoint().ok();
+    const std::string compacted = full.storage.load().value();
+    checkpoint_bytes = compacted.size();
+    ReplayProbe snap(schema, compacted);
+    checkpoint_open_ms = snap.open_ms;
+    checkpoint_subs = snap.ctl.subscription_count();
+    checkpoint_ok = checkpoint_ok && snap.ok &&
+                    snap.ctl.recovery().from_snapshot &&
+                    snap.ctl.subscription_count() == ctl.subscription_count();
+    if (!checkpoint_ok) std::fprintf(stderr, "FAIL: checkpoint recovery\n");
+  }
+
+  // --- 4a. Repair delta: the switch missed exactly one install.
+  const table::Pipeline have = sw.pipeline_snapshot();
+  const table::PipelineDiff diff = table::diff_pipelines(&have, intended);
+  const std::size_t delta_bytes = table::serialize_ops(diff.ops).size();
+  const std::size_t full_bytes = table::serialize_pipeline(intended).size();
+  util::Timer repair_t;
+  auto rec = ctl.reconcile(installer);
+  const double repair_ms = repair_t.seconds() * 1e3;
+  bool repair_ok = rec.ok() && rec.value().repaired &&
+                   !rec.value().full_reprogram &&
+                   sw.program_digest() == intended_digest;
+  if (!repair_ok) std::fprintf(stderr, "FAIL: missed-install repair\n");
+  const double repair_reuse = rec.ok() ? rec.value().reuse_fraction() : 0;
+
+  // --- 4b. Full reprogram: a cold-rebooted (blank) switch.
+  switchsim::Switch cold_sw(spec::make_itch_schema(), table::Pipeline{});
+  pubsub::TwoPhaseInstaller cold_installer(cold_sw);
+  util::Timer cold_t;
+  auto cold = ctl.reconcile(cold_installer);
+  const double cold_ms = cold_t.seconds() * 1e3;
+  const bool cold_ok = cold.ok() && cold.value().repaired &&
+                       cold.value().full_reprogram &&
+                       cold_sw.program_digest() == intended_digest;
+  if (!cold_ok) std::fprintf(stderr, "FAIL: cold-reboot reprogram\n");
+
+  std::printf("recovery_sweep: %d commits (%zu subs, %zu entries, %zu "
+              "journal bytes) built in %.2fs\n",
+              n_commits, ctl.subscription_count(), total_entries, log.size(),
+              history_s);
+  for (const auto& m : milestones)
+    std::printf("  exact replay %3.0f%%: %6zu bytes, %4zu records, %3llu "
+                "commits -> %.2f ms\n",
+                m.fraction * 100, m.journal_bytes, m.records,
+                static_cast<unsigned long long>(m.commits), m.open_ms);
+  std::printf("  checkpoint: %zu bytes -> %.2f ms (%zu subs)\n",
+              checkpoint_bytes, checkpoint_open_ms, checkpoint_subs);
+  std::printf("  repair (1 missed install): %zu ops, reuse %.4f, %zu vs "
+              "%zu wire bytes -> %.2f ms\n",
+              rec.ok() ? rec.value().repair_ops : 0, repair_reuse,
+              delta_bytes, full_bytes, repair_ms);
+  std::printf("  cold reboot: full re-image, %zu entries -> %.2f ms\n",
+              total_entries, cold_ms);
+
+  if (json) {
+    std::ofstream out(json_path);
+    out << "{\n  \"workload\": \"durable-churn\",\n"
+        << "  \"seed\": " << kChurnSeed << ",\n"
+        << "  \"commits\": " << n_commits << ",\n"
+        << "  \"subscriptions\": " << ctl.subscription_count() << ",\n"
+        << "  \"entries\": " << total_entries << ",\n"
+        << "  \"journal_bytes\": " << log.size() << ",\n"
+        << "  \"exact_replay\": [\n";
+    for (std::size_t i = 0; i < milestones.size(); ++i) {
+      const auto& m = milestones[i];
+      out << "    {\"fraction\": " << util::json::format_double(m.fraction)
+          << ", \"journal_bytes\": " << m.journal_bytes
+          << ", \"records\": " << m.records
+          << ", \"commits\": " << m.commits
+          << ", \"subscriptions\": " << m.subscriptions
+          << ", \"open_ms\": " << util::json::format_double(m.open_ms)
+          << "}" << (i + 1 < milestones.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"checkpoint\": {\"journal_bytes\": " << checkpoint_bytes
+        << ", \"open_ms\": " << util::json::format_double(checkpoint_open_ms)
+        << ", \"subscriptions\": " << checkpoint_subs << "},\n"
+        << "  \"repair_missed_install\": {\"ops\": "
+        << (rec.ok() ? rec.value().repair_ops : 0)
+        << ", \"reuse_fraction\": " << util::json::format_double(repair_reuse)
+        << ", \"delta_bytes\": " << delta_bytes
+        << ", \"full_bytes\": " << full_bytes
+        << ", \"ms\": " << util::json::format_double(repair_ms) << "},\n"
+        << "  \"cold_reboot\": {\"entries\": " << total_entries
+        << ", \"ms\": " << util::json::format_double(cold_ms) << "},\n"
+        << "  \"all_checks_pass\": "
+        << ((replay_ok && checkpoint_ok && repair_ok && cold_ok) ? "true"
+                                                                 : "false")
+        << "\n}\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+
+  if (gate_reuse >= 0 && repair_reuse < gate_reuse) {
+    std::fprintf(stderr,
+                 "FAIL: missed-install repair reuse %.4f below gate %.2f\n",
+                 repair_reuse, gate_reuse);
+    return 1;
+  }
+  return (replay_ok && checkpoint_ok && repair_ok && cold_ok) ? 0 : 1;
+}

@@ -68,7 +68,7 @@ int main() {
   auto classify = [&](std::uint64_t svc) {
     lang::Env env;
     env.fields = {0xC0DE0000 + svc, 0};
-    const auto& a = inc.pipeline().evaluate_actions(env);
+    const auto& a = inc.pipeline().value()->evaluate_actions(env);
     return a.ports.empty() ? 0 : a.ports[0];
   };
   std::cout << "service 3 currently routed to port " << classify(3) << "\n\n";

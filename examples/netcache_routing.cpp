@@ -65,13 +65,13 @@ int main() {
   }
   std::cout << "Compiled key-routing pipeline (" << first.value().total_entries
             << " entries):\n\n"
-            << inc.pipeline().to_string() << "\n";
+            << inc.pipeline().value()->to_string() << "\n";
 
   auto route = [&](std::uint64_t op, std::uint64_t key) {
     lang::Env env;
     env.fields = {op, key};
     std::cout << "  " << (op == 1 ? "read " : "write") << " key " << key
-              << " -> " << inc.pipeline().evaluate_actions(env).to_string()
+              << " -> " << inc.pipeline().value()->evaluate_actions(env).to_string()
               << "\n";
   };
   std::cout << "Routing decisions:\n";

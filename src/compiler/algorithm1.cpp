@@ -95,10 +95,11 @@ SubjectInfo subject_info(Subject s, const spec::Schema& schema) {
 
 }  // namespace
 
-TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
-                             const spec::Schema& schema,
-                             const CompileOptions& opts,
-                             StateAllocator* states) {
+util::Result<TableGenResult> bdd_to_tables(const BddManager& mgr,
+                                           NodeRef root,
+                                           const spec::Schema& schema,
+                                           const CompileOptions& opts,
+                                           StateAllocator* states) {
   TableGenResult result;
   table::Pipeline& pipe = result.pipeline;
 
@@ -145,13 +146,14 @@ TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
       // per-Out-node value sets (Algorithm 1 lines 5-9, with ranges for
       // the same (u, v) pair unioned).
       std::map<std::uint32_t, IntervalSet> out_ranges;  // raw ref -> values
+      bool budget_exceeded = false;
       std::function<void(NodeRef, const IntervalSet&)> walk =
           [&](NodeRef n, const IntervalSet& range) {
+            if (budget_exceeded) return;
             if (++result.stats.paths_enumerated >
                 opts.max_paths_per_component) {
-              throw std::runtime_error(
-                  "Algorithm 1: path budget exceeded in component '" +
-                  info.name + "'");
+              budget_exceeded = true;
+              return;
             }
             if (n.is_terminal() || !in_component.count(n.raw())) {
               auto [it, inserted] = out_ranges.emplace(n.raw(), range);
@@ -168,6 +170,12 @@ TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
             if (!lo.is_empty()) walk(node.lo, lo);
           };
       walk(u, IntervalSet::all(umax));
+      if (budget_exceeded) {
+        return util::Error{
+            "Algorithm 1: path budget exceeded in component '" + info.name +
+                "'",
+            0, 0, "E130"};
+      }
 
       // Split successors into drop vs live.
       IntervalSet drop_set;
@@ -299,8 +307,13 @@ TableGenResult bdd_to_tables(const BddManager& mgr, NodeRef root,
   // Range entries for one state come from disjoint BDD branches; an
   // overlap indicates a compiler bug. Surface it through the error path
   // callers already handle rather than aborting the caller.
-  if (auto valid = pipe.validate(); !valid.ok())
-    throw std::runtime_error(valid.error().message);
+  if (auto valid = pipe.validate(); !valid.ok()) {
+    util::Error e = valid.error();
+    e.code = "E131";
+    e.message = "Algorithm 1: generated pipeline failed validation: " +
+                e.message;
+    return e;
+  }
   return result;
 }
 

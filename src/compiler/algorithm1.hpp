@@ -20,6 +20,7 @@
 #include "compiler/options.hpp"
 #include "spec/schema.hpp"
 #include "table/pipeline.hpp"
+#include "util/result.hpp"
 
 namespace camus::compiler {
 
@@ -55,14 +56,18 @@ struct StateAllocator {
 };
 
 // Translates the BDD rooted at `root` into a finalized pipeline.
-// Throws std::runtime_error if path enumeration exceeds
-// opts.max_paths_per_component (pathological, unreduced BDDs).
+// Diagnostics (never throws — E1xx convention, so controller recovery
+// paths stay exception-free):
+//   E130  path enumeration exceeded opts.max_paths_per_component
+//         (pathological, unreduced BDDs)
+//   E131  generated pipeline failed structural validation (compiler bug)
 // With a null `states`, state ids are numbered fresh per call (compact,
 // Figure 4-style); passing a persistent allocator keeps them stable.
-TableGenResult bdd_to_tables(const bdd::BddManager& mgr, bdd::NodeRef root,
-                             const spec::Schema& schema,
-                             const CompileOptions& opts,
-                             StateAllocator* states = nullptr);
+util::Result<TableGenResult> bdd_to_tables(const bdd::BddManager& mgr,
+                                           bdd::NodeRef root,
+                                           const spec::Schema& schema,
+                                           const CompileOptions& opts,
+                                           StateAllocator* states = nullptr);
 
 // Structural stability for entry-level deltas: inserts an empty table for
 // every order subject that has none, keeping rank order. An empty stage is

@@ -206,13 +206,10 @@ Result<Compiled> compile_rules(const spec::Schema& schema,
 
   // 5. Algorithm 1: slice into per-field tables.
   t.reset();
-  try {
-    TableGenResult gen = bdd_to_tables(mgr, out.root, schema, opts);
-    out.pipeline = std::move(gen.pipeline);
-    out.stats.tablegen = gen.stats;
-  } catch (const std::runtime_error& e) {
-    return util::Error{e.what()};
-  }
+  auto gen = bdd_to_tables(mgr, out.root, schema, opts);
+  if (!gen.ok()) return gen.error();
+  out.pipeline = std::move(gen.value().pipeline);
+  out.stats.tablegen = gen.value().stats;
 
   // 6. Optional table-level rewrites: entry interning (state-machine
   // minimization), then domain compression.

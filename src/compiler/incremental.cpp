@@ -51,30 +51,6 @@ bool IncrementalCompiler::remove(SubscriptionId id) {
   return rules_.erase(id) > 0;
 }
 
-std::set<IncrementalCompiler::FieldKey> IncrementalCompiler::field_keys(
-    const table::Pipeline& pipe) {
-  std::set<FieldKey> keys;
-  auto collect = [&](const table::Table& t) {
-    for (const auto& e : t.entries()) {
-      keys.emplace(t.name(), e.state,
-                   static_cast<std::uint8_t>(e.match.kind), e.match.lo,
-                   e.match.hi, e.next_state);
-    }
-  };
-  for (const auto& t : pipe.value_maps) collect(t);
-  for (const auto& t : pipe.tables) collect(t);
-  return keys;
-}
-
-IncrementalCompiler::LeafMap IncrementalCompiler::leaf_map(
-    const table::Pipeline& pipe) {
-  LeafMap m;
-  // Multicast group ids are renumbered per compilation; diffing on the
-  // action set keeps renumbering from showing up as churn.
-  for (const auto& e : pipe.leaf.entries()) m.emplace(e.state, e.actions);
-  return m;
-}
-
 namespace {
 std::size_t count_kind(const std::vector<table::EntryOp>& ops,
                        table::EntryOp::Kind k) {
@@ -178,12 +154,9 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   }
 
   phase.reset();
-  TableGenResult gen;
-  try {
-    gen = bdd_to_tables(*manager_, root, schema_, opts_, &states_);
-  } catch (const std::runtime_error& e) {
-    return Error{e.what()};
-  }
+  auto gen_result = bdd_to_tables(*manager_, root, schema_, opts_, &states_);
+  if (!gen_result.ok()) return gen_result.error();
+  TableGenResult gen = std::move(gen_result).take();
   if (opts_.domain_compression)
     compress_domains(gen.pipeline, opts_);
   materialize_stages(gen.pipeline, *manager_, schema_);
@@ -193,85 +166,16 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   delta.stats.total_entries = gen.pipeline.total_entries();
   delta.stats.multicast_groups = gen.pipeline.mcast.size();
 
-  // Diff against the installed pipeline.
-  const std::set<FieldKey> new_field = field_keys(gen.pipeline);
-  const LeafMap new_leaf = leaf_map(gen.pipeline);
-  const std::set<FieldKey> old_field =
-      installed_ ? field_keys(*installed_) : std::set<FieldKey>{};
-  const LeafMap old_leaf = installed_ ? leaf_map(*installed_) : LeafMap{};
-
-  auto field_op = [](EntryOp::Kind kind, const FieldKey& k) {
-    EntryOp op;
-    op.kind = kind;
-    op.table = std::get<0>(k);
-    op.state = std::get<1>(k);
-    op.match.kind =
-        static_cast<table::ValueMatch::Kind>(std::get<2>(k));
-    op.match.lo = std::get<3>(k);
-    op.match.hi = std::get<4>(k);
-    op.next_state = std::get<5>(k);
-    return op;
-  };
-  for (const auto& k : new_field) {
-    if (!old_field.count(k))
-      delta.ops.push_back(field_op(EntryOp::Kind::kAdd, k));
-    else
-      ++delta.reused_entries;
-  }
-  for (const auto& k : old_field) {
-    if (!new_field.count(k))
-      delta.ops.push_back(field_op(EntryOp::Kind::kRemove, k));
-  }
-  auto leaf_op = [](EntryOp::Kind kind, table::StateId state,
-                    const lang::ActionSet& actions) {
-    EntryOp op;
-    op.kind = kind;
-    op.table = std::string(table::kLeafTableName);
-    op.state = state;
-    op.actions = actions;
-    return op;
-  };
-  // Leaf diff by state: a surviving state whose ActionSet changed is one
-  // kModify op (one control-plane write), not a remove+add pair.
-  for (const auto& [state, actions] : new_leaf) {
-    auto old_it = old_leaf.find(state);
-    if (old_it == old_leaf.end())
-      delta.ops.push_back(leaf_op(EntryOp::Kind::kAdd, state, actions));
-    else if (!(old_it->second == actions))
-      delta.ops.push_back(leaf_op(EntryOp::Kind::kModify, state, actions));
-    else
-      ++delta.reused_entries;
-  }
-  for (const auto& [state, actions] : old_leaf) {
-    if (!new_leaf.count(state))
-      delta.ops.push_back(leaf_op(EntryOp::Kind::kRemove, state, actions));
-  }
-
-  delta.total_entries = new_field.size() + new_leaf.size();
-
-  // Structural applicability of the delta against the diff base: every op
-  // must target a stage the base (= what the switch runs) already has, and
-  // the mapping-stage list must be unchanged — an empty value map is not
-  // neutral (it would re-code its field to 0), so a map appearing or
-  // retiring forces a full reprogram.
-  if (installed_) {
-    for (const auto& op : delta.ops) {
-      if (!op.is_leaf() && !installed_->find_table(op.table)) {
-        delta.requires_reprogram = true;
-        break;
-      }
-    }
-    if (!delta.requires_reprogram) {
-      auto map_names = [](const table::Pipeline& p) {
-        std::vector<std::string> names;
-        names.reserve(p.value_maps.size());
-        for (const auto& m : p.value_maps) names.push_back(m.name());
-        return names;
-      };
-      if (map_names(*installed_) != map_names(gen.pipeline))
-        delta.requires_reprogram = true;
-    }
-  }
+  // Diff against the installed pipeline. The diff itself is the shared
+  // reconciliation currency in table/delta.hpp — the controller's
+  // warm-boot anti-entropy pass computes repair deltas with the same
+  // function, so churn deltas and recovery repairs cannot drift apart.
+  table::PipelineDiff diff = table::diff_pipelines(
+      installed_ ? &*installed_ : nullptr, gen.pipeline);
+  delta.ops = std::move(diff.ops);
+  delta.reused_entries = diff.reused_entries;
+  delta.total_entries = diff.total_entries;
+  delta.requires_reprogram = diff.requires_reprogram;
 
   installed_ = std::move(gen.pipeline);
   delta.compile_seconds = timer.seconds();
@@ -279,10 +183,12 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   return delta;
 }
 
-const table::Pipeline& IncrementalCompiler::pipeline() const {
+Result<const table::Pipeline*> IncrementalCompiler::pipeline() const {
   if (!installed_)
-    throw std::logic_error("IncrementalCompiler::pipeline before commit()");
-  return *installed_;
+    return Error{"IncrementalCompiler::pipeline() before a successful "
+                 "commit()",
+                 0, 0, "E122"};
+  return &*installed_;
 }
 
 void IncrementalCompiler::restore_installed(table::Pipeline last_good) {

@@ -91,8 +91,12 @@ class IncrementalCompiler {
   // first commit reports every entry as an add.
   util::Result<Delta> commit();
 
-  // The currently installed pipeline (valid after a successful commit).
-  const table::Pipeline& pipeline() const;
+  // The currently installed pipeline. E122 before a successful commit()
+  // — an expected caller-ordering error reported as a diagnostic, not a
+  // throw (E1xx convention), so recovery code never unwinds through an
+  // exception. The pointer is never null on the ok() path and stays valid
+  // until the next commit()/restore_installed().
+  util::Result<const table::Pipeline*> pipeline() const;
   bool has_pipeline() const noexcept { return installed_.has_value(); }
 
   // Rolls the diff base back to an earlier snapshot — used when a commit's
@@ -112,16 +116,10 @@ class IncrementalCompiler {
   bdd::NodeRef root() const noexcept { return last_root_; }
 
  private:
-  // Canonical entry keys for diffing. Leaf entries diff by state with the
-  // ActionSet as the value, so an action-only change on a surviving state
-  // becomes one kModify op instead of a remove+add pair. Multicast group
-  // ids are renumbered per compilation and deliberately excluded.
-  using FieldKey = std::tuple<std::string, table::StateId, std::uint8_t,
-                              std::uint64_t, std::uint64_t, table::StateId>;
-  using LeafMap = std::map<table::StateId, lang::ActionSet>;
-
-  static std::set<FieldKey> field_keys(const table::Pipeline& pipe);
-  static LeafMap leaf_map(const table::Pipeline& pipe);
+  // Entry-level diffing against the installed pipeline lives in
+  // table::diff_pipelines — shared with the controller's warm-boot
+  // reconciliation pass so the two can never disagree about what a
+  // minimal update is.
 
   spec::Schema schema_;
   CompileOptions opts_;

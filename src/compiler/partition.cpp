@@ -231,11 +231,15 @@ util::Result<Compiled> compile_partitioned(const spec::Schema& schema,
         for (const FlatRule& r : *task.rules) roots.push_back(mgr.build_rule(r));
         NodeRef root = mgr.unite_all(std::move(roots), opts.semantic_prune);
         if (opts.semantic_prune) root = mgr.prune(root);
-        TableGenResult gen = bdd_to_tables(mgr, root, schema, shard_opts);
-        task.pipeline = std::move(gen.pipeline);
-        task.components = gen.stats.components;
-        task.in_nodes = gen.stats.in_nodes;
-        task.paths = gen.stats.paths_enumerated;
+        auto gen = bdd_to_tables(mgr, root, schema, shard_opts);
+        if (!gen.ok()) {
+          task.error = gen.error().message;
+          continue;
+        }
+        task.pipeline = std::move(gen.value().pipeline);
+        task.components = gen.value().stats.components;
+        task.in_nodes = gen.value().stats.in_nodes;
+        task.paths = gen.value().stats.paths_enumerated;
         task.stats.rules = task.rules->size();
         task.stats.bdd_nodes = mgr.node_table_size();
         task.stats.manager_bytes = mgr.memory_bytes();

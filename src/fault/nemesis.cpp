@@ -1,0 +1,458 @@
+#include "fault/nemesis.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "compiler/compile.hpp"
+#include "fault/plan.hpp"
+#include "lang/bound.hpp"
+#include "lang/parser.hpp"
+#include "pubsub/durable.hpp"
+#include "pubsub/install.hpp"
+#include "spec/itch_spec.hpp"
+#include "switchsim/switch.hpp"
+#include "table/delta.hpp"
+#include "util/intern.hpp"
+#include "util/journal.hpp"
+#include "util/rng.hpp"
+
+namespace camus::fault {
+
+namespace {
+
+using pubsub::DurableController;
+using pubsub::TwoPhaseInstaller;
+
+const std::vector<std::string>& symbols() {
+  static const std::vector<std::string> syms = {
+      "GOOGL", "MSFT", "AAPL", "AMZN", "NVDA", "TSLA", "IBM", "ORCL"};
+  return syms;
+}
+
+// Seeded textual rule generator (the churn workload's grammar): plain
+// symbol interest, symbol+price bands, share-size filters — the shapes
+// the paper's ITCH application uses. Interest-only texts exercise the
+// controller's fwd(port) appending.
+std::string gen_rule_text(util::Rng& rng) {
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return "stock == " + rng.pick(symbols());
+    case 1:
+      return "stock == " + rng.pick(symbols()) + " and price > " +
+             std::to_string(rng.uniform(1, 500) * 100);
+    case 2:
+      return "shares > " + std::to_string(rng.uniform(1, 900));
+    default:
+      return "stock == " + rng.pick(symbols()) + " and shares < " +
+             std::to_string(rng.uniform(10, 2000));
+  }
+}
+
+// The harness's shadow model: what the intended state MUST be, maintained
+// independently of the controller (same single-port unsubscribe filter).
+struct ShadowSub {
+  std::uint16_t port = 0;
+  int priority = 0;
+  std::string text;  // full text incl. action
+};
+
+// Binds the shadow set for the batch-compiled oracle.
+util::Result<std::vector<lang::BoundRule>> bind_shadow(
+    const spec::Schema& schema, const std::vector<ShadowSub>& shadow) {
+  std::vector<lang::BoundRule> rules;
+  rules.reserve(shadow.size());
+  for (const ShadowSub& s : shadow) {
+    auto parsed = lang::parse_rule(s.text);
+    if (!parsed.ok()) return parsed.error();
+    auto bound = lang::bind_rule(parsed.value(), schema);
+    if (!bound.ok()) return bound.error();
+    rules.push_back(std::move(bound).take());
+  }
+  return rules;
+}
+
+lang::Env probe_env(util::Rng& rng) {
+  lang::Env env;
+  env.fields = {rng.uniform(0, 2500),                        // shares
+                util::encode_symbol(rng.pick(symbols())),    // stock
+                rng.uniform(0, 60000)};                      // price
+  env.states = {0, 0};
+  return env;
+}
+
+struct Scenario {
+  const NemesisOptions& opts;
+  NemesisStats& stats;
+  std::uint64_t seed;
+  util::Rng rng;
+  spec::Schema schema;
+
+  util::MemStorage storage;
+  std::unique_ptr<DurableController> ctl;
+  std::unique_ptr<switchsim::Switch> sw;
+  std::unique_ptr<TwoPhaseInstaller> installer;
+  std::vector<ShadowSub> shadow;
+  std::uint16_t next_port = 1;
+  bool used_checkpoint = false;
+  // The last epoch a now-deposed controller held (stale-write source).
+  std::optional<std::uint64_t> deposed_epoch;
+
+  Scenario(const NemesisOptions& o, NemesisStats& st, std::uint64_t s)
+      : opts(o), stats(st), seed(s), rng(s), schema(spec::make_itch_schema()) {
+    sw = std::make_unique<switchsim::Switch>(spec::make_itch_schema(),
+                                             table::Pipeline{});
+    installer = std::make_unique<TwoPhaseInstaller>(*sw);
+    ctl = std::make_unique<DurableController>(spec::make_itch_schema(),
+                                              storage);
+  }
+
+  void trace(const std::string& what) {
+    if (std::getenv("NEMESIS_TRACE"))
+      std::fprintf(stderr, "[seed %llu] %s\n",
+                   static_cast<unsigned long long>(seed), what.c_str());
+  }
+
+  std::string tables(const table::Pipeline& p) {
+    std::string out;
+    for (const auto& t : p.tables) out += t.name() + " ";
+    return out;
+  }
+
+  void violation(const std::string& what) {
+    ++stats.violations;
+    if (stats.violation_details.size() < 20)
+      stats.violation_details.push_back("seed " + std::to_string(seed) +
+                                        ": " + what);
+  }
+
+  bool check(bool ok, const std::string& what) {
+    if (!ok) violation(what);
+    return ok;
+  }
+
+  // I1: replayed intended state matches the shadow model.
+  void check_recovery(const pubsub::RecoveryInfo& info) {
+    check(info.subscriptions == shadow.size(),
+          "I1: recovered " + std::to_string(info.subscriptions) +
+              " subscriptions, shadow has " +
+              std::to_string(shadow.size()));
+    if (!info.from_snapshot)
+      check(info.digest_mismatches == 0,
+            "I1: exact replay reported digest mismatches");
+  }
+
+  // I2 + I4: switch ≡ intended ≡ independently compiled oracle, checked
+  // by digest and by a differential probe sweep (exactly-once: the
+  // delivered port set equals the oracle's — nothing missing, nothing
+  // duplicated or spurious).
+  void check_installed() {
+    trace("epilogue: ctl subs=" + std::to_string(ctl->subscription_count()) +
+          " shadow=" + std::to_string(shadow.size()));
+    auto intended = ctl->intended();
+    if (!check(intended.ok(), "I2: no intended pipeline after commit"))
+      return;
+    check(sw->program_digest() ==
+              table::pipeline_digest(*intended.value()),
+          "I2: switch program digest != intended digest");
+
+    auto bound = bind_shadow(schema, shadow);
+    if (!check(bound.ok(), "I2: shadow rules failed to bind")) return;
+    auto oracle = compiler::compile_rules(schema, bound.value());
+    if (!check(oracle.ok(), "I2: oracle batch compile failed")) return;
+
+    for (std::size_t i = 0; i < opts.probe_messages; ++i) {
+      ++stats.probes;
+      lang::Env env = probe_env(rng);
+      const lang::ActionSet& got = sw->classify(env.fields, 1000 + i);
+      const lang::ActionSet want =
+          oracle.value().pipeline.evaluate_actions(env);
+      if (got.ports != want.ports) {
+        std::ostringstream os;
+        os << "I4: probe " << i << " delivered to " << got.ports.size()
+           << " ports, oracle says " << want.ports.size();
+        violation(os.str());
+        if (std::getenv("NEMESIS_TRACE")) {
+          std::ostringstream dbg;
+          dbg << "probe fields: shares=" << env.fields[0]
+              << " stock=" << env.fields[1] << " price=" << env.fields[2]
+              << " | switch={";
+          for (auto pt : got.ports) dbg << pt << " ";
+          dbg << "} oracle={";
+          for (auto pt : want.ports) dbg << pt << " ";
+          dbg << "}";
+          trace(dbg.str());
+        }
+        return;  // one detailed report per sweep is enough
+      }
+    }
+  }
+
+  // Churn ops ------------------------------------------------------------
+
+  void do_subscribe() {
+    const std::uint16_t port =
+        rng.chance(0.3) ? static_cast<std::uint16_t>(rng.uniform(1, 8))
+                        : next_port++;
+    const int prio = static_cast<int>(rng.uniform(0, 3));
+    std::string text = gen_rule_text(rng);
+    auto sub = ctl->subscribe(port, text, prio);
+    if (!check(sub.ok(), "subscribe rejected: " +
+                             (sub.ok() ? "" : sub.error().to_string())))
+      return;
+    if (text.find(':') == std::string::npos)
+      text += " : fwd(" + std::to_string(port) + ")";
+    shadow.push_back({port, prio, text});
+  }
+
+  void do_unsubscribe() {
+    if (shadow.empty()) return;
+    const std::uint16_t port = shadow[rng.uniform(0, shadow.size() - 1)].port;
+    auto removed = ctl->unsubscribe(port);
+    if (!check(removed.ok(), "unsubscribe failed")) return;
+    // Mirror the controller's filter: drop rules forwarding ONLY to port.
+    // Rule texts always end in exactly one fwd(p), so the filter is
+    // text-level here.
+    const std::string only = ": fwd(" + std::to_string(port) + ")";
+    std::size_t dropped = 0, w = 0;
+    for (std::size_t i = 0; i < shadow.size(); ++i) {
+      if (shadow[i].text.find(only) != std::string::npos &&
+          shadow[i].port == port) {
+        ++dropped;
+        continue;
+      }
+      if (w != i) shadow[w] = std::move(shadow[i]);
+      ++w;
+    }
+    shadow.resize(w);
+    check(removed.value() == dropped,
+          "unsubscribe removed " + std::to_string(removed.value()) +
+              ", shadow dropped " + std::to_string(dropped));
+  }
+
+  void do_commit_install(const fault::Plan* faults, bool expect_commit) {
+    auto delta = ctl->commit();
+    if (!check(delta.ok(), "commit failed: " +
+                               (delta.ok() ? "" : delta.error().to_string())))
+      return;
+    ++stats.commits;
+    trace("commit: " + std::to_string(delta.value().ops.size()) + " ops full=" +
+          std::to_string(delta.value().requires_reprogram) + " intended={" +
+          tables(*ctl->intended().value()) + "} switch={" +
+          tables(installer->target().pipeline_snapshot()) + "}");
+    auto report = ctl->install(*installer, delta.value(), faults);
+    if (!check(report.ok(), "install errored")) return;
+    ++stats.installs;
+    if (!report.value().committed) {
+      if (expect_commit) {
+        violation("install failed on a healthy channel: " +
+                  report.value().error);
+        return;
+      }
+      ++stats.partition_aborts;
+      // The channel was partitioned: the abort is journaled and the diff
+      // base rolled back. Heal and re-ship via reconciliation.
+      auto healed = ctl->reconcile(*installer);
+      ++stats.reconciles;
+      if (check(healed.ok(), "post-partition reconcile errored") &&
+          !healed.value().in_sync) {
+        if (healed.value().repaired) {
+          ++stats.repairs;
+          stats.repair_ops += healed.value().repair_ops;
+          if (healed.value().full_reprogram) ++stats.full_reprograms;
+        } else {
+          violation("post-partition reconcile failed to repair");
+        }
+      }
+    }
+  }
+
+  // Nemesis actions -------------------------------------------------------
+
+  void crash_controller() {
+    ++stats.crashes;
+    trace("crash controller");
+    deposed_epoch = ctl->epoch();
+    if (opts.checkpoint_every > 0 && !used_checkpoint &&
+        seed % opts.checkpoint_every == 0 && rng.chance(0.5)) {
+      // Checkpoint BEFORE the crash on some scenarios: the recovery then
+      // replays from the snapshot (fresh state numbering).
+      if (ctl->checkpoint().ok()) {
+        ++stats.checkpoints;
+        used_checkpoint = true;
+      }
+    }
+    // Kill the process: unsynced bytes vanish except for a torn tail.
+    storage.crash(rng.uniform(0, 16));
+    ctl = std::make_unique<DurableController>(spec::make_itch_schema(),
+                                              storage);
+    auto info = ctl->open();
+    if (!check(info.ok(),
+               "recovery open() failed: " +
+                   (info.ok() ? "" : info.error().to_string()))) {
+      // Unrecoverable scenario state; stop churning it.
+      return;
+    }
+    if (info.value().from_snapshot) ++stats.recoveries_from_snapshot;
+    check_recovery(info.value());
+    // Warm-boot reconciliation: fence the switch, repair divergence from
+    // any half-staged install the crash left behind.
+    auto rec = ctl->reconcile(*installer);
+    ++stats.reconciles;
+    if (rec.ok())
+      trace("post-crash reconcile in_sync=" + std::to_string(rec.value().in_sync) +
+            " repaired=" + std::to_string(rec.value().repaired) +
+            " full=" + std::to_string(rec.value().full_reprogram) +
+            " ops=" + std::to_string(rec.value().repair_ops));
+    if (check(rec.ok(), "post-crash reconcile errored") &&
+        !rec.value().in_sync) {
+      if (rec.value().repaired) {
+        ++stats.repairs;
+        stats.repair_ops += rec.value().repair_ops;
+        if (rec.value().full_reprogram) ++stats.full_reprograms;
+      } else {
+        violation("post-crash reconcile failed: " +
+                  rec.value().install.error);
+      }
+    }
+  }
+
+  void reboot_switch() {
+    ++stats.switch_reboots;
+    trace("reboot switch");
+    // The switch comes back with an empty program (cold boot) — the
+    // harshest divergence reconciliation must repair.
+    sw = std::make_unique<switchsim::Switch>(spec::make_itch_schema(),
+                                             table::Pipeline{});
+    installer = std::make_unique<TwoPhaseInstaller>(*sw);
+    auto rec = ctl->reconcile(*installer);
+    ++stats.reconciles;
+    if (!check(rec.ok(), "post-reboot reconcile errored")) return;
+    if (!rec.value().in_sync) {
+      if (rec.value().repaired) {
+        ++stats.repairs;
+        stats.repair_ops += rec.value().repair_ops;
+        if (rec.value().full_reprogram) ++stats.full_reprograms;
+      } else if (ctl->commit_seq() > 0) {
+        violation("post-reboot reconcile failed: " +
+                  rec.value().install.error);
+      }
+    }
+  }
+
+  void stale_write() {
+    if (!deposed_epoch) return;
+    ++stats.stale_writes;
+    const std::uint64_t before = sw->program_version();
+    // The deposed controller retries its last write with its old epoch:
+    // a full reprogram with a garbage (empty) image, then a delta.
+    auto rejected =
+        sw->reprogram_fenced(*deposed_epoch, table::Pipeline{});
+    const bool bounced = !rejected.ok() &&
+                         rejected.error().code == "E140" &&
+                         sw->program_version() == before;
+    if (bounced) ++stats.stale_rejected;
+    check(bounced, "I3: stale-epoch write was not rejected");
+  }
+
+  void run() {
+    auto opened = ctl->open();
+    if (!check(opened.ok(), "initial open() failed")) return;
+    for (std::size_t step = 0; step < opts.steps; ++step) {
+      ++stats.steps;
+      if (!shadow.empty() && rng.chance(0.25))
+        do_unsubscribe();
+      else
+        do_subscribe();
+
+      if ((step + 1) % opts.commit_every == 0) {
+        const bool partition =
+            rng.uniform(0, 999) < opts.partition_per_mille;
+        if (partition) {
+          ++stats.partitions;
+          // Total partition: every chunk is dropped; the install must
+          // abort cleanly (journaled) and the later heal must repair.
+          FaultSpec spec;
+          spec.drop = 1.0;
+          const Plan plan(spec, seed ^ (step * 0x9e37ULL));
+          do_commit_install(&plan, /*expect_commit=*/false);
+        } else if (rng.chance(0.5)) {
+          // A flaky-but-usable channel: drops, corruption, duplication,
+          // reordering — the chunk protocol must still land the image.
+          FaultSpec spec;
+          spec.drop = 0.08;
+          spec.corrupt = 0.08;
+          spec.duplicate = 0.10;
+          spec.reorder = 0.10;
+          const Plan plan(spec, seed ^ (step * 0x85ebULL));
+          do_commit_install(&plan, /*expect_commit=*/true);
+        } else {
+          do_commit_install(nullptr, /*expect_commit=*/true);
+        }
+      }
+
+      const std::uint32_t roll =
+          static_cast<std::uint32_t>(rng.uniform(0, 999));
+      if (roll < opts.crash_per_mille) {
+        crash_controller();
+      } else if (roll < opts.crash_per_mille + opts.reboot_per_mille) {
+        reboot_switch();
+      } else if (roll < opts.crash_per_mille + opts.reboot_per_mille +
+                            opts.stale_write_per_mille) {
+        stale_write();
+      }
+    }
+
+    // Scenario epilogue: converge and audit everything.
+    do_commit_install(nullptr, /*expect_commit=*/true);
+    auto rec = ctl->reconcile(*installer);
+    ++stats.reconciles;
+    if (check(rec.ok(), "final reconcile errored") && !rec.value().in_sync &&
+        !rec.value().repaired)
+      violation("final reconcile failed: " + rec.value().install.error);
+    check_installed();
+  }
+};
+
+}  // namespace
+
+std::string NemesisStats::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"scenarios\": " << scenarios << ",\n"
+     << "  \"steps\": " << steps << ",\n"
+     << "  \"commits\": " << commits << ",\n"
+     << "  \"installs\": " << installs << ",\n"
+     << "  \"crashes\": " << crashes << ",\n"
+     << "  \"recoveries_from_snapshot\": " << recoveries_from_snapshot
+     << ",\n"
+     << "  \"switch_reboots\": " << switch_reboots << ",\n"
+     << "  \"partitions\": " << partitions << ",\n"
+     << "  \"partition_aborts\": " << partition_aborts << ",\n"
+     << "  \"stale_writes\": " << stale_writes << ",\n"
+     << "  \"stale_rejected\": " << stale_rejected << ",\n"
+     << "  \"reconciles\": " << reconciles << ",\n"
+     << "  \"repairs\": " << repairs << ",\n"
+     << "  \"full_reprograms\": " << full_reprograms << ",\n"
+     << "  \"repair_ops\": " << repair_ops << ",\n"
+     << "  \"checkpoints\": " << checkpoints << ",\n"
+     << "  \"probes\": " << probes << ",\n"
+     << "  \"violations\": " << violations << "\n"
+     << "}";
+  return os.str();
+}
+
+NemesisStats run_nemesis(const NemesisOptions& opts) {
+  NemesisStats stats;
+  for (std::size_t i = 0; i < opts.scenarios; ++i) {
+    ++stats.scenarios;
+    Scenario sc(opts, stats, opts.seed + i);
+    sc.run();
+  }
+  return stats;
+}
+
+}  // namespace camus::fault

@@ -96,7 +96,9 @@ Result<Controller::Delta> Controller::commit() {
   }
 
   compiler::Compiled candidate;
-  candidate.pipeline = inc_.pipeline();  // copy; inc_ keeps the diff base
+  auto pipe = inc_.pipeline();
+  if (!pipe.ok()) return pipe.error();  // unreachable after ok commit()
+  candidate.pipeline = *pipe.value();   // copy; inc_ keeps the diff base
   candidate.stats = d.value().stats;
   candidate.manager = inc_.manager();
   candidate.root = inc_.root();

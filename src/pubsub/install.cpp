@@ -1,6 +1,7 @@
 #include "pubsub/install.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
@@ -15,10 +16,124 @@ std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
   return h;
 }
 
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
 }  // namespace
 
+std::vector<std::uint8_t> encode_chunk(const ChunkHeader& h,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(kChunkHeaderBytes + payload.size());
+  put_u16(wire, kChunkMagic);
+  put_u64(wire, h.epoch);
+  put_u64(wire, h.xfer_id);
+  put_u32(wire, h.chunk_idx);
+  put_u32(wire, h.total_chunks);
+  put_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  // CRC over everything framed so far plus the payload: a flipped bit in
+  // header or body both fail the check.
+  std::uint32_t crc = util::crc32(std::span<const std::uint8_t>(wire));
+  crc = util::crc32(payload, crc);
+  put_u32(wire, crc);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+ChunkReceiver::ChunkReceiver(std::uint64_t epoch, std::uint64_t xfer_id,
+                             std::uint32_t total_chunks,
+                             std::size_t chunk_bytes, std::size_t image_bytes)
+    : epoch_(epoch),
+      xfer_id_(xfer_id),
+      total_(total_chunks),
+      chunk_bytes_(chunk_bytes),
+      image_bytes_(image_bytes),
+      slots_(total_chunks),
+      have_(total_chunks, false) {}
+
+util::Result<std::uint32_t> ChunkReceiver::receive(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < kChunkHeaderBytes)
+    return util::Error{"chunk frame shorter than header", 0, 0, "C001"};
+  const std::uint8_t* p = wire.data();
+  if (get_u16(p) != kChunkMagic)
+    return util::Error{"chunk frame has bad magic", 0, 0, "C001"};
+  ChunkHeader h;
+  h.epoch = get_u64(p + 2);
+  h.xfer_id = get_u64(p + 10);
+  h.chunk_idx = get_u32(p + 18);
+  h.total_chunks = get_u32(p + 22);
+  h.payload_len = get_u32(p + 26);
+  const std::uint32_t crc = get_u32(p + 30);
+  if (wire.size() != kChunkHeaderBytes + h.payload_len)
+    return util::Error{"chunk frame length disagrees with header", 0, 0,
+                       "C001"};
+  // CRC covers the header (minus the CRC field itself) and the payload.
+  std::uint32_t want = util::crc32(wire.subspan(0, kChunkHeaderBytes - 4));
+  want = util::crc32(wire.subspan(kChunkHeaderBytes), want);
+  if (crc != want)
+    return util::Error{"chunk CRC mismatch", 0, 0, "C002"};
+  if (h.epoch != epoch_ || h.xfer_id != xfer_id_)
+    return util::Error{"chunk from another transfer (epoch " +
+                           std::to_string(h.epoch) + ", xfer " +
+                           std::to_string(h.xfer_id) + ")",
+                       0, 0, "C003"};
+  if (h.total_chunks != total_ || h.chunk_idx >= total_)
+    return util::Error{"chunk index " + std::to_string(h.chunk_idx) +
+                           " out of range of " + std::to_string(total_),
+                       0, 0, "C005"};
+  // Every chunk but the last must be exactly chunk_bytes_; the last holds
+  // the remainder. A wrong-sized payload for its slot is malformed.
+  const std::size_t want_len =
+      h.chunk_idx + 1 == total_
+          ? image_bytes_ - static_cast<std::size_t>(h.chunk_idx) * chunk_bytes_
+          : chunk_bytes_;
+  if (h.payload_len != want_len)
+    return util::Error{"chunk payload length wrong for its slot", 0, 0,
+                       "C001"};
+  if (have_[h.chunk_idx])
+    return util::Error{"duplicate of accepted chunk " +
+                           std::to_string(h.chunk_idx),
+                       0, 0, "C004"};
+  const auto payload = wire.subspan(kChunkHeaderBytes);
+  slots_[h.chunk_idx].assign(payload.begin(), payload.end());
+  have_[h.chunk_idx] = true;
+  ++filled_;
+  return h.chunk_idx;
+}
+
+std::vector<std::uint8_t> ChunkReceiver::assemble() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(image_bytes_);
+  for (const auto& s : slots_) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
 TwoPhaseInstaller::TwoPhaseInstaller(switchsim::Switch& sw) : sw_(sw) {
-  auto current = std::make_shared<table::Pipeline>(sw.pipeline());
+  auto current = std::make_shared<table::Pipeline>(sw.pipeline_snapshot());
   current->finalize();
   active_ = std::move(current);
 }
@@ -43,10 +158,23 @@ bool TwoPhaseInstaller::rollback() {
     if (!previous_) return false;
     prev = std::move(previous_);
   }
-  sw_.reprogram(table::Pipeline(*prev));
+  if (epoch_ > 0) {
+    if (!sw_.reprogram_fenced(epoch_, table::Pipeline(*prev)).ok())
+      return false;  // fenced out by a newer controller
+  } else {
+    sw_.reprogram(table::Pipeline(*prev));
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   active_ = std::move(prev);
   return true;
+}
+
+void TwoPhaseInstaller::resync_from_switch() {
+  auto current = std::make_shared<table::Pipeline>(sw_.pipeline_snapshot());
+  current->finalize();
+  const std::lock_guard<std::mutex> lock(mu_);
+  active_ = std::move(current);
+  previous_.reset();
 }
 
 bool TwoPhaseInstaller::stage_attempt(std::span<const std::uint8_t> bytes,
@@ -57,33 +185,87 @@ bool TwoPhaseInstaller::stage_attempt(std::span<const std::uint8_t> bytes,
                                       InstallReport& report,
                                       std::vector<std::uint8_t>& staged) {
   staged.clear();
-  staged.reserve(bytes.size());
+  ChunkReceiver rx(epoch_, next_xfer_id_,
+                   static_cast<std::uint32_t>(report.chunks), chunk_bytes,
+                   bytes.size());
+  ++next_xfer_id_;
+
+  // Frames the channel is holding back (reorder decisions): they arrive
+  // after the sender's next transmission, exercising out-of-order and
+  // late-duplicate handling at the receiver.
+  std::vector<std::vector<std::uint8_t>> delayed;
+  auto classify = [&](const util::Result<std::uint32_t>& r) {
+    if (r.ok()) return;
+    const std::string& code = r.error().code;
+    if (code == "C001") ++report.chunk_malformed;
+    else if (code == "C002") ++report.chunk_crc_rejects;
+    else if (code == "C004") ++report.chunk_dup_rejects;
+    else ++report.chunk_stray_rejects;  // C003/C005
+  };
+  auto flush_delayed = [&] {
+    for (auto& w : delayed) {
+      ++report.chunk_reordered;
+      classify(rx.receive(w));
+    }
+    delayed.clear();
+  };
+
   for (std::size_t c = 0; c < report.chunks; ++c) {
     const std::size_t off = c * chunk_bytes;
     const std::size_t len = std::min(chunk_bytes, bytes.size() - off);
-    const auto chunk = bytes.subspan(off, len);
-    const std::uint64_t chunk_digest = fnv1a(chunk);
+    ChunkHeader h;
+    h.epoch = epoch_;
+    h.xfer_id = next_xfer_id_ - 1;
+    h.chunk_idx = static_cast<std::uint32_t>(c);
+    h.total_chunks = static_cast<std::uint32_t>(report.chunks);
 
     bool delivered = false;
     for (int t = 0; t <= chunk_retries; ++t) {
+      // Held-back frames from earlier sends arrive now — after at least
+      // one later transmission, i.e. reordered.
+      flush_delayed();
       ++report.chunk_sends;
       if (t > 0) ++report.chunk_retransmits;
-      std::vector<std::uint8_t> wire(chunk.begin(), chunk.end());
+      std::vector<std::uint8_t> wire =
+          encode_chunk(h, bytes.subspan(off, len));
+      bool dropped = false, dup = false, held = false;
       if (faults && faults->enabled()) {
         const fault::Decision d = faults->decision(send_index);
         if (d.corrupt_bits > 0) faults->corrupt(send_index, wire);
         ++send_index;
-        if (d.drop) continue;  // lost on the wire
+        dropped = d.drop;
+        dup = d.duplicate;
+        held = d.delay_us > 0;
       } else {
         ++send_index;
       }
-      if (fnv1a(wire) != chunk_digest) continue;  // corrupted: NAK
-      staged.insert(staged.end(), wire.begin(), wire.end());
-      delivered = true;
-      break;
+      if (dropped) continue;  // lost on the wire; no ACK, retransmit
+      if (held) {
+        // In flight but displaced: the sender times out (no ACK) and
+        // retransmits; the frame still lands later.
+        delayed.push_back(std::move(wire));
+        continue;
+      }
+      auto r = rx.receive(wire);
+      classify(r);
+      if (dup) classify(rx.receive(wire));  // duplicated on the wire
+      // A duplicate of an accepted chunk means this slot is already
+      // staged (possibly by a late reordered frame) — that IS an ACK.
+      if (r.ok() || r.error().code == "C004") {
+        delivered = true;
+        break;
+      }
     }
-    if (!delivered) return false;
+    if (!delivered) {
+      // One last chance: a held-back frame still in flight may fill the
+      // slot on arrival.
+      flush_delayed();
+      if (!rx.has(static_cast<std::uint32_t>(c))) return false;
+    }
   }
+  flush_delayed();
+  if (!rx.complete()) return false;
+  staged = rx.assemble();
   return true;
 }
 
@@ -92,6 +274,7 @@ InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
                                          std::size_t chunk_bytes,
                                          int max_attempts, int chunk_retries) {
   InstallReport report;
+  report.epoch = epoch_;
   const std::string image = table::serialize_pipeline(pipeline);
   const std::span<const std::uint8_t> bytes(
       reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
@@ -107,7 +290,7 @@ InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     ++report.attempts;
 
-    // --- Stage: ship digest-protected chunks; retry damaged ones.
+    // --- Stage: ship framed, CRC-checked chunks; retry damaged ones.
     std::vector<std::uint8_t> staged;
     if (!stage_attempt(bytes, chunk_bytes, faults, chunk_retries, send_index,
                        report, staged)) {
@@ -128,13 +311,24 @@ InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
       continue;
     }
 
-    // --- Commit: one reprogram with the verified image, then swap the
-    // reader-visible snapshot. deserialize_pipeline finalized the
-    // pipeline, so readers of the new snapshot never race a lazy index
-    // build.
+    // --- Commit: one (epoch-fenced) reprogram with the verified image,
+    // then swap the reader-visible snapshot. deserialize_pipeline
+    // finalized the pipeline, so readers of the new snapshot never race a
+    // lazy index build.
     auto committed =
         std::make_shared<table::Pipeline>(std::move(parsed).take());
-    sw_.reprogram(table::Pipeline(*committed));
+    if (epoch_ > 0) {
+      auto fenced = sw_.reprogram_fenced(epoch_, table::Pipeline(*committed));
+      if (!fenced.ok()) {
+        // A newer controller owns the switch; retrying cannot help.
+        report.fenced_out = true;
+        report.error = "switch fenced the install out: " +
+                       fenced.error().to_string();
+        return report;
+      }
+    } else {
+      sw_.reprogram(table::Pipeline(*committed));
+    }
     publish(std::move(committed));
     report.committed = true;
     report.error.clear();
@@ -150,6 +344,7 @@ InstallReport TwoPhaseInstaller::apply_delta(
     std::span<const table::EntryOp> ops, const fault::Plan* faults,
     std::size_t chunk_bytes, int max_attempts, int chunk_retries) {
   InstallReport report;
+  report.epoch = epoch_;
   report.ops = ops.size();
   if (ops.empty()) {
     // A no-op commit ships nothing and commits trivially: the active
@@ -203,10 +398,13 @@ InstallReport TwoPhaseInstaller::apply_delta(
     }
 
     // --- Commit: patch the running switch program in place (RCU swap
-    // inside Switch::apply_delta), then advance the reader snapshot to
-    // the scratch result (already finalized+validated by apply_ops).
-    auto committed = sw_.apply_delta(parsed.value());
+    // inside Switch::apply_delta, epoch-fenced when an epoch is set),
+    // then advance the reader snapshot to the scratch result (already
+    // finalized+validated by apply_ops).
+    auto committed = epoch_ > 0 ? sw_.apply_delta_fenced(epoch_, parsed.value())
+                                : sw_.apply_delta(parsed.value());
     if (!committed.ok()) {
+      report.fenced_out = committed.error().code == "E140";
       report.error =
           "switch rejected the delta: " + committed.error().to_string();
       return report;

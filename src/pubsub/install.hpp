@@ -29,8 +29,76 @@
 #include "table/delta.hpp"
 #include "table/pipeline.hpp"
 #include "table/serialize.hpp"
+#include "util/journal.hpp"  // util::crc32
+#include "util/result.hpp"
 
 namespace camus::pubsub {
+
+// --- hardened chunk channel ----------------------------------------------
+//
+// Every chunk crosses the control channel framed with an explicit header:
+// magic, the controller epoch, a per-transfer id, the chunk's index and
+// the transfer's total, the payload length, and a CRC-32 over header and
+// payload. The receiver assembles chunks into index-addressed slots, so a
+// reordered chunk lands in the right place and a duplicated chunk is
+// detected against its slot instead of silently corrupting a sequential
+// append (the historical failure mode this replaces). Rejections carry
+// stable C0xx codes:
+//   C001  malformed frame (short, bad magic, length disagreement)
+//   C002  CRC mismatch (corrupted on the wire)
+//   C003  chunk from another transfer or a different controller epoch
+//         (a stray from an abandoned staging attempt)
+//   C004  duplicate of an already-accepted chunk (idempotent: the sender
+//         treats this as an ACK)
+//   C005  chunk index out of range, or total_chunks disagreement
+
+inline constexpr std::uint16_t kChunkMagic = 0xC405;
+inline constexpr std::size_t kChunkHeaderBytes =
+    2 + 8 + 8 + 4 + 4 + 4 + 4;  // magic..crc
+
+struct ChunkHeader {
+  std::uint64_t epoch = 0;
+  std::uint64_t xfer_id = 0;
+  std::uint32_t chunk_idx = 0;
+  std::uint32_t total_chunks = 0;
+  std::uint32_t payload_len = 0;
+};
+
+// Frames one chunk for the wire (header + CRC + payload).
+std::vector<std::uint8_t> encode_chunk(const ChunkHeader& h,
+                                       std::span<const std::uint8_t> payload);
+
+// The switch-side assembler for one transfer. Not thread-safe (one
+// control channel, one transfer at a time).
+class ChunkReceiver {
+ public:
+  ChunkReceiver(std::uint64_t epoch, std::uint64_t xfer_id,
+                std::uint32_t total_chunks, std::size_t chunk_bytes,
+                std::size_t image_bytes);
+
+  // Validates and slots one wire frame; returns the accepted chunk index
+  // or a C0xx diagnostic (see above).
+  util::Result<std::uint32_t> receive(std::span<const std::uint8_t> wire);
+
+  bool complete() const noexcept { return filled_ == total_; }
+  std::size_t filled() const noexcept { return filled_; }
+  bool has(std::uint32_t idx) const noexcept {
+    return idx < have_.size() && have_[idx];
+  }
+
+  // Concatenated payloads in index order; only meaningful when complete().
+  std::vector<std::uint8_t> assemble() const;
+
+ private:
+  std::uint64_t epoch_;
+  std::uint64_t xfer_id_;
+  std::uint32_t total_;
+  std::size_t chunk_bytes_;
+  std::size_t image_bytes_;
+  std::vector<std::vector<std::uint8_t>> slots_;
+  std::vector<bool> have_;
+  std::uint32_t filled_ = 0;
+};
 
 // Outcome of one install() or apply_delta() call.
 struct InstallReport {
@@ -39,6 +107,15 @@ struct InstallReport {
   std::size_t chunks = 0;         // chunks in the image
   std::size_t chunk_sends = 0;    // including retransmits
   std::size_t chunk_retransmits = 0;
+  // Channel-hardening telemetry: frames the receiver rejected, by cause,
+  // plus frames the channel delivered late (reorder realized).
+  std::size_t chunk_crc_rejects = 0;   // C002
+  std::size_t chunk_dup_rejects = 0;   // C004 (counted, but acts as ACK)
+  std::size_t chunk_malformed = 0;     // C001
+  std::size_t chunk_stray_rejects = 0; // C003/C005
+  std::size_t chunk_reordered = 0;     // frames delivered out of order
+  std::uint64_t epoch = 0;             // controller epoch stamped on writes
+  bool fenced_out = false;  // switch rejected the commit as stale (E140)
   std::string error;              // empty when committed
   // apply_delta() only: ops shipped and their kind breakdown as applied.
   std::size_t ops = 0;
@@ -81,7 +158,7 @@ class TwoPhaseInstaller {
 
   // Restores the previously committed pipeline (undo of the last
   // successful install or apply_delta). False when there is nothing to
-  // roll back to.
+  // roll back to, or when the switch fences the write out as stale.
   bool rollback();
 
   // The committed pipeline, finalized, safe for concurrent read-only
@@ -90,13 +167,33 @@ class TwoPhaseInstaller {
 
   std::uint64_t commits() const noexcept { return commits_; }
 
+  // --- crash-safety hooks -------------------------------------------------
+
+  // Stamps every subsequent commit with this controller epoch: commits go
+  // through the switch's fenced write path, so a crashed predecessor's
+  // stragglers are rejected (E140) instead of clobbering this
+  // controller's installs. Epoch 0 (the default) keeps the legacy
+  // unfenced path for single-controller tools and tests.
+  void set_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // Re-snapshots last-good from the program the switch actually runs —
+  // called after a switch reboot or a reconciliation repair so the next
+  // apply_delta()'s dry-run base matches reality. Drops the rollback
+  // point (it described a pre-reboot world).
+  void resync_from_switch();
+
+  // The switch this installer programs (reconciliation reads its digests).
+  switchsim::Switch& target() noexcept { return sw_; }
+
  private:
   void publish(std::shared_ptr<const table::Pipeline> next);
 
-  // One staging attempt: ships `bytes` in digest-checked chunks over the
-  // faultable channel, appending delivered chunks to `staged`. False when
-  // any chunk exhausts its retries. `send_index` advances once per send
-  // so a whole campaign replays from the fault-plan seed.
+  // One staging attempt: ships `bytes` in explicitly framed, CRC-checked,
+  // slot-addressed chunks over the faultable channel (drop, corruption,
+  // duplication, and reordering are all exercised; see ChunkReceiver).
+  // False when any chunk exhausts its retries. `send_index` advances once
+  // per send so a whole campaign replays from the fault-plan seed.
   bool stage_attempt(std::span<const std::uint8_t> bytes,
                      std::size_t chunk_bytes, const fault::Plan* faults,
                      int chunk_retries, std::uint64_t& send_index,
@@ -107,6 +204,8 @@ class TwoPhaseInstaller {
   std::shared_ptr<const table::Pipeline> active_;
   std::shared_ptr<const table::Pipeline> previous_;
   std::uint64_t commits_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_xfer_id_ = 1;
 };
 
 }  // namespace camus::pubsub

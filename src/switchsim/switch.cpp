@@ -73,6 +73,78 @@ util::Result<table::ApplyStats> Switch::apply_delta(
   return applied;
 }
 
+namespace {
+util::Error stale_epoch_error(std::uint64_t epoch, std::uint64_t fence,
+                              const char* code) {
+  return util::Error{"stale controller epoch " + std::to_string(epoch) +
+                         " (switch fence at " + std::to_string(fence) + ")",
+                     0, 0, code};
+}
+}  // namespace
+
+util::Result<std::uint64_t> Switch::fence(std::uint64_t epoch) {
+  const std::lock_guard<std::mutex> lock(slot_->mu);
+  const std::uint64_t cur = slot_->fence_epoch.load(std::memory_order_relaxed);
+  if (epoch < cur) {
+    slot_->stale_epoch_rejects.fetch_add(1, std::memory_order_relaxed);
+    return stale_epoch_error(epoch, cur, "E141");
+  }
+  slot_->fence_epoch.store(epoch, std::memory_order_release);
+  return epoch;
+}
+
+util::Result<std::uint64_t> Switch::reprogram_fenced(
+    std::uint64_t epoch, table::Pipeline pipeline) {
+  // Lower outside the lock (the expensive part), fence-check inside it so
+  // check-and-publish is atomic against a competing newer controller.
+  auto prog = make_program(std::move(pipeline));
+  const std::lock_guard<std::mutex> lock(slot_->mu);
+  const std::uint64_t cur = slot_->fence_epoch.load(std::memory_order_relaxed);
+  if (epoch < cur) {
+    slot_->stale_epoch_rejects.fetch_add(1, std::memory_order_relaxed);
+    return stale_epoch_error(epoch, cur, "E140");
+  }
+  slot_->fence_epoch.store(epoch, std::memory_order_release);
+  prog->version = slot_->published->version + 1;
+  const std::uint64_t v = prog->version;
+  slot_->published = std::move(prog);
+  slot_->version.store(v, std::memory_order_release);
+  return v;
+}
+
+util::Result<table::ApplyStats> Switch::apply_delta_fenced(
+    std::uint64_t epoch, std::span<const table::EntryOp> ops) {
+  const std::lock_guard<std::mutex> lock(slot_->mu);
+  const std::uint64_t cur = slot_->fence_epoch.load(std::memory_order_relaxed);
+  if (epoch < cur) {
+    slot_->stale_epoch_rejects.fetch_add(1, std::memory_order_relaxed);
+    return stale_epoch_error(epoch, cur, "E140");
+  }
+  table::Pipeline patched = slot_->published->pipeline;
+  auto applied = table::apply_ops(patched, ops);
+  if (!applied.ok()) return applied.error();  // running program untouched
+  slot_->fence_epoch.store(epoch, std::memory_order_release);
+  auto prog = make_program(std::move(patched));
+  prog->version = slot_->published->version + 1;
+  const std::uint64_t v = prog->version;
+  slot_->published = std::move(prog);
+  slot_->version.store(v, std::memory_order_release);
+  return applied;
+}
+
+std::vector<table::StageDigest> Switch::stage_digests() const {
+  // Pin the published program instead of touching the data-plane snapshot
+  // cache: the reconciliation pass runs from the controller thread while
+  // the data plane keeps classifying.
+  const auto prog = pin_program();
+  return table::stage_digests(prog->pipeline);
+}
+
+std::uint64_t Switch::program_digest() const {
+  const auto prog = pin_program();
+  return table::pipeline_digest(prog->pipeline);
+}
+
 const Switch::Program& Switch::current() const {
   const std::uint64_t v = slot_->version.load(std::memory_order_acquire);
   if (!cur_ || cur_->version != v) {

@@ -187,6 +187,62 @@ class Switch {
     return slot_->version.load(std::memory_order_acquire);
   }
 
+  // --- epoch fencing (crash-safe control plane) ---------------------------
+  //
+  // A controller stamps every program write with its epoch — a monotonic
+  // counter it persists in its journal and bumps on every restart. The
+  // switch stores the highest epoch it has accepted and rejects writes
+  // from any lower epoch, so a crashed controller's delayed or retried
+  // messages can never clobber its successor's installs (the classic
+  // fencing-token discipline). Unfenced reprogram()/apply_delta() remain
+  // for tests and single-controller tools; production paths (the
+  // installer) always go through the fenced variants.
+
+  // Raises the fence to `epoch` without writing a program — how a freshly
+  // recovered controller locks out its predecessor before reconciling.
+  // Idempotent for equal epochs. E141 if `epoch` is below the current
+  // fence (a stale controller trying to attach).
+  util::Result<std::uint64_t> fence(std::uint64_t epoch);
+
+  // Fenced variants of reprogram()/apply_delta(): the write is accepted
+  // only if `epoch` >= the switch's fence (and the fence is raised to
+  // `epoch`). A stale epoch is rejected with E140, counted in
+  // stale_epoch_rejects(), and leaves the running program untouched.
+  // reprogram_fenced returns the new program version on success.
+  util::Result<std::uint64_t> reprogram_fenced(std::uint64_t epoch,
+                                               table::Pipeline pipeline);
+  util::Result<table::ApplyStats> apply_delta_fenced(
+      std::uint64_t epoch, std::span<const table::EntryOp> ops);
+
+  // The highest controller epoch this switch has accepted (0 = never
+  // fenced) and the number of writes rejected as stale.
+  std::uint64_t fence_epoch() const noexcept {
+    return slot_->fence_epoch.load(std::memory_order_acquire);
+  }
+  std::uint64_t stale_epoch_rejects() const noexcept {
+    return slot_->stale_epoch_rejects.load(std::memory_order_acquire);
+  }
+
+  // --- warm-boot readback -------------------------------------------------
+  //
+  // What a rebooted switch reports during the reconciliation handshake:
+  // order-independent per-stage digests of the program it is running
+  // (table::stage_digests semantics — multicast ids and entry order
+  // excluded). The controller diffs these against its intended program's
+  // digests to find diverged stages without reading any entries. Both are
+  // safe from any thread (they pin the published program; the data-plane
+  // snapshot cache is not touched).
+  std::vector<table::StageDigest> stage_digests() const;
+  std::uint64_t program_digest() const;
+
+  // Thread-safe copy of the running program's pipeline — for controller
+  // resync after a switch reboot. Unlike pipeline(), never touches the
+  // data-plane snapshot cache, so it can run while the data plane is
+  // processing.
+  table::Pipeline pipeline_snapshot() const {
+    return pin_program()->pipeline;
+  }
+
   // Resource audit: whether the compiled pipeline fits the budget.
   bool fits(const table::ResourceBudget& budget = {}) const;
   table::ResourceUsage resources() const {
@@ -280,6 +336,10 @@ class Switch {
     std::mutex mu;
     std::shared_ptr<const Program> published;  // guarded by mu
     std::atomic<std::uint64_t> version{0};     // == published->version
+    // Fencing state (atomics so accessors need no lock; writes happen
+    // under mu so check-and-raise is atomic w.r.t. program publication).
+    std::atomic<std::uint64_t> fence_epoch{0};
+    std::atomic<std::uint64_t> stale_epoch_rejects{0};
   };
 
   // Builds a Program (finalize + flatten) and swaps it in as the newest

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <charconv>
+#include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 namespace camus::table {
 
@@ -276,6 +279,195 @@ Result<std::vector<EntryOp>> deserialize_ops(std::string_view text) {
   }
   if (!done) return fail("missing 'end'");
   return ops;
+}
+
+// --- pipeline diffing & digests ------------------------------------------
+
+namespace {
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * 0x100000001b3ULL;
+    v >>= 8;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+// Canonical field-entry key: (table, state, match kind, lo, hi, next).
+// Sorted-set semantics make digests and diffs independent of entry order.
+using FieldKey = std::tuple<std::string, StateId, std::uint8_t, std::uint64_t,
+                            std::uint64_t, StateId>;
+using LeafMap = std::map<StateId, lang::ActionSet>;
+
+std::set<FieldKey> field_keys(const Pipeline& pipe) {
+  std::set<FieldKey> keys;
+  auto collect = [&](const Table& t) {
+    for (const auto& e : t.entries())
+      keys.emplace(t.name(), e.state,
+                   static_cast<std::uint8_t>(e.match.kind), e.match.lo,
+                   e.match.hi, e.next_state);
+  };
+  for (const auto& t : pipe.value_maps) collect(t);
+  for (const auto& t : pipe.tables) collect(t);
+  return keys;
+}
+
+LeafMap leaf_map(const Pipeline& pipe) {
+  LeafMap m;
+  // Multicast group ids are renumbered per compilation; keying on the
+  // action set keeps renumbering from showing up as divergence.
+  for (const auto& e : pipe.leaf.entries()) m.emplace(e.state, e.actions);
+  return m;
+}
+
+std::uint64_t digest_table(const Table& t) {
+  // Sort canonical entry tuples so insertion order cannot matter.
+  std::vector<std::tuple<StateId, std::uint8_t, std::uint64_t, std::uint64_t,
+                         StateId>>
+      keys;
+  keys.reserve(t.entries().size());
+  for (const auto& e : t.entries())
+    keys.emplace_back(e.state, static_cast<std::uint8_t>(e.match.kind),
+                      e.match.lo, e.match.hi, e.next_state);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = kFnvSeed;
+  for (const auto& [state, kind, lo, hi, next] : keys) {
+    h = fnv1a_mix(h, state);
+    h = fnv1a_mix(h, kind);
+    h = fnv1a_mix(h, lo);
+    h = fnv1a_mix(h, hi);
+    h = fnv1a_mix(h, next);
+  }
+  return h;
+}
+
+std::uint64_t digest_leaf(const LeafTable& leaf) {
+  const LeafMap m = [&] {
+    LeafMap out;
+    for (const auto& e : leaf.entries()) out.emplace(e.state, e.actions);
+    return out;
+  }();
+  std::uint64_t h = kFnvSeed;
+  for (const auto& [state, actions] : m) {
+    h = fnv1a_mix(h, state);
+    h = fnv1a_mix(h, 0x1eafULL);
+    for (const auto p : actions.ports) h = fnv1a_mix(h, p);
+    h = fnv1a_mix(h, 0x5ca1eULL);
+    for (const auto u : actions.state_updates) h = fnv1a_mix(h, u);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<StageDigest> stage_digests(const Pipeline& pipe) {
+  std::vector<StageDigest> out;
+  out.reserve(pipe.value_maps.size() + pipe.tables.size() + 1);
+  auto add = [&](const Table& t) {
+    out.push_back({t.name(), digest_table(t), t.entries().size()});
+  };
+  for (const auto& t : pipe.value_maps) add(t);
+  for (const auto& t : pipe.tables) add(t);
+  out.push_back({std::string(kLeafTableName), digest_leaf(pipe.leaf),
+                 pipe.leaf.entries().size()});
+  return out;
+}
+
+std::uint64_t pipeline_digest(const Pipeline& pipe) {
+  // The initial state is as load-bearing as any entry: a program whose
+  // entries all match but whose walk starts elsewhere classifies nothing.
+  std::uint64_t h = fnv1a_mix(kFnvSeed, pipe.initial_state);
+  for (const auto& s : stage_digests(pipe)) {
+    for (const char c : s.table)
+      h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    h = fnv1a_mix(h, s.digest);
+  }
+  return h;
+}
+
+PipelineDiff diff_pipelines(const Pipeline* have, const Pipeline& want) {
+  PipelineDiff diff;
+
+  const std::set<FieldKey> new_field = field_keys(want);
+  const LeafMap new_leaf = leaf_map(want);
+  const std::set<FieldKey> old_field =
+      have ? field_keys(*have) : std::set<FieldKey>{};
+  const LeafMap old_leaf = have ? leaf_map(*have) : LeafMap{};
+
+  auto field_op = [](EntryOp::Kind kind, const FieldKey& k) {
+    EntryOp op;
+    op.kind = kind;
+    op.table = std::get<0>(k);
+    op.state = std::get<1>(k);
+    op.match.kind = static_cast<ValueMatch::Kind>(std::get<2>(k));
+    op.match.lo = std::get<3>(k);
+    op.match.hi = std::get<4>(k);
+    op.next_state = std::get<5>(k);
+    return op;
+  };
+  for (const auto& k : new_field) {
+    if (!old_field.count(k))
+      diff.ops.push_back(field_op(EntryOp::Kind::kAdd, k));
+    else
+      ++diff.reused_entries;
+  }
+  for (const auto& k : old_field) {
+    if (!new_field.count(k))
+      diff.ops.push_back(field_op(EntryOp::Kind::kRemove, k));
+  }
+
+  auto leaf_op = [](EntryOp::Kind kind, StateId state,
+                    const lang::ActionSet& actions) {
+    EntryOp op;
+    op.kind = kind;
+    op.table = std::string(kLeafTableName);
+    op.state = state;
+    op.actions = actions;
+    return op;
+  };
+  // Leaf diff by state: a surviving state whose ActionSet changed is one
+  // kModify op (one control-plane write), not a remove+add pair.
+  for (const auto& [state, actions] : new_leaf) {
+    auto old_it = old_leaf.find(state);
+    if (old_it == old_leaf.end())
+      diff.ops.push_back(leaf_op(EntryOp::Kind::kAdd, state, actions));
+    else if (!(old_it->second == actions))
+      diff.ops.push_back(leaf_op(EntryOp::Kind::kModify, state, actions));
+    else
+      ++diff.reused_entries;
+  }
+  for (const auto& [state, actions] : old_leaf) {
+    if (!new_leaf.count(state))
+      diff.ops.push_back(leaf_op(EntryOp::Kind::kRemove, state, actions));
+  }
+
+  diff.total_entries = new_field.size() + new_leaf.size();
+
+  // Structural applicability against `have` (= what the switch runs):
+  // entry ops can only patch a program whose stage layout already equals
+  // the target's. Stage materialization keeps the layouts identical across
+  // plain incremental commits; anything else — a cold start (no program to
+  // patch), a stage appearing or retiring, a value-map change, or even an
+  // EMPTY stage present on one side only — must ship the full image, or
+  // the patched program would never digest-converge with the intended one
+  // (an empty stage has no entries to diff, but it is still a stage).
+  if (!have) {
+    diff.requires_reprogram = true;
+  } else {
+    auto stage_names = [](const Pipeline& p) {
+      std::vector<std::string> names;
+      names.reserve(p.value_maps.size() + p.tables.size());
+      for (const auto& m : p.value_maps) names.push_back(m.name());
+      for (const auto& t : p.tables) names.push_back(t.name());
+      return names;
+    };
+    if (stage_names(*have) != stage_names(want) ||
+        have->initial_state != want.initial_state)
+      diff.requires_reprogram = true;
+  }
+  return diff;
 }
 
 }  // namespace camus::table

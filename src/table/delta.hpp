@@ -82,4 +82,57 @@ util::Result<ApplyStats> apply_ops(Pipeline& pipe,
 std::string serialize_ops(std::span<const EntryOp> ops);
 util::Result<std::vector<EntryOp>> deserialize_ops(std::string_view text);
 
+// --- pipeline diffing & digests (reconciliation currency) ----------------
+//
+// The incremental compiler, the controller's warm-boot anti-entropy pass,
+// and the recovery tests all need the same two primitives: a canonical
+// order-independent digest of what a pipeline's stages contain, and the
+// minimal EntryOp delta that turns one pipeline into another. Both
+// deliberately ignore multicast group *ids* (renumbered per compilation;
+// leaf ops re-intern locally) and entry order (match priority is
+// structural), so two semantically identical programs produced by
+// different histories compare equal.
+
+// Digest of one stage's contents. `entries` is the logical entry count.
+struct StageDigest {
+  std::string table;  // value-map/table name, or kLeafTableName
+  std::uint64_t digest = 0;
+  std::size_t entries = 0;
+
+  friend bool operator==(const StageDigest&, const StageDigest&) = default;
+};
+
+// Per-stage digests in pipeline order (value maps, field tables, leaf).
+// This is what a switch reports during the warm-boot handshake: the
+// controller compares it against the intended pipeline's digests to find
+// diverged stages without reading any entries.
+std::vector<StageDigest> stage_digests(const Pipeline& pipe);
+
+// Order-independent digest of the whole program (folds stage_digests).
+std::uint64_t pipeline_digest(const Pipeline& pipe);
+
+// The minimal entry delta turning `have` into `want`, plus reuse
+// accounting. `have == nullptr` is a cold start: every entry is an add,
+// and requires_reprogram is set — with no base there is no program whose
+// stages the ops could target, so the full image must ship.
+struct PipelineDiff {
+  std::vector<EntryOp> ops;
+  std::size_t reused_entries = 0;  // entries of `want` already in `have`
+  std::size_t total_entries = 0;   // entries in `want`
+  // True when the delta cannot ship as ops against `have`: there is no
+  // `have` (cold start), the stage layouts differ (even by an empty
+  // stage — entry ops cannot create or retire stages), or the initial
+  // state moved (a wholesale renumbering; entry ops cannot re-aim the
+  // walk's entry point). Install the full `want` image instead.
+  bool requires_reprogram = false;
+
+  double reuse_fraction() const noexcept {
+    return total_entries == 0 ? 1.0
+                              : static_cast<double>(reused_entries) /
+                                    static_cast<double>(total_entries);
+  }
+};
+
+PipelineDiff diff_pipelines(const Pipeline* have, const Pipeline& want);
+
 }  // namespace camus::table

@@ -254,7 +254,7 @@ void run_churn(const spec::Schema& schema, const FuzzSample& s,
                 "; repro: " + hint(s));
     return;
   }
-  switchsim::Switch sw(schema, table::Pipeline(inc.pipeline()));
+  switchsim::Switch sw(schema, table::Pipeline(*inc.pipeline().value()));
 
   // Remove every other subscription, then re-add the removed rules; each
   // commit's entry delta flows through Switch::apply_delta (the live
@@ -277,7 +277,7 @@ void run_churn(const spec::Schema& schema, const FuzzSample& s,
     if (d.value().requires_reprogram) {
       // Structure changed (compression mapping stages); entry ops cannot
       // express it. The control-plane contract is a full reprogram.
-      sw.reprogram(table::Pipeline(inc.pipeline()));
+      sw.reprogram(table::Pipeline(*inc.pipeline().value()));
     } else {
       auto applied = sw.apply_delta(d.value().ops);
       if (!applied.ok()) {
@@ -325,7 +325,7 @@ void run_churn(const spec::Schema& schema, const FuzzSample& s,
 
     const lang::ActionSet want = lang::brute_eval_rules(s.bound, env);
 
-    const lang::ActionSet& inc_got = inc.pipeline().evaluate_actions(env);
+    const lang::ActionSet& inc_got = inc.pipeline().value()->evaluate_actions(env);
     if (inc_got != want) {
       diverge(res, FuzzMode::kChurn,
               mismatch_str("IncrementalCompiler pipeline (post-churn)",

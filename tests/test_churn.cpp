@@ -81,7 +81,7 @@ TEST(ChurnDifferential, IncrementalMatchesFromScratchPerCommit) {
   }
   ASSERT_TRUE(inc.commit().ok());
 
-  switchsim::Switch sw_inc(schema, inc.pipeline());
+  switchsim::Switch sw_inc(schema, *inc.pipeline().value());
   pubsub::TwoPhaseInstaller installer(sw_inc);
 
   workload::FeedParams fp;
@@ -166,7 +166,7 @@ TEST(ChurnDelta, ReAddAfterRemoveRestoresBehaviour) {
   auto volatile_id = inc.add_source("stock == MSFT and price > 500 : fwd(2)");
   ASSERT_TRUE(volatile_id.ok());
   ASSERT_TRUE(inc.commit().ok());
-  const table::Pipeline before = inc.pipeline();
+  const table::Pipeline before = *inc.pipeline().value();
 
   ASSERT_TRUE(inc.remove(volatile_id.value()));
   auto removal = inc.commit();
@@ -186,7 +186,7 @@ TEST(ChurnDelta, ReAddAfterRemoveRestoresBehaviour) {
   const auto packed = workload::pack_feed_frames(workload::generate_feed(fp));
   const auto frames = as_frames(packed);
   switchsim::Switch sw_before(schema, before);
-  switchsim::Switch sw_after(schema, inc.pipeline());
+  switchsim::Switch sw_after(schema, *inc.pipeline().value());
   EXPECT_EQ(egress_digest(sw_before, frames), egress_digest(sw_after, frames));
 }
 
@@ -213,7 +213,7 @@ TEST(ChurnDelta, StrictApplyDiagnostics) {
 
   auto expect_code = [&](std::vector<table::EntryOp> bad,
                          const std::string& code) {
-    table::Pipeline scratch = inc.pipeline();
+    table::Pipeline scratch = *inc.pipeline().value();
     auto res = table::apply_ops(scratch, bad);
     ASSERT_FALSE(res.ok()) << code;
     EXPECT_EQ(res.error().code, code) << res.error().to_string();
@@ -249,7 +249,7 @@ TEST(ChurnDelta, StrictApplyDiagnostics) {
   }
 
   // And the ok path: applying the inverse of a fresh add round-trips.
-  table::Pipeline scratch = inc.pipeline();
+  table::Pipeline scratch = *inc.pipeline().value();
   table::EntryOp del = *field_op;
   del.kind = table::EntryOp::Kind::kRemove;
   table::EntryOp add = *field_op;

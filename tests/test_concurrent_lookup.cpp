@@ -255,7 +255,7 @@ TEST(ConcurrentLookup, DeltaSwapUnderBatchLoad) {
   for (std::size_t slot = 0; slot < churn.base().size(); ++slot)
     ids[slot] = inc.add(churn.base()[slot]);
   ASSERT_TRUE(inc.commit().ok());
-  switchsim::Switch sw(schema, inc.pipeline());
+  switchsim::Switch sw(schema, *inc.pipeline().value());
 
   workload::FeedParams fp;
   fp.seed = 61;
@@ -300,7 +300,7 @@ TEST(ConcurrentLookup, DeltaSwapUnderBatchLoad) {
     auto delta = inc.commit();
     ASSERT_TRUE(delta.ok()) << delta.error().to_string();
     if (round % 6 == 5) {
-      sw.reprogram(inc.pipeline());
+      sw.reprogram(*inc.pipeline().value());
     } else if (auto applied = sw.apply_delta(delta.value().ops);
                !applied.ok()) {
       ++update_failures;
@@ -315,7 +315,7 @@ TEST(ConcurrentLookup, DeltaSwapUnderBatchLoad) {
   EXPECT_EQ(sw.program_version(), 25u);
 
   // Converged: patched switch == fresh switch on the final pipeline.
-  switchsim::Switch fresh(schema, inc.pipeline());
+  switchsim::Switch fresh(schema, *inc.pipeline().value());
   EXPECT_EQ(egress_digest(sw), egress_digest(fresh));
 }
 

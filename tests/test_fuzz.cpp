@@ -405,11 +405,11 @@ TEST_F(GrammarFuzz, ChurnDeltasSurviveStructuralCollapse) {
   const auto id0 = inc.add(bound.value()[0]);
   inc.add(bound.value()[1]);
   ASSERT_TRUE(inc.commit().ok());
-  switchsim::Switch sw(schema_, table::Pipeline(inc.pipeline()));
+  switchsim::Switch sw(schema_, table::Pipeline(*inc.pipeline().value()));
 
   // With both rules live the union is constant — but the shares stage must
   // still exist (empty), or the re-add below cannot ship as a delta.
-  EXPECT_NE(inc.pipeline().find_table("add_order.shares"), nullptr);
+  EXPECT_NE(inc.pipeline().value()->find_table("add_order.shares"), nullptr);
 
   inc.remove(id0);
   auto d1 = inc.commit();
@@ -452,8 +452,8 @@ TEST_F(GrammarFuzz, CompressionStructureChangeForcesReprogram) {
   // One range rule: below the threshold, no mapping stage.
   const auto id0 = add_rule("price > 100 : fwd(1)");
   ASSERT_TRUE(inc.commit().ok());
-  const bool had_map = !inc.pipeline().value_maps.empty();
-  switchsim::Switch sw(schema_, table::Pipeline(inc.pipeline()));
+  const bool had_map = !inc.pipeline().value()->value_maps.empty();
+  switchsim::Switch sw(schema_, table::Pipeline(*inc.pipeline().value()));
 
   // Grow the price table past the threshold: a mapping stage appears, and
   // the commit must demand a reprogram.
@@ -462,11 +462,11 @@ TEST_F(GrammarFuzz, CompressionStructureChangeForcesReprogram) {
   add_rule("price < 50 : fwd(4)");
   auto d = inc.commit();
   ASSERT_TRUE(d.ok());
-  ASSERT_FALSE(inc.pipeline().value_maps.empty())
+  ASSERT_FALSE(inc.pipeline().value()->value_maps.empty())
       << "test premise: compression must kick in";
   if (!had_map) {
     EXPECT_TRUE(d.value().requires_reprogram);
-    sw.reprogram(table::Pipeline(inc.pipeline()));
+    sw.reprogram(table::Pipeline(*inc.pipeline().value()));
   }
 
   // Shrink back below the threshold: the mapping stage retires, which must
@@ -476,7 +476,7 @@ TEST_F(GrammarFuzz, CompressionStructureChangeForcesReprogram) {
   auto d2 = inc.commit();
   ASSERT_TRUE(d2.ok());
   if (d2.value().requires_reprogram)
-    sw.reprogram(table::Pipeline(inc.pipeline()));
+    sw.reprogram(table::Pipeline(*inc.pipeline().value()));
   else
     ASSERT_TRUE(sw.apply_delta(d2.value().ops).ok());
 

@@ -63,7 +63,7 @@ TEST(Incremental, MatchesBatchCompilation) {
   for (int trial = 0; trial < 500; ++trial) {
     const auto env = itch_env(rng.uniform(0, 1000), rng.pick(syms),
                               rng.uniform(0, 200));
-    EXPECT_EQ(inc.pipeline().evaluate_actions(env),
+    EXPECT_EQ(inc.pipeline().value()->evaluate_actions(env),
               batch.value().pipeline.evaluate_actions(env))
         << trial;
   }
@@ -130,9 +130,11 @@ TEST(Incremental, RejectsBadSource) {
   EXPECT_EQ(inc.subscription_count(), 0u);
 }
 
-TEST(Incremental, PipelineBeforeCommitThrows) {
+TEST(Incremental, PipelineBeforeCommitIsE122) {
   IncrementalCompiler inc(spec::make_itch_schema());
-  EXPECT_THROW(inc.pipeline(), std::logic_error);
+  auto p = inc.pipeline();
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error().code, "E122");
 }
 
 TEST(Incremental, EmptyCommitDropsEverything) {
@@ -145,7 +147,7 @@ TEST(Incremental, EmptyCommitDropsEverything) {
   ASSERT_TRUE(delta.ok());
   EXPECT_EQ(delta.value().total_entries, 0u);
   const auto env = itch_env(1, "GOOGL", 1);
-  EXPECT_TRUE(inc.pipeline().evaluate_actions(env).is_drop());
+  EXPECT_TRUE(inc.pipeline().value()->evaluate_actions(env).is_drop());
 }
 
 TEST(Incremental, SwitchReprogramKeepsRegisters) {
@@ -154,7 +156,7 @@ TEST(Incremental, SwitchReprogramKeepsRegisters) {
   ASSERT_TRUE(
       inc.add_source("stock == AAPL : fwd(1); update(my_counter)").ok());
   ASSERT_TRUE(inc.commit().ok());
-  switchsim::Switch sw(schema, inc.pipeline());
+  switchsim::Switch sw(schema, *inc.pipeline().value());
 
   const auto env = itch_env(1, "AAPL", 1);
   (void)sw.classify(env.fields, 10);
@@ -164,7 +166,7 @@ TEST(Incremental, SwitchReprogramKeepsRegisters) {
   // Add a rule, reprogram: counter state survives the table update.
   ASSERT_TRUE(inc.add_source("stock == MSFT : fwd(2)").ok());
   ASSERT_TRUE(inc.commit().ok());
-  sw.reprogram(inc.pipeline());
+  sw.reprogram(*inc.pipeline().value());
   EXPECT_EQ(sw.registers().read(0, 50), 2u);
   EXPECT_EQ(sw.classify(itch_env(1, "MSFT", 1).fields, 60).ports,
             (std::vector<std::uint16_t>{2}));
@@ -228,7 +230,7 @@ TEST_P(IncrementalChurn, AlwaysMatchesBatch) {
     for (int trial = 0; trial < 100; ++trial) {
       const auto env = itch_env(rng.uniform(0, 10), rng.pick(syms),
                                 rng.uniform(0, 120));
-      ASSERT_EQ(inc.pipeline().evaluate_actions(env),
+      ASSERT_EQ(inc.pipeline().value()->evaluate_actions(env),
                 batch.value().pipeline.evaluate_actions(env))
           << "round " << round;
     }

@@ -61,7 +61,7 @@ TEST(Interactions, IncrementalWithCompression) {
   }
   auto first = inc.commit();
   ASSERT_TRUE(first.ok()) << first.error().to_string();
-  EXPECT_FALSE(inc.pipeline().value_maps.empty());
+  EXPECT_FALSE(inc.pipeline().value()->value_maps.empty());
 
   // A second commit with one more threshold still yields a valid,
   // consistent pipeline (compression regenerates the code domain).
@@ -71,7 +71,7 @@ TEST(Interactions, IncrementalWithCompression) {
   lang::Env env;
   env.fields = {0, 0, 460};
   env.states = {0, 0};
-  const auto& actions = inc.pipeline().evaluate_actions(env);
+  const auto& actions = inc.pipeline().value()->evaluate_actions(env);
   // price 460 > 100..400 and > 450: ports 1-4 and 9.
   EXPECT_EQ(actions.ports, (std::vector<std::uint16_t>{1, 2, 3, 4, 9}));
 }
