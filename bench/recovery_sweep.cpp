@@ -14,15 +14,24 @@
 //      carried over to crash repair), and a cold-rebooted switch is
 //      reconciled (full re-image), with wire bytes for both.
 //
+// --storage selects the StableStorage backend: "mem" (default) runs on
+// MemStorage as before, "file" runs the same history and probes on
+// FileStorage (real write()+fsync per journal append — the durability
+// cost a deployment actually pays), "both" runs mem and nests the file
+// results under a "file" key so the two are directly comparable in one
+// JSON document. The top-level JSON schema is unchanged from the mem-only
+// version; CI's --gate-reuse path gates the top-level (mem) run.
+//
 // Hard assertions (exit status) regardless of flags: exact replay is
 // digest-identical with zero mismatches, the missed-install repair ships
 // as ops (not a re-image) and lands, and the cold reboot converges.
 //
 // CI runs this with --quick --gate-reuse 0.8 as the recovery-smoke job;
-// the committed BENCH_recovery.json is the full run. Seeds are explicit.
+// the committed BENCH_recovery.json is the full run with --storage=both.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +69,41 @@ std::string churn_rule(util::Rng& rng, int symbol) {
          std::to_string(rng.uniform(1, 400) * 100);
 }
 
+// Either backend behind the StableStorage interface, with a uniform way
+// to read/replace the full journal image. File-backed boxes own a unique
+// temp file and remove it on destruction.
+struct StorageBox {
+  StorageBox(bool file_backed, const std::string& tag) {
+    if (file_backed) {
+      static int counter = 0;
+      path_ = "/tmp/camus_recovery_sweep_" + tag + "_" +
+              std::to_string(counter++) + ".journal";
+      file_ = std::make_unique<util::FileStorage>(path_);
+      file_->replace("");
+    } else {
+      mem_ = std::make_unique<util::MemStorage>();
+    }
+  }
+  ~StorageBox() {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  StorageBox(const StorageBox&) = delete;
+  StorageBox& operator=(const StorageBox&) = delete;
+
+  util::StableStorage& ref() {
+    return file_ ? static_cast<util::StableStorage&>(*file_) : *mem_;
+  }
+  std::string contents() {
+    auto loaded = ref().load();
+    return loaded.ok() ? loaded.value() : std::string();
+  }
+
+ private:
+  std::unique_ptr<util::MemStorage> mem_;
+  std::unique_ptr<util::FileStorage> file_;
+  std::string path_;
+};
+
 struct MilestoneRow {
   double fraction = 0;
   std::size_t journal_bytes = 0;
@@ -69,53 +113,57 @@ struct MilestoneRow {
   double open_ms = 0;
 };
 
-// Opens a fresh controller over a byte-for-byte copy of `log` and times
-// the replay.
+// Opens a fresh controller over a byte-for-byte copy of `log` on the
+// requested backend and times the replay.
 struct ReplayProbe {
-  util::MemStorage storage;
+  StorageBox box;
   pubsub::DurableController ctl;
   double open_ms = 0;
   bool ok = false;
 
-  ReplayProbe(const spec::Schema& schema, const std::string& log)
-      : ctl(schema, storage, bench_opts()) {
-    storage.replace(log);
+  ReplayProbe(const spec::Schema& schema, const std::string& log,
+              bool file_backed, const std::string& tag)
+      : box(file_backed, tag), ctl(schema, box.ref(), bench_opts()) {
+    box.ref().replace(log);
     util::Timer t;
     ok = ctl.open().ok();
     open_ms = t.seconds() * 1e3;
   }
 };
 
-}  // namespace
+// One full measurement pass — history build, milestone replays,
+// checkpoint recovery, missed-install repair, cold reboot — on one
+// storage backend.
+struct ModeResult {
+  std::string mode;  // "mem" | "file"
+  int commits = 0;
+  std::size_t subscriptions = 0;
+  std::size_t entries = 0;
+  std::size_t journal_bytes = 0;
+  double history_s = 0;
+  std::vector<MilestoneRow> milestones;
+  std::size_t checkpoint_bytes = 0;
+  double checkpoint_open_ms = 0;
+  std::size_t checkpoint_subs = 0;
+  std::size_t repair_ops = 0;
+  double repair_reuse = 0;
+  std::size_t delta_bytes = 0;
+  std::size_t full_bytes = 0;
+  double repair_ms = 0;
+  double cold_ms = 0;
+  bool ok = true;
+};
 
-int main(int argc, char** argv) {
-  bool quick = false;
-  bool json = false;
-  std::string json_path = "BENCH_recovery.json";
-  double gate_reuse = -1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view a = argv[i];
-    if (a == "--quick") quick = true;
-    else if (a == "--json") json = true;
-    else if (a == "--out" && i + 1 < argc) json_path = argv[++i];
-    else if (a == "--gate-reuse" && i + 1 < argc)
-      gate_reuse = std::strtod(argv[++i], nullptr);
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--json] [--out FILE] "
-                   "[--gate-reuse F]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  const int n_commits = quick ? 40 : 150;
+bool run_mode(const spec::Schema& schema, bool file_backed, int n_commits,
+              ModeResult& out) {
+  out.mode = file_backed ? "file" : "mem";
+  out.commits = n_commits;
 
-  auto schema = spec::make_itch_schema();
-  util::MemStorage storage;
-  pubsub::DurableController ctl(schema, storage, bench_opts());
+  StorageBox storage(file_backed, out.mode + "_history");
+  pubsub::DurableController ctl(schema, storage.ref(), bench_opts());
   if (!ctl.open().ok()) {
-    std::fprintf(stderr, "open failed\n");
-    return 1;
+    std::fprintf(stderr, "[%s] open failed\n", out.mode.c_str());
+    return false;
   }
   switchsim::Switch sw(spec::make_itch_schema(), table::Pipeline{});
   pubsub::TwoPhaseInstaller installer(sw);
@@ -133,25 +181,29 @@ int main(int argc, char** argv) {
       // the automaton's edge; occasional repeats tighten existing ones.
       const int sym = rng.chance(0.8) ? next_symbol++
                                       : rng.uniform(0, next_symbol);
-      const auto port = static_cast<std::uint16_t>(1 + rng.uniform(0, kPorts - 1));
+      const auto port =
+          static_cast<std::uint16_t>(1 + rng.uniform(0, kPorts - 1));
       if (!ctl.subscribe(port, churn_rule(rng, sym)).ok()) {
-        std::fprintf(stderr, "subscribe failed at commit %d\n", c);
-        return 1;
+        std::fprintf(stderr, "[%s] subscribe failed at commit %d\n",
+                     out.mode.c_str(), c);
+        return false;
       }
     }
     if (!last && c > 0 && c % 7 == 0)
-      ctl.unsubscribe(static_cast<std::uint16_t>(1 + rng.uniform(0, kPorts - 1)));
+      ctl.unsubscribe(
+          static_cast<std::uint16_t>(1 + rng.uniform(0, kPorts - 1)));
     auto delta = ctl.commit();
     if (!delta.ok()) {
-      std::fprintf(stderr, "commit %d failed: %s\n", c,
-                   delta.error().to_string().c_str());
-      return 1;
+      std::fprintf(stderr, "[%s] commit %d failed: %s\n", out.mode.c_str(),
+                   c, delta.error().to_string().c_str());
+      return false;
     }
     if (!last) {
       auto rep = ctl.install(installer, delta.value());
       if (!rep.ok() || !rep.value().committed) {
-        std::fprintf(stderr, "install %d failed\n", c);
-        return 1;
+        std::fprintf(stderr, "[%s] install %d failed\n", out.mode.c_str(),
+                     c);
+        return false;
       }
     } else {
       // The last install is eaten by a total partition: the commit is
@@ -161,26 +213,28 @@ int main(int argc, char** argv) {
       const fault::Plan plan(dead, 2);
       auto rep = ctl.install(installer, delta.value(), &plan);
       if (!rep.ok() || rep.value().committed) {
-        std::fprintf(stderr, "partitioned install unexpectedly landed\n");
-        return 1;
+        std::fprintf(stderr,
+                     "[%s] partitioned install unexpectedly landed\n",
+                     out.mode.c_str());
+        return false;
       }
     }
-    commit_offsets.push_back(storage.size());
+    commit_offsets.push_back(storage.contents().size());
   }
-  const double history_s = wall.seconds();
-  const std::string log = storage.load().value();
+  out.history_s = wall.seconds();
+  const std::string log = storage.contents();
   const table::Pipeline intended = *ctl.intended().value();
   const std::uint64_t intended_digest = table::pipeline_digest(intended);
-  const std::size_t total_entries = intended.total_entries();
+  out.journal_bytes = log.size();
+  out.subscriptions = ctl.subscription_count();
+  out.entries = intended.total_entries();
 
   // --- 2. Exact-replay recovery time at milestone depths.
-  std::vector<MilestoneRow> milestones;
-  bool replay_ok = true;
   for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
     const auto idx = static_cast<std::size_t>(
         frac * static_cast<double>(commit_offsets.size())) - 1;
     const std::string prefix = log.substr(0, commit_offsets[idx]);
-    ReplayProbe probe(schema, prefix);
+    ReplayProbe probe(schema, prefix, file_backed, out.mode + "_replay");
     MilestoneRow row;
     row.fraction = frac;
     row.journal_bytes = prefix.size();
@@ -188,126 +242,211 @@ int main(int argc, char** argv) {
     row.commits = probe.ctl.recovery().commits_replayed;
     row.subscriptions = probe.ctl.subscription_count();
     row.open_ms = probe.open_ms;
-    milestones.push_back(row);
+    out.milestones.push_back(row);
     if (!probe.ok || probe.ctl.recovery().digest_mismatches != 0) {
-      std::fprintf(stderr, "FAIL: exact replay at %.2f not clean\n", frac);
-      replay_ok = false;
+      std::fprintf(stderr, "[%s] FAIL: exact replay at %.2f not clean\n",
+                   out.mode.c_str(), frac);
+      out.ok = false;
     }
     if (frac == 1.0) {
       auto recovered = probe.ctl.intended();
       if (!recovered.ok() ||
           table::pipeline_digest(*recovered.value()) != intended_digest) {
-        std::fprintf(stderr, "FAIL: full replay is not digest-identical\n");
-        replay_ok = false;
+        std::fprintf(stderr,
+                     "[%s] FAIL: full replay is not digest-identical\n",
+                     out.mode.c_str());
+        out.ok = false;
       }
     }
   }
 
   // --- 3. Checkpoint recovery: compact, then reopen from the snapshot.
-  double checkpoint_open_ms = 0;
-  std::size_t checkpoint_bytes = 0;
-  std::size_t checkpoint_subs = 0;
-  bool checkpoint_ok = true;
   {
-    ReplayProbe full(schema, log);
-    checkpoint_ok = full.ok && full.ctl.checkpoint().ok();
-    const std::string compacted = full.storage.load().value();
-    checkpoint_bytes = compacted.size();
-    ReplayProbe snap(schema, compacted);
-    checkpoint_open_ms = snap.open_ms;
-    checkpoint_subs = snap.ctl.subscription_count();
+    ReplayProbe full(schema, log, file_backed, out.mode + "_ckpt_full");
+    bool checkpoint_ok = full.ok && full.ctl.checkpoint().ok();
+    const std::string compacted = full.box.contents();
+    out.checkpoint_bytes = compacted.size();
+    ReplayProbe snap(schema, compacted, file_backed,
+                     out.mode + "_ckpt_snap");
+    out.checkpoint_open_ms = snap.open_ms;
+    out.checkpoint_subs = snap.ctl.subscription_count();
     checkpoint_ok = checkpoint_ok && snap.ok &&
                     snap.ctl.recovery().from_snapshot &&
                     snap.ctl.subscription_count() == ctl.subscription_count();
-    if (!checkpoint_ok) std::fprintf(stderr, "FAIL: checkpoint recovery\n");
+    if (!checkpoint_ok) {
+      std::fprintf(stderr, "[%s] FAIL: checkpoint recovery\n",
+                   out.mode.c_str());
+      out.ok = false;
+    }
   }
 
   // --- 4a. Repair delta: the switch missed exactly one install.
   const table::Pipeline have = sw.pipeline_snapshot();
   const table::PipelineDiff diff = table::diff_pipelines(&have, intended);
-  const std::size_t delta_bytes = table::serialize_ops(diff.ops).size();
-  const std::size_t full_bytes = table::serialize_pipeline(intended).size();
+  out.delta_bytes = table::serialize_ops(diff.ops).size();
+  out.full_bytes = table::serialize_pipeline(intended).size();
   util::Timer repair_t;
   auto rec = ctl.reconcile(installer);
-  const double repair_ms = repair_t.seconds() * 1e3;
-  bool repair_ok = rec.ok() && rec.value().repaired &&
-                   !rec.value().full_reprogram &&
-                   sw.program_digest() == intended_digest;
-  if (!repair_ok) std::fprintf(stderr, "FAIL: missed-install repair\n");
-  const double repair_reuse = rec.ok() ? rec.value().reuse_fraction() : 0;
+  out.repair_ms = repair_t.seconds() * 1e3;
+  const bool repair_ok = rec.ok() && rec.value().repaired &&
+                         !rec.value().full_reprogram &&
+                         sw.program_digest() == intended_digest;
+  if (!repair_ok) {
+    std::fprintf(stderr, "[%s] FAIL: missed-install repair\n",
+                 out.mode.c_str());
+    out.ok = false;
+  }
+  out.repair_reuse = rec.ok() ? rec.value().reuse_fraction() : 0;
+  out.repair_ops = rec.ok() ? rec.value().repair_ops : 0;
 
   // --- 4b. Full reprogram: a cold-rebooted (blank) switch.
   switchsim::Switch cold_sw(spec::make_itch_schema(), table::Pipeline{});
   pubsub::TwoPhaseInstaller cold_installer(cold_sw);
   util::Timer cold_t;
   auto cold = ctl.reconcile(cold_installer);
-  const double cold_ms = cold_t.seconds() * 1e3;
+  out.cold_ms = cold_t.seconds() * 1e3;
   const bool cold_ok = cold.ok() && cold.value().repaired &&
                        cold.value().full_reprogram &&
                        cold_sw.program_digest() == intended_digest;
-  if (!cold_ok) std::fprintf(stderr, "FAIL: cold-reboot reprogram\n");
+  if (!cold_ok) {
+    std::fprintf(stderr, "[%s] FAIL: cold-reboot reprogram\n",
+                 out.mode.c_str());
+    out.ok = false;
+  }
 
-  std::printf("recovery_sweep: %d commits (%zu subs, %zu entries, %zu "
+  std::printf("recovery_sweep[%s]: %d commits (%zu subs, %zu entries, %zu "
               "journal bytes) built in %.2fs\n",
-              n_commits, ctl.subscription_count(), total_entries, log.size(),
-              history_s);
-  for (const auto& m : milestones)
+              out.mode.c_str(), n_commits, out.subscriptions, out.entries,
+              out.journal_bytes, out.history_s);
+  for (const auto& m : out.milestones)
     std::printf("  exact replay %3.0f%%: %6zu bytes, %4zu records, %3llu "
                 "commits -> %.2f ms\n",
                 m.fraction * 100, m.journal_bytes, m.records,
                 static_cast<unsigned long long>(m.commits), m.open_ms);
   std::printf("  checkpoint: %zu bytes -> %.2f ms (%zu subs)\n",
-              checkpoint_bytes, checkpoint_open_ms, checkpoint_subs);
+              out.checkpoint_bytes, out.checkpoint_open_ms,
+              out.checkpoint_subs);
   std::printf("  repair (1 missed install): %zu ops, reuse %.4f, %zu vs "
               "%zu wire bytes -> %.2f ms\n",
-              rec.ok() ? rec.value().repair_ops : 0, repair_reuse,
-              delta_bytes, full_bytes, repair_ms);
+              out.repair_ops, out.repair_reuse, out.delta_bytes,
+              out.full_bytes, out.repair_ms);
   std::printf("  cold reboot: full re-image, %zu entries -> %.2f ms\n",
-              total_entries, cold_ms);
+              out.entries, out.cold_ms);
+  return true;
+}
+
+// Emits one mode's measurements as the body fields of a JSON object
+// (caller wraps with braces and mode-independent keys).
+void write_mode_json(std::ofstream& out, const ModeResult& r,
+                     const std::string& indent) {
+  out << indent << "\"commits\": " << r.commits << ",\n"
+      << indent << "\"subscriptions\": " << r.subscriptions << ",\n"
+      << indent << "\"entries\": " << r.entries << ",\n"
+      << indent << "\"journal_bytes\": " << r.journal_bytes << ",\n"
+      << indent << "\"history_seconds\": "
+      << util::json::format_double(r.history_s) << ",\n"
+      << indent << "\"exact_replay\": [\n";
+  for (std::size_t i = 0; i < r.milestones.size(); ++i) {
+    const auto& m = r.milestones[i];
+    out << indent << "  {\"fraction\": "
+        << util::json::format_double(m.fraction)
+        << ", \"journal_bytes\": " << m.journal_bytes
+        << ", \"records\": " << m.records
+        << ", \"commits\": " << m.commits
+        << ", \"subscriptions\": " << m.subscriptions
+        << ", \"open_ms\": " << util::json::format_double(m.open_ms)
+        << "}" << (i + 1 < r.milestones.size() ? "," : "") << "\n";
+  }
+  out << indent << "],\n"
+      << indent << "\"checkpoint\": {\"journal_bytes\": "
+      << r.checkpoint_bytes << ", \"open_ms\": "
+      << util::json::format_double(r.checkpoint_open_ms)
+      << ", \"subscriptions\": " << r.checkpoint_subs << "},\n"
+      << indent << "\"repair_missed_install\": {\"ops\": " << r.repair_ops
+      << ", \"reuse_fraction\": "
+      << util::json::format_double(r.repair_reuse)
+      << ", \"delta_bytes\": " << r.delta_bytes
+      << ", \"full_bytes\": " << r.full_bytes
+      << ", \"ms\": " << util::json::format_double(r.repair_ms) << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_recovery.json";
+  std::string storage_mode = "mem";
+  double gate_reuse = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--quick") quick = true;
+    else if (a == "--json") json = true;
+    else if (a == "--out" && i + 1 < argc) json_path = argv[++i];
+    else if (a == "--gate-reuse" && i + 1 < argc)
+      gate_reuse = std::strtod(argv[++i], nullptr);
+    else if (a.rfind("--storage=", 0) == 0)
+      storage_mode = std::string(a.substr(10));
+    else if (a == "--storage" && i + 1 < argc)
+      storage_mode = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json] [--out FILE] "
+                   "[--gate-reuse F] [--storage mem|file|both]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (storage_mode != "mem" && storage_mode != "file" &&
+      storage_mode != "both") {
+    std::fprintf(stderr, "unknown --storage '%s' (mem|file|both)\n",
+                 storage_mode.c_str());
+    return 2;
+  }
+  const int n_commits = quick ? 40 : 150;
+
+  auto schema = spec::make_itch_schema();
+
+  // The primary run keeps the original top-level JSON schema: mem unless
+  // file-only was requested. --storage=both nests the file run.
+  ModeResult primary;
+  if (!run_mode(schema, storage_mode == "file", n_commits, primary))
+    return 1;
+  ModeResult file_extra;
+  bool have_file_extra = false;
+  if (storage_mode == "both") {
+    if (!run_mode(schema, true, n_commits, file_extra)) return 1;
+    have_file_extra = true;
+  }
+
+  const bool all_ok = primary.ok && (!have_file_extra || file_extra.ok);
 
   if (json) {
     std::ofstream out(json_path);
     out << "{\n  \"workload\": \"durable-churn\",\n"
         << "  \"seed\": " << kChurnSeed << ",\n"
-        << "  \"commits\": " << n_commits << ",\n"
-        << "  \"subscriptions\": " << ctl.subscription_count() << ",\n"
-        << "  \"entries\": " << total_entries << ",\n"
-        << "  \"journal_bytes\": " << log.size() << ",\n"
-        << "  \"exact_replay\": [\n";
-    for (std::size_t i = 0; i < milestones.size(); ++i) {
-      const auto& m = milestones[i];
-      out << "    {\"fraction\": " << util::json::format_double(m.fraction)
-          << ", \"journal_bytes\": " << m.journal_bytes
-          << ", \"records\": " << m.records
-          << ", \"commits\": " << m.commits
-          << ", \"subscriptions\": " << m.subscriptions
-          << ", \"open_ms\": " << util::json::format_double(m.open_ms)
-          << "}" << (i + 1 < milestones.size() ? "," : "") << "\n";
+        << "  \"storage\": \"" << primary.mode << "\",\n";
+    write_mode_json(out, primary, "  ");
+    out << ",\n  \"cold_reboot\": {\"entries\": " << primary.entries
+        << ", \"ms\": " << util::json::format_double(primary.cold_ms)
+        << "},\n";
+    if (have_file_extra) {
+      out << "  \"file\": {\n";
+      write_mode_json(out, file_extra, "    ");
+      out << ",\n    \"cold_reboot\": {\"entries\": " << file_extra.entries
+          << ", \"ms\": " << util::json::format_double(file_extra.cold_ms)
+          << "}\n  },\n";
     }
-    out << "  ],\n"
-        << "  \"checkpoint\": {\"journal_bytes\": " << checkpoint_bytes
-        << ", \"open_ms\": " << util::json::format_double(checkpoint_open_ms)
-        << ", \"subscriptions\": " << checkpoint_subs << "},\n"
-        << "  \"repair_missed_install\": {\"ops\": "
-        << (rec.ok() ? rec.value().repair_ops : 0)
-        << ", \"reuse_fraction\": " << util::json::format_double(repair_reuse)
-        << ", \"delta_bytes\": " << delta_bytes
-        << ", \"full_bytes\": " << full_bytes
-        << ", \"ms\": " << util::json::format_double(repair_ms) << "},\n"
-        << "  \"cold_reboot\": {\"entries\": " << total_entries
-        << ", \"ms\": " << util::json::format_double(cold_ms) << "},\n"
-        << "  \"all_checks_pass\": "
-        << ((replay_ok && checkpoint_ok && repair_ok && cold_ok) ? "true"
-                                                                 : "false")
+    out << "  \"all_checks_pass\": " << (all_ok ? "true" : "false")
         << "\n}\n";
     std::printf("  wrote %s\n", json_path.c_str());
   }
 
-  if (gate_reuse >= 0 && repair_reuse < gate_reuse) {
+  if (gate_reuse >= 0 && primary.repair_reuse < gate_reuse) {
     std::fprintf(stderr,
                  "FAIL: missed-install repair reuse %.4f below gate %.2f\n",
-                 repair_reuse, gate_reuse);
+                 primary.repair_reuse, gate_reuse);
     return 1;
   }
-  return (replay_ok && checkpoint_ok && repair_ok && cold_ok) ? 0 : 1;
+  return all_ok ? 0 : 1;
 }

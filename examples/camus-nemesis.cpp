@@ -5,17 +5,61 @@
 // (see src/fault/nemesis.hpp). Exits nonzero on any violation, so CI can
 // gate on it directly.
 //
-// Usage: camus-nemesis [--seed N] [--scenarios N] [--steps N] [--json]
+// --fabric runs the spine–leaf variant instead (src/fault/fabric_nemesis.hpp):
+// a FabricController over a netsim fabric, with crashes BETWEEN per-switch
+// commits, per-node reboots, install partitions (all-or-nothing aborts),
+// and the I1–I4 invariants checked fabric-wide.
+//
+// Usage: camus-nemesis [--fabric] [--seed N] [--scenarios N] [--steps N]
+//                      [--probes N] [--leaves N] [--spines N] [--json]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "fault/fabric_nemesis.hpp"
 #include "fault/nemesis.hpp"
+
+namespace {
+
+int run_fabric(const camus::fault::FabricNemesisOptions& opts, bool json) {
+  const camus::fault::FabricNemesisStats stats =
+      camus::fault::run_fabric_nemesis(opts);
+
+  if (json) {
+    std::printf("%s\n", stats.to_json().c_str());
+  } else {
+    std::printf(
+        "fabric-nemesis: %zu scenarios, %zu steps | %zu commits, %zu "
+        "installs | %zu crashes (%zu mid-commit, %zu from snapshot), "
+        "%zu leaf reboots, %zu spine reboots | %zu partitions (%zu atomic "
+        "aborts), %zu stale writes (%zu rejected) | %zu reconciles, %zu "
+        "repairs (%zu full) | %zu probes\n",
+        stats.scenarios, stats.steps, stats.commits, stats.installs,
+        stats.crashes, stats.crashes_mid_commit,
+        stats.recoveries_from_snapshot, stats.leaf_reboots,
+        stats.spine_reboots, stats.partitions, stats.all_or_nothing_aborts,
+        stats.stale_writes, stats.stale_rejected, stats.reconciles,
+        stats.repairs, stats.full_reprograms, stats.probes);
+  }
+
+  if (stats.violations > 0) {
+    std::fprintf(stderr, "VIOLATIONS: %zu\n", stats.violations);
+    for (const std::string& d : stats.violation_details)
+      std::fprintf(stderr, "  %s\n", d.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "all invariants held\n");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   camus::fault::NemesisOptions opts;
+  camus::fault::FabricNemesisOptions fopts;
+  bool fabric = false;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -26,26 +70,35 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--seed") {
-      opts.seed = std::strtoull(next(), nullptr, 10);
+    if (arg == "--fabric") {
+      fabric = true;
+    } else if (arg == "--seed") {
+      opts.seed = fopts.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--scenarios") {
-      opts.scenarios = std::strtoull(next(), nullptr, 10);
+      opts.scenarios = fopts.scenarios = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--steps") {
-      opts.steps = std::strtoull(next(), nullptr, 10);
+      opts.steps = fopts.steps = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--probes") {
-      opts.probe_messages = std::strtoull(next(), nullptr, 10);
+      opts.probe_messages = fopts.probe_messages =
+          std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--leaves") {
+      fopts.leaves = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--spines") {
+      fopts.spines = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: camus-nemesis [--seed N] [--scenarios N] [--steps N] "
-          "[--probes N] [--json]\n");
+          "usage: camus-nemesis [--fabric] [--seed N] [--scenarios N] "
+          "[--steps N] [--probes N] [--leaves N] [--spines N] [--json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
+
+  if (fabric) return run_fabric(fopts, json);
 
   const camus::fault::NemesisStats stats = camus::fault::run_nemesis(opts);
 

@@ -32,6 +32,8 @@ std::string CompileStats::to_string() const {
     os << " partition=" << partition_subject << "/" << partition_groups
        << " stitch=" << t_stitch << "s";
   }
+  if (!partition_fallback.empty())
+    os << " partition_fallback=\"" << partition_fallback << "\"";
   if (interned) {
     os << " intern=" << intern.entries_before << "->" << intern.entries_after
        << " (states " << intern.states_before << "->" << intern.states_after
@@ -67,7 +69,9 @@ std::string CompileStats::to_json() const {
      << ",\"total\":" << format_double(t_total) << "}";
   os << ",\"partition\":{"
      << "\"groups\":" << partition_groups
-     << ",\"subject\":\"" << util::json::escape(partition_subject) << "\"}";
+     << ",\"subject\":\"" << util::json::escape(partition_subject)
+     << "\",\"fallback\":\"" << util::json::escape(partition_fallback)
+     << "\"}";
   os << ",\"intern\":{"
      << "\"applied\":" << (interned ? "true" : "false")
      << ",\"states_before\":" << intern.states_before

@@ -67,6 +67,12 @@ struct CompileStats {
   std::size_t partition_groups = 0;
   std::string partition_subject;
   double t_stitch = 0;
+  // Non-empty when partitioned output was requested (kForce, or kAuto at
+  // or above partition_min_rules) but this compile ran monolithically —
+  // e.g. an IncrementalCompiler commit, whose persistent-manager path has
+  // no partitioned variant (diagnostic I130). Silent before this field:
+  // callers saw partition_groups == 0 with no explanation.
+  std::string partition_fallback;
 
   // Entry interning (intern_entries); interned == false when the pass did
   // not run and the counters are zero.

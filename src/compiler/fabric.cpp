@@ -1,0 +1,216 @@
+#include "compiler/fabric.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "compiler/field_order.hpp"
+#include "compiler/partition.hpp"
+#include "lang/dnf.hpp"
+#include "table/delta.hpp"
+
+namespace camus::compiler {
+
+namespace {
+
+// State-subject constraints are as out of scope as state updates: the
+// register a leaf reads is not the register the monolithic switch would
+// have read.
+bool touches_state(const lang::FlatRule& flat) {
+  if (!flat.actions.state_updates.empty()) return true;
+  for (const auto& term : flat.terms)
+    for (const auto& [subject, _] : term.constraints)
+      if (subject.kind == lang::Subject::Kind::kState) return true;
+  return false;
+}
+
+lang::BoundCondPtr interval_cond(lang::Subject subject,
+                                 const util::IntervalSet& values,
+                                 std::uint64_t umax) {
+  using lang::BoundCond;
+  using lang::BoundPredicate;
+  using lang::RelOp;
+  if (values.is_empty()) return BoundCond::make_const(false);
+  if (values.is_all(umax)) return BoundCond::make_const(true);
+  lang::BoundCondPtr acc;
+  for (const auto& iv : values.intervals()) {
+    lang::BoundCondPtr piece;
+    if (iv.lo == iv.hi) {
+      piece = BoundCond::make_atom(BoundPredicate{subject, RelOp::kEq, iv.lo});
+    } else {
+      // [lo, hi] == !(x < lo) && x < hi+1, skipping bounds the domain
+      // already implies.
+      lang::BoundCondPtr lo_part, hi_part;
+      if (iv.lo > 0)
+        lo_part = BoundCond::make_not(
+            BoundCond::make_atom(BoundPredicate{subject, RelOp::kLt, iv.lo}));
+      if (iv.hi < umax)
+        hi_part = BoundCond::make_atom(
+            BoundPredicate{subject, RelOp::kLt, iv.hi + 1});
+      if (lo_part && hi_part)
+        piece = BoundCond::make_and(lo_part, hi_part);
+      else
+        piece = lo_part ? lo_part : hi_part;
+    }
+    acc = acc ? BoundCond::make_or(acc, piece) : piece;
+  }
+  return acc;
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+util::Result<bool> fabric_rule_ok(const lang::BoundRule& rule,
+                                  const spec::Schema& schema) {
+  auto flat = lang::flatten_rule(rule, schema);
+  if (!flat.ok()) return flat.error();
+  if (touches_state(flat.value()))
+    return util::Error{
+        "fabric placement is stateless-only: rule reads or updates register "
+        "state, which cannot be replicated across switches without changing "
+        "update multiplicity",
+        0, 0, "F150"};
+  return true;
+}
+
+util::Result<FabricPlacement> partition_for_fabric(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    const FabricSpec& spec, const CompileOptions& opts) {
+  if (spec.leaves == 0 || spec.spines == 0)
+    return util::Error{"fabric spec needs at least one leaf and one spine",
+                       0, 0, "F151"};
+
+  auto flat_r = lang::flatten_rules(rules, schema, opts.max_dnf_terms);
+  if (!flat_r.ok()) return flat_r.error();
+  const auto& flat = flat_r.value();
+  for (const auto& fr : flat)
+    if (touches_state(fr))
+      return util::Error{
+          "fabric placement is stateless-only: rule reads or updates "
+          "register state (reject at subscribe time with fabric_rule_ok)",
+          0, 0, "F150"};
+
+  const bdd::VarOrder order = choose_order(schema, flat, opts.order);
+  const bdd::DomainMap domains(schema);
+
+  FabricPlacement placement;
+  placement.spec = spec;
+  placement.total_rules = rules.size();
+  placement.leaf_rules.resize(spec.leaves);
+  placement.leaf_values.resize(spec.leaves);
+  placement.leaf_needs_all.assign(spec.leaves, false);
+
+  // Steering attribute: the field subject pinned (point-constrained across
+  // every DNF term) by the most rules — the same dominance criterion
+  // plan_partition uses to shard one pipeline, applied across switches.
+  // Ties break by variable-order rank so the choice is deterministic.
+  std::map<lang::Subject, std::size_t> pinned_count;
+  for (const auto& fr : flat)
+    for (const auto& subject : order.subjects()) {
+      if (subject.kind != lang::Subject::Kind::kField) continue;
+      if (point_constrained_value(fr, subject)) ++pinned_count[subject];
+    }
+  std::optional<lang::Subject> steer;
+  std::size_t best = 0;
+  for (const auto& [subject, count] : pinned_count) {
+    if (count > best ||
+        (count == best && steer && order.rank(subject) < order.rank(*steer))) {
+      steer = subject;
+      best = count;
+    }
+  }
+  if (steer && best == 0) steer.reset();
+  placement.steer_subject = steer;
+  if (steer) placement.steer_subject_name = schema.field(steer->id).path();
+
+  // Per-leaf restriction + steering bookkeeping. The leaf rule keeps the
+  // monolithic condition verbatim (restriction touches only the ActionSet,
+  // so leaf correctness is immediate); steering looks at the flat form.
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const auto& rule = rules[i];
+    const auto& fr = flat[i];
+    std::optional<std::uint64_t> pin;
+    if (steer) pin = point_constrained_value(fr, *steer);
+    if (pin && steer) placement.pinned_rules++;
+
+    std::vector<lang::ActionSet> leaf_actions(spec.leaves);
+    for (std::uint16_t port : rule.actions.ports)
+      leaf_actions[spec.leaf_of(port)].add_port(port);
+
+    for (std::size_t leaf = 0; leaf < spec.leaves; ++leaf) {
+      if (leaf_actions[leaf].is_drop()) continue;
+      placement.leaf_rules[leaf].push_back(
+          lang::BoundRule{rule.cond, std::move(leaf_actions[leaf])});
+      if (pin)
+        placement.leaf_values[leaf] =
+            placement.leaf_values[leaf].unite(util::IntervalSet::point(*pin));
+      else
+        placement.leaf_needs_all[leaf] = true;
+    }
+  }
+
+  // Spine steering rules, one per leaf: "packets a leaf might forward must
+  // reach it". Empty leaves get constant-false (compiles to nothing);
+  // needs_all leaves get the catch-all.
+  const std::uint64_t steer_umax =
+      steer ? domains.umax(*steer) : util::IntervalSet::kMax;
+  placement.spine_rules.reserve(spec.leaves);
+  for (std::size_t leaf = 0; leaf < spec.leaves; ++leaf) {
+    lang::BoundCondPtr cond;
+    if (placement.leaf_rules[leaf].empty()) {
+      cond = lang::BoundCond::make_const(false);
+    } else if (!steer || placement.leaf_needs_all[leaf]) {
+      cond = lang::BoundCond::make_const(true);
+    } else {
+      cond = interval_cond(*steer, placement.leaf_values[leaf], steer_umax);
+    }
+    lang::ActionSet act;
+    act.add_port(spec.downlink(leaf));
+    placement.spine_rules.push_back(lang::BoundRule{std::move(cond), act});
+  }
+  return placement;
+}
+
+util::Result<FabricProgram> compile_fabric(const spec::Schema& schema,
+                                           const FabricPlacement& placement,
+                                           const CompileOptions& opts) {
+  FabricProgram program;
+  program.spec = placement.spec;
+
+  // The spine program is a handful of interval rules; partitioning it
+  // would only add a dispatch stage.
+  CompileOptions spine_opts = opts;
+  spine_opts.partition = PartitionMode::kOff;
+  spine_opts.threads = 1;
+  auto spine = compile_rules(schema, placement.spine_rules, spine_opts);
+  if (!spine.ok()) return spine.error();
+  program.spine = std::move(spine.value().pipeline);
+  program.spine_stats = std::move(spine.value().stats);
+  program.spine_digest = table::pipeline_digest(program.spine);
+
+  program.leaves.reserve(placement.spec.leaves);
+  for (std::size_t leaf = 0; leaf < placement.spec.leaves; ++leaf) {
+    auto compiled = compile_rules(schema, placement.leaf_rules[leaf], opts);
+    if (!compiled.ok()) return compiled.error();
+    program.leaves.push_back(std::move(compiled.value().pipeline));
+    program.leaf_stats.push_back(std::move(compiled.value().stats));
+    program.leaf_digests.push_back(
+        table::pipeline_digest(program.leaves.back()));
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_mix(h, placement.spec.spines);
+  h = fnv1a_mix(h, placement.spec.leaves);
+  h = fnv1a_mix(h, program.spine_digest);
+  for (std::uint64_t d : program.leaf_digests) h = fnv1a_mix(h, d);
+  program.fabric_digest = h;
+  return program;
+}
+
+}  // namespace camus::compiler

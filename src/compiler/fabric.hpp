@@ -1,0 +1,160 @@
+// Fabric placement: distribute one subscription set across a spine–leaf
+// topology of switches (the ROADMAP "multi-switch fabric" item).
+//
+// A production feed with millions of subscribers cannot fit one TCAM, but
+// the camus model generalizes cleanly: subscribers (egress ports) are
+// assigned to leaf switches, each leaf carries only the fine per-subscriber
+// rules whose forwarding set touches its ports, and the spines carry coarse
+// steering rules over the workload's dominant point-constrained attribute
+// (the stock symbol in the Fig-5 workloads — the same dominance criterion
+// the PR-8 partitioned compile uses to shard one pipeline) that decide
+// which leaves need to see a packet at all.
+//
+// Placement semantics (the theorem camus::verify::check_fabric_equivalence
+// proves, with MTBDD counterexamples on violation):
+//
+//   monolithic(env).ports  ==  U_L { leaf_L(env).ports : spine steers env
+//                                    to downlink L }
+//
+// which follows from two facts established per leaf:
+//   (1) restriction — leaf_L computes exactly the monolithic function with
+//       every ActionSet intersected with L's port set (the union of the
+//       restrictions over all leaves recombines to the monolithic MTBDD);
+//   (2) no starvation — every env on which leaf_L forwards is steered to L
+//       by the spine rules (a pinned rule's value lands in L's steering
+//       interval set; an unpinned rule forces L onto the catch-all path).
+//
+// Scope: fabric placement is stateless-only in this revision. Stateful
+// subscriptions (@query_counter / @query_avg) read and write per-switch
+// registers; replicating a register program across spines and leaves
+// changes update multiplicity, so such rules are rejected up front with a
+// stable diagnostic (F150) instead of silently mis-compiling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hpp"
+#include "lang/bound.hpp"
+#include "spec/schema.hpp"
+#include "table/pipeline.hpp"
+#include "util/interval.hpp"
+#include "util/result.hpp"
+
+namespace camus::compiler {
+
+// The topology shape and the (total, deterministic) subscriber->leaf map.
+// Ports are assigned to leaves round-robin so every leaf serves an equal
+// slice of the subscriber space without a lookup table; the controller,
+// the verifier, the simulator, and the nemesis all share this one map.
+struct FabricSpec {
+  std::size_t leaves = 2;
+  std::size_t spines = 1;
+
+  std::size_t leaf_of(std::uint16_t port) const noexcept {
+    return leaves == 0 ? 0 : port % leaves;
+  }
+  // The spine egress port that reaches leaf L (downlink index).
+  std::uint16_t downlink(std::size_t leaf) const noexcept {
+    return static_cast<std::uint16_t>(leaf);
+  }
+
+  friend bool operator==(const FabricSpec&, const FabricSpec&) = default;
+};
+
+// Where every rule lives in the fabric, before compilation.
+struct FabricPlacement {
+  FabricSpec spec;
+
+  // The steering attribute (dominant point-constrained subject, chosen by
+  // the same criterion as plan_partition), or nullopt when no rule pins
+  // any attribute — the spines then steer every packet to every populated
+  // leaf (correct, never better than broadcast).
+  std::optional<lang::Subject> steer_subject;
+  std::string steer_subject_name;  // display name for telemetry
+
+  std::size_t total_rules = 0;
+  std::size_t pinned_rules = 0;  // rules that pin the steering attribute
+
+  // leaf_rules[L]: the monolithic rules whose forwarding set intersects
+  // L's ports, with actions restricted to those ports (fact (1) above).
+  std::vector<std::vector<lang::BoundRule>> leaf_rules;
+
+  // Per-leaf steering state: the coalesced steering-attribute values L's
+  // pinned rules cover, and whether any unpinned rule forces L onto the
+  // spine catch-all path (needs_all).
+  std::vector<util::IntervalSet> leaf_values;
+  std::vector<bool> leaf_needs_all;
+
+  // spine_rules[L]: the coarse rule "steer to downlink(L)" — an interval
+  // condition over the steering attribute (or constant true on the
+  // catch-all path, constant false for an empty leaf).
+  std::vector<lang::BoundRule> spine_rules;
+
+  std::size_t max_leaf_rules() const noexcept {
+    std::size_t m = 0;
+    for (const auto& r : leaf_rules) m = std::max(m, r.size());
+    return m;
+  }
+  std::size_t populated_leaves() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : leaf_rules) n += !r.empty();
+    return n;
+  }
+};
+
+// Checks a bound rule against the fabric's stateless-only scope: F150 when
+// the rule updates or tests register state. Shared by the placement pass
+// and the FabricController's subscribe-time validation (a rule the fabric
+// cannot place must be rejected before it is journaled).
+util::Result<bool> fabric_rule_ok(const lang::BoundRule& rule,
+                                  const spec::Schema& schema);
+
+// Derives the placement: steering attribute, per-leaf restricted rule
+// sets, and per-leaf spine steering rules. Pure function of its inputs.
+// Diagnostics: F150 (stateful rule in scope), F151 (degenerate spec:
+// zero leaves or zero spines).
+util::Result<FabricPlacement> partition_for_fabric(
+    const spec::Schema& schema, const std::vector<lang::BoundRule>& rules,
+    const FabricSpec& spec, const CompileOptions& opts = {});
+
+// The compiled fabric: one spine program (identical on every spine — the
+// steering function does not depend on which spine ECMP picked) and one
+// program per leaf, with per-switch digests and a fabric digest folding
+// them in topology order (the all-or-nothing install verifies against
+// these, and the nemesis pins convergence on them).
+struct FabricProgram {
+  FabricSpec spec;
+  table::Pipeline spine;
+  std::vector<table::Pipeline> leaves;
+
+  CompileStats spine_stats;
+  std::vector<CompileStats> leaf_stats;
+
+  std::uint64_t spine_digest = 0;
+  std::vector<std::uint64_t> leaf_digests;
+  std::uint64_t fabric_digest = 0;
+
+  std::uint64_t max_leaf_entries() const noexcept {
+    std::uint64_t m = 0;
+    for (const auto& p : leaves) m = std::max(m, p.total_entries());
+    return m;
+  }
+  std::uint64_t total_leaf_entries() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& p : leaves) t += p.total_entries();
+    return t;
+  }
+};
+
+// Compiles every node program of a placement. The spine set is compiled
+// monolithically (a handful of interval rules); each leaf compiles with
+// the caller's options, so the PR-8 partitioned path and entry interning
+// apply per leaf exactly as they would on a single switch.
+util::Result<FabricProgram> compile_fabric(const spec::Schema& schema,
+                                           const FabricPlacement& placement,
+                                           const CompileOptions& opts = {});
+
+}  // namespace camus::compiler

@@ -104,6 +104,31 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   Delta delta;
   delta.stats.rule_count = rules_.size();
 
+  // The persistent-manager path has no partitioned variant: partitioning
+  // rebuilds per-shard managers from scratch, which would forfeit the memo
+  // caches and stable state ids this class exists to preserve. When the
+  // options ask for partitioned output (or the diff base came from a
+  // partitioned batch compile), say so instead of silently diverging.
+  const bool wants_partition =
+      opts_.partition == PartitionMode::kForce ||
+      (opts_.partition == PartitionMode::kAuto &&
+       rules_.size() >= opts_.partition_min_rules);
+  if (wants_partition) {
+    delta.stats.partition_fallback =
+        "I130: incremental commit compiles monolithically; requested "
+        "partitioned output (mode=" +
+        std::string(opts_.partition == PartitionMode::kForce ? "force"
+                                                             : "auto") +
+        ", rules=" + std::to_string(rules_.size()) +
+        " >= min=" + std::to_string(opts_.partition_min_rules) +
+        ") is not produced on this path";
+  } else if (partitioned_base_) {
+    delta.stats.partition_fallback =
+        "I130: diff base was partition-compiled but incremental commit "
+        "compiles monolithically; first delta re-images the pipeline "
+        "structure";
+  }
+
   // Build (or reuse) the per-subscription rule BDDs.
   util::Timer phase;
   double t_flatten = 0;
@@ -178,6 +203,8 @@ Result<IncrementalCompiler::Delta> IncrementalCompiler::commit() {
   delta.requires_reprogram = diff.requires_reprogram;
 
   installed_ = std::move(gen.pipeline);
+  // The base is now this commit's own (monolithic) output.
+  partitioned_base_ = false;
   delta.compile_seconds = timer.seconds();
   delta.stats.t_total = delta.compile_seconds;
   return delta;

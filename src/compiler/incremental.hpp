@@ -106,6 +106,16 @@ class IncrementalCompiler {
   // ids merely become unreferenced.
   void restore_installed(table::Pipeline last_good);
 
+  // Tells the compiler whether its diff base came from a PARTITIONED batch
+  // compile (compile_rules with partition_groups > 0). Incremental commits
+  // always run the monolithic path; when partitioning was requested or the
+  // base was partition-compiled, the next commit() surfaces the silent
+  // fallback in Delta::stats.partition_fallback (I130) instead of quietly
+  // emitting a structurally different pipeline.
+  void note_partitioned_base(bool partitioned) noexcept {
+    partitioned_base_ = partitioned;
+  }
+
   const spec::Schema& schema() const noexcept { return schema_; }
 
   // The persistent BDD manager and the root of the last committed BDD —
@@ -135,6 +145,7 @@ class IncrementalCompiler {
   bdd::NodeRef last_root_;
 
   std::optional<table::Pipeline> installed_;
+  bool partitioned_base_ = false;  // see note_partitioned_base
 };
 
 }  // namespace camus::compiler

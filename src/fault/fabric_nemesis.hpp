@@ -1,0 +1,89 @@
+// Fabric nemesis: the Jepsen-style campaign of nemesis.hpp lifted to a
+// whole spine–leaf fabric. Each scenario drives a FabricController over a
+// netsim::Fabric through seeded churn while injecting:
+//
+//   controller crash      journal truncated to its synced prefix (+ torn
+//                         tail); a successor opens, adopts a higher epoch,
+//                         and reconciles EVERY switch.
+//   crash BETWEEN per-switch commits — the fabric-specific hazard: the
+//                         transaction staged everywhere, committed on some
+//                         switches, and died, leaving the fabric mixed
+//                         old/new with an unresolved kInstallBegin.
+//   leaf / spine reboot   one node returns factory-blank; reconcile must
+//                         re-image exactly that node.
+//   install partition     all chunks dropped to ONE switch: the
+//                         all-or-nothing protocol must abort with ZERO
+//                         switches modified (checked by digest).
+//   stale writes          a deposed controller replays its last write at
+//                         a random switch; fencing must bounce it (E140).
+//
+// The I1–I4 invariants of the single-switch nemesis are checked
+// fabric-wide:
+//   I1  recovered subscription set == shadow model; exact-replay digests
+//       verify.
+//   I2  after reconcile, EVERY switch's program digest equals its
+//       per-switch intended digest (spine program / leaf program).
+//   I3  no stale write lands on ANY switch.
+//   I4  delivery ≡ monolithic oracle: for seeded probes, the fabric's
+//       (leaf, port) delivery set equals {(leaf_of(p), p)} of an
+//       independently batch-compiled single-switch oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camus::fault {
+
+struct FabricNemesisOptions {
+  std::uint64_t seed = 1;
+  std::size_t scenarios = 100;
+  std::size_t steps = 12;
+  std::size_t commit_every = 3;
+  std::size_t leaves = 2;
+  std::size_t spines = 2;
+  // Probability weights (per mille) for the nemesis acting after a step.
+  std::uint32_t crash_per_mille = 150;
+  std::uint32_t leaf_reboot_per_mille = 90;
+  std::uint32_t spine_reboot_per_mille = 60;
+  std::uint32_t stale_write_per_mille = 100;
+  // Per-mille chance a commit's install runs against a partitioned switch
+  // (all chunks dropped → all-or-nothing abort) or crashes mid-commit.
+  std::uint32_t partition_per_mille = 180;
+  std::uint32_t crash_mid_commit_per_mille = 150;
+  // Every n-th scenario checkpoints before a crash (snapshot recovery).
+  std::size_t checkpoint_every = 4;
+  std::size_t probe_messages = 48;
+};
+
+struct FabricNemesisStats {
+  std::size_t scenarios = 0;
+  std::size_t steps = 0;
+  std::size_t commits = 0;
+  std::size_t installs = 0;
+  std::size_t crashes = 0;
+  std::size_t crashes_mid_commit = 0;
+  std::size_t recoveries_from_snapshot = 0;
+  std::size_t leaf_reboots = 0;
+  std::size_t spine_reboots = 0;
+  std::size_t partitions = 0;
+  std::size_t all_or_nothing_aborts = 0;  // must equal partitions (atomic)
+  std::size_t stale_writes = 0;
+  std::size_t stale_rejected = 0;         // must equal stale_writes (I3)
+  std::size_t reconciles = 0;
+  std::size_t repairs = 0;                // switches a reconcile repaired
+  std::size_t full_reprograms = 0;
+  std::size_t repair_ops = 0;
+  std::size_t checkpoints = 0;
+  std::size_t probes = 0;
+  std::size_t violations = 0;
+  std::vector<std::string> violation_details;
+
+  std::string to_json() const;
+};
+
+// Runs the campaign; deterministic in opts.seed (scenario i uses seed
+// opts.seed + i for everything: churn, fault plans, crash points, probes).
+FabricNemesisStats run_fabric_nemesis(const FabricNemesisOptions& opts);
+
+}  // namespace camus::fault

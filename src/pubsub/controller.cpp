@@ -109,6 +109,8 @@ Result<Controller::Delta> Controller::commit() {
     // commit's delta is computed against what the switch actually runs.
     inc_.restore_installed(compiled_ ? compiled_->pipeline
                                      : table::Pipeline{});
+    inc_.note_partitioned_base(compiled_ &&
+                               compiled_->stats.partition_groups > 0);
     return gate.error();
   }
 
@@ -136,6 +138,9 @@ Result<bool> Controller::compile() {
   // the pipeline the switch was actually programmed with, not a stale
   // incremental snapshot.
   inc_.restore_installed(compiled_->pipeline);
+  // A partition-compiled base makes the next incremental commit a silent
+  // monolithic fallback — let it surface the I130 diagnostic.
+  inc_.note_partitioned_base(compiled_->stats.partition_groups > 0);
   dirty_ = false;
   return true;
 }

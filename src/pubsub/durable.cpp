@@ -1,6 +1,7 @@
 #include "pubsub/durable.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -77,6 +78,7 @@ std::size_t DurableController::apply_unsubscribe(std::uint16_t port) {
 }
 
 Result<std::uint64_t> DurableController::apply_commit(Delta* out) {
+  const auto t0 = std::chrono::steady_clock::now();
   auto d = inc_.commit();
   if (!d.ok()) return d.error();
   if (out) *out = std::move(d).take();
@@ -85,6 +87,14 @@ Result<std::uint64_t> DurableController::apply_commit(Delta* out) {
   // Snapshot the commit as the controller's intent: install-abort rollback
   // only rewinds inc_'s diff base, never this.
   intended_ = *p.value();
+  // Feed the CheckpointPolicy's cost model: replaying a kCommit reruns
+  // this exact work, so its measured cost is the best replay estimate.
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  commit_seconds_ewma_ = commit_seconds_ewma_ == 0
+                             ? secs
+                             : 0.75 * commit_seconds_ewma_ + 0.25 * secs;
   return table::pipeline_digest(*p.value());
 }
 
@@ -249,6 +259,13 @@ Result<RecoveryInfo> DurableController::open() {
     if (!aborted.ok()) return aborted.error();
   }
 
+  // Seed the CheckpointPolicy with what a successor would have to replay:
+  // everything we just replayed, plus the kEpoch (and possible abort) we
+  // appended.
+  records_since_checkpoint_ =
+      recovery_.records_replayed + 1 + (in_flight ? 1 : 0);
+  commits_since_checkpoint_ = recovery_.commits_replayed;
+
   opened_ = true;
   return recovery_;
 }
@@ -273,6 +290,7 @@ Result<bool> DurableController::subscribe(std::uint16_t port,
   payload << port << " " << priority << " " << text;
   auto journaled = journal_.append(RecordType::kSubscribe, payload.str());
   if (!journaled.ok()) return journaled.error();
+  ++records_since_checkpoint_;
   return apply_subscribe(port, priority, text);
 }
 
@@ -287,6 +305,7 @@ Result<std::size_t> DurableController::unsubscribe(std::uint16_t port) {
   auto journaled = journal_.append(RecordType::kUnsubscribe,
                                    std::to_string(port));
   if (!journaled.ok()) return journaled.error();
+  ++records_since_checkpoint_;
   return apply_unsubscribe(port);
 }
 
@@ -302,6 +321,10 @@ Result<DurableController::Delta> DurableController::commit() {
   payload << commit_seq_ << " " << digest.value();
   auto journaled = journal_.append(RecordType::kCommit, payload.str());
   if (!journaled.ok()) return journaled.error();
+  ++records_since_checkpoint_;
+  ++commits_since_checkpoint_;
+  auto compacted = maybe_auto_checkpoint();
+  if (!compacted.ok()) return compacted.error();
   return delta;
 }
 
@@ -338,6 +361,7 @@ Result<InstallReport> DurableController::install(TwoPhaseInstaller& installer,
   auto recorded =
       journal_.append(outcome, std::to_string(install_seq_));
   if (!recorded.ok()) return recorded.error();
+  records_since_checkpoint_ += 2;  // kInstallBegin + outcome
 
   if (!report.committed) {
     // The switch kept last-good: roll the incremental diff base back to
@@ -427,7 +451,35 @@ Result<ReconcileReport> DurableController::reconcile(
 Result<bool> DurableController::checkpoint() {
   if (!opened_) return not_open();
   const util::Record rec{RecordType::kSnapshot, snapshot_payload()};
-  return journal_.compact(std::span<const util::Record>(&rec, 1));
+  auto compacted = journal_.compact(std::span<const util::Record>(&rec, 1));
+  if (!compacted.ok()) return compacted;
+  // Replay now starts at the snapshot: one record, and one recompile when
+  // committed state exists.
+  records_since_checkpoint_ = 1;
+  commits_since_checkpoint_ = commit_seq_ > 0 ? 1 : 0;
+  return compacted;
+}
+
+double DurableController::estimated_replay_seconds() const noexcept {
+  // Commit records rerun a full incremental compile on replay; charge
+  // them the measured EWMA (or the generic record cost until the first
+  // measurement lands). Everything else is a parse + bind.
+  const double per_commit = commit_seconds_ewma_ > 0
+                                ? commit_seconds_ewma_
+                                : policy_.per_record_seconds;
+  return static_cast<double>(records_since_checkpoint_) *
+             policy_.per_record_seconds +
+         static_cast<double>(commits_since_checkpoint_) * per_commit;
+}
+
+Result<bool> DurableController::maybe_auto_checkpoint() {
+  if (policy_.max_replay_seconds <= 0) return false;
+  if (records_since_checkpoint_ < policy_.min_records) return false;
+  if (estimated_replay_seconds() <= policy_.max_replay_seconds) return false;
+  auto cp = checkpoint();
+  if (!cp.ok()) return cp.error();
+  ++auto_checkpoints_;
+  return true;
 }
 
 }  // namespace camus::pubsub

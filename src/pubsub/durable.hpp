@@ -77,6 +77,22 @@ struct RecoveryInfo {
   std::uint64_t in_flight_install = 0;  // its seq (valid when in_flight)
 };
 
+// Automatic checkpointing: compact the journal whenever the estimated
+// cost of replaying the accumulated history exceeds max_replay_seconds.
+// The estimate is records * per_record_seconds plus, for each replayed
+// commit, an EWMA of this controller's own measured compile times — so a
+// controller with expensive commits checkpoints sooner than one with
+// cheap ones, bounding worst-case recovery time rather than journal
+// length. Disabled by default (max_replay_seconds <= 0): checkpointing
+// trades exact-replay fidelity for recovery speed (see the protocol
+// comment above), so it is opt-in.
+struct CheckpointPolicy {
+  double max_replay_seconds = 0;  // <= 0 disables auto-checkpointing
+  std::size_t min_records = 16;   // never compact a near-empty journal
+  // Cost charged per non-commit journal record (parse + bind on replay).
+  double per_record_seconds = 2e-6;
+};
+
 // Outcome of one warm-boot anti-entropy pass.
 struct ReconcileReport {
   bool in_sync = false;       // digests matched; nothing shipped
@@ -166,6 +182,19 @@ class DurableController {
   // file comment for the recovery-fidelity trade-off).
   util::Result<bool> checkpoint();
 
+  // Arms automatic checkpointing: commit() compacts the journal once the
+  // estimated replay cost crosses policy.max_replay_seconds.
+  void set_checkpoint_policy(CheckpointPolicy policy) noexcept {
+    policy_ = policy;
+  }
+  const CheckpointPolicy& checkpoint_policy() const noexcept {
+    return policy_;
+  }
+  // Checkpoints taken automatically by the policy (manual ones excluded).
+  std::uint64_t auto_checkpoints() const noexcept { return auto_checkpoints_; }
+  // The policy's current replay-cost estimate for this journal.
+  double estimated_replay_seconds() const noexcept;
+
   util::Journal& journal() noexcept { return journal_; }
   const spec::Schema& schema() const noexcept { return schema_; }
 
@@ -187,6 +216,9 @@ class DurableController {
   util::Result<std::uint64_t> apply_commit(Delta* out);
   std::string snapshot_payload() const;
   util::Result<bool> replay_snapshot(const std::string& payload);
+  // Runs the CheckpointPolicy at a commit boundary; no-op when disarmed
+  // or below threshold.
+  util::Result<bool> maybe_auto_checkpoint();
 
   spec::Schema schema_;
   compiler::CompileOptions opts_;
@@ -201,6 +233,13 @@ class DurableController {
   std::uint64_t commit_seq_ = 0;
   std::uint64_t install_seq_ = 0;
   RecoveryInfo recovery_;
+  // CheckpointPolicy state: what a replay of the current journal would
+  // have to redo, and what this controller's commits actually cost.
+  CheckpointPolicy policy_;
+  std::size_t records_since_checkpoint_ = 0;
+  std::uint64_t commits_since_checkpoint_ = 0;
+  double commit_seconds_ewma_ = 0;
+  std::uint64_t auto_checkpoints_ = 0;
 };
 
 }  // namespace camus::pubsub

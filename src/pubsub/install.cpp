@@ -269,75 +269,96 @@ bool TwoPhaseInstaller::stage_attempt(std::span<const std::uint8_t> bytes,
   return true;
 }
 
-InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
-                                         const fault::Plan* faults,
-                                         std::size_t chunk_bytes,
-                                         int max_attempts, int chunk_retries) {
-  InstallReport report;
-  report.epoch = epoch_;
+StagedInstall TwoPhaseInstaller::stage(const table::Pipeline& pipeline,
+                                       const fault::Plan* faults,
+                                       std::size_t chunk_bytes,
+                                       int max_attempts, int chunk_retries) {
+  StagedInstall out;
+  out.report.epoch = epoch_;
   const std::string image = table::serialize_pipeline(pipeline);
   const std::span<const std::uint8_t> bytes(
       reinterpret_cast<const std::uint8_t*>(image.data()), image.size());
   const std::uint64_t image_digest = fnv1a(bytes);
 
   chunk_bytes = std::max<std::size_t>(chunk_bytes, 1);
-  report.chunks = (image.size() + chunk_bytes - 1) / chunk_bytes;
+  out.report.chunks = (image.size() + chunk_bytes - 1) / chunk_bytes;
 
   // Every chunk send consumes one decision index from the fault plan, so
   // the whole install (retransmits included) replays from the seed.
   std::uint64_t send_index = 0;
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    ++report.attempts;
+    ++out.report.attempts;
 
     // --- Stage: ship framed, CRC-checked chunks; retry damaged ones.
     std::vector<std::uint8_t> staged;
     if (!stage_attempt(bytes, chunk_bytes, faults, chunk_retries, send_index,
-                       report, staged)) {
-      report.error = "staging failed: chunk retries exhausted";
+                       out.report, staged)) {
+      out.report.error = "staging failed: chunk retries exhausted";
       continue;  // next full attempt; switch untouched
     }
 
     // --- Verify: whole-image digest, then parse + structural validation.
     if (fnv1a(staged) != image_digest) {
-      report.error = "staged image digest mismatch";
+      out.report.error = "staged image digest mismatch";
       continue;
     }
     auto parsed = table::deserialize_pipeline(
         std::string_view(reinterpret_cast<const char*>(staged.data()),
                          staged.size()));
     if (!parsed.ok()) {
-      report.error = "staged image rejected: " + parsed.error().to_string();
+      out.report.error =
+          "staged image rejected: " + parsed.error().to_string();
       continue;
     }
 
-    // --- Commit: one (epoch-fenced) reprogram with the verified image,
-    // then swap the reader-visible snapshot. deserialize_pipeline
-    // finalized the pipeline, so readers of the new snapshot never race a
-    // lazy index build.
-    auto committed =
-        std::make_shared<table::Pipeline>(std::move(parsed).take());
-    if (epoch_ > 0) {
-      auto fenced = sw_.reprogram_fenced(epoch_, table::Pipeline(*committed));
-      if (!fenced.ok()) {
-        // A newer controller owns the switch; retrying cannot help.
-        report.fenced_out = true;
-        report.error = "switch fenced the install out: " +
-                       fenced.error().to_string();
-        return report;
-      }
-    } else {
-      sw_.reprogram(table::Pipeline(*committed));
-    }
-    publish(std::move(committed));
-    report.committed = true;
-    report.error.clear();
-    return report;
+    // deserialize_pipeline finalized the pipeline, so readers of a
+    // snapshot published from this image never race a lazy index build.
+    out.pipeline = std::make_shared<table::Pipeline>(std::move(parsed).take());
+    out.staged = true;
+    out.report.error.clear();
+    return out;
   }
 
-  if (report.error.empty())
-    report.error = "install attempts exhausted";
-  return report;
+  if (out.report.error.empty())
+    out.report.error = "install attempts exhausted";
+  return out;
+}
+
+bool TwoPhaseInstaller::commit_staged(StagedInstall& s) {
+  if (!s.staged || !s.pipeline) {
+    if (s.report.error.empty())
+      s.report.error = "commit of an image that was never staged";
+    return false;
+  }
+  // --- Commit: one (epoch-fenced) reprogram with the verified image, then
+  // swap the reader-visible snapshot.
+  if (epoch_ > 0) {
+    auto fenced = sw_.reprogram_fenced(epoch_, table::Pipeline(*s.pipeline));
+    if (!fenced.ok()) {
+      // A newer controller owns the switch; retrying cannot help.
+      s.report.fenced_out = true;
+      s.report.error =
+          "switch fenced the install out: " + fenced.error().to_string();
+      return false;
+    }
+  } else {
+    sw_.reprogram(table::Pipeline(*s.pipeline));
+  }
+  publish(s.pipeline);
+  s.report.committed = true;
+  s.report.error.clear();
+  return true;
+}
+
+InstallReport TwoPhaseInstaller::install(const table::Pipeline& pipeline,
+                                         const fault::Plan* faults,
+                                         std::size_t chunk_bytes,
+                                         int max_attempts, int chunk_retries) {
+  StagedInstall s = stage(pipeline, faults, chunk_bytes, max_attempts,
+                          chunk_retries);
+  if (s.staged) commit_staged(s);
+  return s.report;
 }
 
 InstallReport TwoPhaseInstaller::apply_delta(

@@ -122,6 +122,17 @@ struct InstallReport {
   table::ApplyStats applied;
 };
 
+// A staged-but-uncommitted install: the image crossed the channel, passed
+// digest + parse verification, and is ready for the commit phase — but the
+// switch is untouched. Dropping a StagedInstall aborts it for free (nothing
+// was programmed). The FabricController's all-or-nothing cross-switch
+// commit stages one of these on every switch before committing any.
+struct StagedInstall {
+  bool staged = false;    // verification passed; pipeline is non-null
+  InstallReport report;   // stage-phase telemetry (committed still false)
+  std::shared_ptr<table::Pipeline> pipeline;  // verified, finalized image
+};
+
 class TwoPhaseInstaller {
  public:
   // The installer snapshots the switch's current pipeline as last-good.
@@ -132,10 +143,28 @@ class TwoPhaseInstaller {
   // decision, so a campaign is exactly reproducible from the plan seed.
   // A chunk is retried up to `chunk_retries` times, a full attempt up to
   // `max_attempts` times; exhaustion aborts with the switch untouched.
+  // Equivalent to stage() followed by commit_staged().
   InstallReport install(const table::Pipeline& pipeline,
                         const fault::Plan* faults = nullptr,
                         std::size_t chunk_bytes = 512, int max_attempts = 3,
                         int chunk_retries = 8);
+
+  // Phase split of install() for transactions that span switches: stage()
+  // runs the stage+verify phases only (channel transfer, digest check,
+  // parse + finalize) and leaves the switch untouched; commit_staged()
+  // runs the commit phase (epoch-fenced reprogram + snapshot publish) on a
+  // previously staged image. A coordinator stages on every switch, checks
+  // every StagedInstall::staged, and only then commits — any stage failure
+  // aborts the whole transaction with no switch modified.
+  StagedInstall stage(const table::Pipeline& pipeline,
+                      const fault::Plan* faults = nullptr,
+                      std::size_t chunk_bytes = 512, int max_attempts = 3,
+                      int chunk_retries = 8);
+
+  // Commits a staged image; updates s.report (committed / fenced_out /
+  // error) in place and returns s.report.committed. False on a stale
+  // epoch (E140) or when s was never staged.
+  bool commit_staged(StagedInstall& s);
 
   // Transactional delta install: ships only the entry ops of an
   // incremental commit instead of re-imaging the whole pipeline. Same

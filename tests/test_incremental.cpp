@@ -240,4 +240,52 @@ TEST_P(IncrementalChurn, AlwaysMatchesBatch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalChurn,
                          ::testing::Values(61, 62, 63, 64));
 
+// --- Partition-fallback diagnostic (I130) ---------------------------------
+// The persistent-manager path has no partitioned variant; when the options
+// ask for partitioned output (or the diff base came from a partitioned
+// batch compile) the commit must SAY so instead of silently emitting a
+// structurally different pipeline.
+
+TEST(IncrementalPartitionFallback, ForcedPartitionRequestSurfacesI130) {
+  compiler::CompileOptions opts;
+  opts.partition = compiler::PartitionMode::kForce;
+  IncrementalCompiler inc(spec::make_itch_schema(), opts);
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  auto d = inc.commit();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().stats.partition_groups, 0u);
+  EXPECT_NE(d.value().stats.partition_fallback.find("I130"),
+            std::string::npos)
+      << d.value().stats.partition_fallback;
+  // The diagnostic rides the telemetry everywhere stats go.
+  EXPECT_NE(d.value().stats.to_json().find("I130"), std::string::npos);
+  EXPECT_NE(d.value().stats.to_string().find("I130"), std::string::npos);
+}
+
+TEST(IncrementalPartitionFallback, AutoBelowThresholdStaysSilent) {
+  compiler::CompileOptions opts;
+  opts.partition = compiler::PartitionMode::kAuto;  // min_rules default 4096
+  IncrementalCompiler inc(spec::make_itch_schema(), opts);
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  auto d = inc.commit();
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().stats.partition_fallback.empty())
+      << d.value().stats.partition_fallback;
+}
+
+TEST(IncrementalPartitionFallback, PartitionedBaseSurfacesOnceThenClears) {
+  IncrementalCompiler inc(spec::make_itch_schema());
+  ASSERT_TRUE(inc.add_source("stock == GOOGL : fwd(1)").ok());
+  inc.note_partitioned_base(true);
+  auto first = inc.commit();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(first.value().stats.partition_fallback.find("I130"),
+            std::string::npos);
+  // The base is now the commit's own monolithic output: no more warning.
+  ASSERT_TRUE(inc.add_source("stock == MSFT : fwd(2)").ok());
+  auto second = inc.commit();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().stats.partition_fallback.empty());
+}
+
 }  // namespace

@@ -684,4 +684,64 @@ TEST(RecoveryConcurrency, ReconcileRacesBatchProcessing) {
             camus::table::pipeline_digest(*ctl.intended().value()));
 }
 
+// --- Automatic checkpoint policy -----------------------------------------
+
+TEST(CheckpointPolicy, DisabledByDefault) {
+  MemStorage st;
+  DurableController ctl(camus::spec::make_itch_schema(), st);
+  ASSERT_TRUE(ctl.open().ok());
+  camus::util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(ctl.subscribe(1, gen_rule(rng)).ok());
+    ASSERT_TRUE(ctl.commit().ok());
+  }
+  EXPECT_EQ(ctl.auto_checkpoints(), 0u);
+  // The journal still holds the full history: exact replay, no snapshot.
+  DurableController successor(camus::spec::make_itch_schema(), st);
+  auto info = successor.open();
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().from_snapshot);
+}
+
+TEST(CheckpointPolicy, AutoCompactsWhenEstimatedReplayExceedsBound) {
+  MemStorage st;
+  DurableController ctl(camus::spec::make_itch_schema(), st);
+  ASSERT_TRUE(ctl.open().ok());
+  // Deterministic trigger regardless of machine speed: charge each record
+  // a full second, so the estimate crosses the 10s bound as soon as
+  // min_records accumulate — about every 20 records (~10 commits).
+  camus::pubsub::CheckpointPolicy policy;
+  policy.max_replay_seconds = 10.0;
+  policy.min_records = 20;
+  policy.per_record_seconds = 1.0;
+  ctl.set_checkpoint_policy(policy);
+
+  camus::util::Rng rng(6);
+  const int n_commits = 200;
+  for (int i = 0; i < n_commits; ++i) {
+    ASSERT_TRUE(
+        ctl.subscribe(static_cast<std::uint16_t>(1 + i % 6), gen_rule(rng))
+            .ok());
+    if (i > 0 && i % 9 == 0)
+      ctl.unsubscribe(static_cast<std::uint16_t>(1 + i % 6));
+    ASSERT_TRUE(ctl.commit().ok());
+  }
+  // ~2 records per commit, compaction every ~20 records: many checkpoints,
+  // and the journal never grows past one policy window.
+  EXPECT_GE(ctl.auto_checkpoints(), 10u);
+  EXPECT_LE(ctl.estimated_replay_seconds(),
+            policy.max_replay_seconds + policy.min_records * 2.0);
+
+  // A successor recovers through the checkpoint path: O(live state)
+  // replay, not O(200-commit history).
+  DurableController successor(camus::spec::make_itch_schema(), st);
+  auto info = successor.open();
+  ASSERT_TRUE(info.ok()) << info.error().to_string();
+  EXPECT_TRUE(info.value().from_snapshot);
+  EXPECT_EQ(successor.subscription_count(), ctl.subscription_count());
+  EXPECT_LT(info.value().records_replayed,
+            static_cast<std::size_t>(n_commits));
+  EXPECT_EQ(successor.commit_seq(), ctl.commit_seq());
+}
+
 }  // namespace
